@@ -1,0 +1,88 @@
+// Figure 3(a): the Grid'5000 communication characteristics, re-measured on
+// the simulated grid with ping-pong experiments (1-byte messages for
+// latency, 8 MB messages for throughput) between one process of each pair
+// of sites. The printed matrices should reproduce the paper's table.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "simgrid/des.hpp"
+
+using namespace qrgrid;
+
+int main() {
+  std::cout << "Fig. 3(a) reproduction: communications performance on the "
+               "simulated Grid'5000\n";
+  simgrid::GridTopology topo = simgrid::GridTopology::grid5000();
+  const model::Roofline roof = model::paper_calibration();
+
+  const int sites = topo.num_clusters();
+  auto probe_rank = [&](int cluster) {
+    // Second node of the cluster so intra-cluster probes cross the switch.
+    return topo.cluster_rank_base(cluster) +
+           topo.cluster(cluster).procs_per_node;
+  };
+
+  TextTable latency;
+  {
+    std::vector<std::string> header = {"Latency (ms)"};
+    for (int c = 0; c < sites; ++c) header.push_back(topo.cluster(c).name);
+    latency.set_header(header);
+  }
+  for (int a = 0; a < sites; ++a) {
+    std::vector<std::string> row = {topo.cluster(a).name};
+    for (int b = 0; b < sites; ++b) {
+      if (b < a) {
+        row.push_back("");
+        continue;
+      }
+      simgrid::DesEngine engine(&topo, roof);
+      const int ra = probe_rank(a);
+      // Same-cluster probe uses another node of the same site.
+      const int rb = (a == b) ? topo.cluster_rank_base(b)
+                              : probe_rank(b);
+      engine.p2p(ra, rb, 1);
+      row.push_back(format_number(engine.makespan() * 1e3, 3));
+    }
+    latency.add_row(row);
+  }
+  latency.print(std::cout);
+
+  TextTable throughput;
+  {
+    std::vector<std::string> header = {"Throughput (Mb/s)"};
+    for (int c = 0; c < sites; ++c) header.push_back(topo.cluster(c).name);
+    throughput.set_header(header);
+  }
+  const std::size_t big = 8u << 20;  // 8 MB payload
+  for (int a = 0; a < sites; ++a) {
+    std::vector<std::string> row = {topo.cluster(a).name};
+    for (int b = 0; b < sites; ++b) {
+      if (b < a) {
+        row.push_back("");
+        continue;
+      }
+      simgrid::DesEngine engine(&topo, roof);
+      const int ra = probe_rank(a);
+      const int rb = (a == b) ? topo.cluster_rank_base(b) : probe_rank(b);
+      engine.p2p(ra, rb, big);
+      const double mbps =
+          static_cast<double>(big) * 8.0 / engine.makespan() / 1e6;
+      row.push_back(format_number(mbps, 3));
+    }
+    throughput.add_row(row);
+  }
+  std::cout << '\n';
+  throughput.print(std::cout);
+
+  std::cout << "\nIntra-node (shared memory): "
+            << format_number(
+                   topo.intra_node_link().latency_s * 1e6, 3)
+            << " us latency, "
+            << format_number(
+                   topo.intra_node_link().bandwidth_Bps * 8.0 / 1e9, 3)
+            << " Gb/s\n";
+  std::cout << "paper: 17 us latency, 5 Gb/s (OpenMPI sm driver, Section "
+               "V-A)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: effect of the per-cluster domain count on TSQR performance on
+// all four sites. One subfigure per N; one series per matrix height M.
+//
+// Expected shape (paper §V-D): performance globally increases with the
+// domain count; for very tall matrices the impact is limited (Property 3);
+// for N = 64 the optimum is 64 domains/cluster (one per processor), while
+// for N = 512 it is 32 (one per node) — trading flops for intra-node
+// communication stops paying off for wide panels.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace qrgrid;
+using namespace qrgrid::bench;
+
+int main() {
+  std::cout << "Fig. 6 reproduction: effect of #domains per cluster (4 "
+               "sites)\n";
+  const model::Roofline roof = model::paper_calibration();
+  simgrid::GridTopology topo = simgrid::GridTopology::grid5000(4);
+
+  struct Sub {
+    double n;
+    std::vector<double> ms;
+  };
+  // The per-subfigure M values of the paper.
+  const std::vector<Sub> subs = {
+      {64, {33554432, 4194304, 524288, 131072}},
+      {128, {33554432, 4194304, 524288, 262144}},
+      {256, {8388608, 2097152, 524288, 262144}},
+      {512, {8388608, 2097152, 524288, 262144}},
+  };
+  for (const Sub& sub : subs) {
+    print_series_header("Fig. 6, N = " + format_number(sub.n),
+                        "#domains per cluster", "Gflop/s");
+    for (double m : sub.ms) {
+      const std::string series = "M" + format_number(m);
+      int best_d = 0;
+      double best_g = -1.0;
+      for (int d : domain_counts()) {
+        core::DesRunResult r = core::run_des_tsqr(topo, roof, d, m, sub.n);
+        print_point(series, d, r.gflops);
+        if (r.gflops > best_g) {
+          best_g = r.gflops;
+          best_d = d;
+        }
+      }
+      std::cout << "# optimum for M=" << format_number(m) << ", N="
+                << format_number(sub.n) << ": " << best_d
+                << " domains/cluster\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 7: effect of the domain count on TSQR performance on a *single*
+// site. Two subfigures: N = 64 and N = 512.
+//
+// Expected shape (paper §V-D): for N = 64 the optimum is 64 domains (one
+// per processor); for N = 512 it is 32 (one per node).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace qrgrid;
+using namespace qrgrid::bench;
+
+int main() {
+  std::cout << "Fig. 7 reproduction: effect of #domains (single site)\n";
+  const model::Roofline roof = model::paper_calibration();
+  simgrid::GridTopology topo = simgrid::GridTopology::grid5000(1);
+
+  struct Sub {
+    double n;
+    std::vector<double> ms;
+  };
+  const std::vector<Sub> subs = {
+      {64, {8388608, 1048576, 131072, 65536}},
+      {512, {2097152, 1048576, 131072, 65536}},
+  };
+  for (const Sub& sub : subs) {
+    print_series_header("Fig. 7, N = " + format_number(sub.n), "#domains",
+                        "Gflop/s");
+    for (double m : sub.ms) {
+      const std::string series = "M" + format_number(m);
+      int best_d = 0;
+      double best_g = -1.0;
+      for (int d : domain_counts()) {
+        core::DesRunResult r = core::run_des_tsqr(topo, roof, d, m, sub.n);
+        print_point(series, d, r.gflops);
+        if (r.gflops > best_g) {
+          best_g = r.gflops;
+          best_d = d;
+        }
+      }
+      std::cout << "# optimum for M=" << format_number(m) << ", N="
+                << format_number(sub.n) << ": " << best_d << " domains\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8: TSQR vs ScaLAPACK, each at its best configuration (the best
+// of 1, 2 or 4 sites; TSQR additionally at its best domain count — the
+// convex hull of the Fig. 4/5 curves).
+//
+// Expected shape (paper §V-E): TSQR consistently above ScaLAPACK across
+// the full range; the gap narrows for not-so-tall, not-so-skinny shapes
+// (left end of the N = 512 subfigure, Property 5).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace qrgrid;
+using namespace qrgrid::bench;
+
+int main() {
+  std::cout << "Fig. 8 reproduction: TSQR (best) vs ScaLAPACK (best)\n";
+  const model::Roofline roof = model::paper_calibration();
+  std::vector<simgrid::GridTopology> topos;
+  for (int sites : site_counts()) {
+    topos.push_back(simgrid::GridTopology::grid5000(sites));
+  }
+  for (double n : n_values()) {
+    print_series_header("Fig. 8, N = " + format_number(n),
+                        "number of rows (M)", "Gflop/s");
+    for (double m : m_sweep(n)) {
+      double tsqr_best = 0.0;
+      double scal_best = 0.0;
+      for (const auto& topo : topos) {
+        tsqr_best = std::max(tsqr_best, best_tsqr(topo, roof, m, n).gflops);
+        scal_best = std::max(
+            scal_best, core::run_des_scalapack(topo, roof, m, n).gflops);
+      }
+      print_point("TSQR_best_N" + format_number(n), m, tsqr_best);
+      print_point("ScaLAPACK_best_N" + format_number(n), m, scal_best);
+      if (tsqr_best <= scal_best) {
+        std::cout << "# WARNING: ScaLAPACK ahead at M=" << format_number(m)
+                  << ", N=" << format_number(n)
+                  << " (paper expects TSQR consistently higher)\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Section IV's Properties 1-5, demonstrated on the simulated grid (DES at
+// paper scale) and on the closed-form model.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "model/properties.hpp"
+
+using namespace qrgrid;
+using namespace qrgrid::bench;
+
+int main() {
+  std::cout << "Properties 1-5 (Section IV) on the simulated Grid'5000\n";
+  const model::Roofline roof = model::paper_calibration();
+  simgrid::GridTopology four = simgrid::GridTopology::grid5000(4);
+  simgrid::GridTopology one = simgrid::GridTopology::grid5000(1);
+
+  // Property 1: Q+R costs about twice R only.
+  {
+    core::DesRunResult r = core::run_des_tsqr(four, roof, 32, 1 << 22, 64,
+                                              core::TreeKind::kGridHierarchical,
+                                              false);
+    core::DesRunResult qr = core::run_des_tsqr(four, roof, 32, 1 << 22, 64,
+                                               core::TreeKind::kGridHierarchical,
+                                               true);
+    std::cout << "\nProperty 1 — time(Q+R)/time(R): "
+              << format_number(qr.seconds / r.seconds, 3)
+              << " (model: 2.0)\n";
+  }
+
+  // Property 2: performance bounded by the domanial kernel rate.
+  {
+    core::DesRunResult r = best_tsqr(four, roof, 1 << 25, 64);
+    const double practical_bound = 256 * roof.dgemm_gflops;
+    std::cout << "Property 2 — best TSQR at M=2^25, N=64: "
+              << format_number(r.gflops, 4) << " Gflop/s of "
+              << format_number(practical_bound, 4)
+              << " practical bound (paper: 940); kernel-rate ceiling: "
+              << format_number(256 * roof.rate_gflops(64), 4) << "\n";
+  }
+
+  // Property 3: performance increases with M.
+  {
+    std::cout << "Property 3 — TSQR Gflop/s vs M (N=64, 4 sites):\n";
+    for (double m = 1 << 17; m <= (1 << 25); m *= 4) {
+      core::DesRunResult r = best_tsqr(four, roof, m, 64);
+      print_point("prop3", m, r.gflops);
+    }
+  }
+
+  // Property 4: performance increases with N.
+  {
+    std::cout << "Property 4 — TSQR Gflop/s vs N (M=2^22, 4 sites):\n";
+    for (double n : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+      core::DesRunResult r = best_tsqr(four, roof, 1 << 22, n);
+      print_point("prop4", n, r.gflops);
+    }
+  }
+
+  // Property 5: TSQR wins in the mid-range of N; crossover exists.
+  {
+    std::cout << "Property 5 — TSQR vs ScaLAPACK vs N (M=2^22, 4 sites):\n";
+    for (double n : {16.0, 64.0, 256.0, 512.0}) {
+      core::DesRunResult t = best_tsqr(four, roof, 1 << 22, n);
+      core::DesRunResult s = core::run_des_scalapack(four, roof, 1 << 22, n);
+      std::cout << "  N=" << format_number(n) << ": TSQR "
+                << format_number(t.gflops, 4) << " vs ScaLAPACK "
+                << format_number(s.gflops, 4) << " Gflop/s\n";
+    }
+    model::MachineParams mp;
+    mp.latency_s = 7e-3;
+    mp.inv_bandwidth_s_per_double = 8.0 / 90e6;
+    mp.domain_gflops = roof.rate_gflops(512);
+    const double n_star =
+        model::property5_crossover_n(1 << 22, 256, mp, 8.0, 1e7);
+    std::cout << "  model crossover N* (beyond which QR2 wins): "
+              << format_number(n_star, 5)
+              << " — switch to CAQR before this point\n";
+  }
+
+  // Single-site sanity: ScaLAPACK on one site stays under the paper's
+  // observed ~70 Gflop/s ceiling.
+  {
+    core::DesRunResult s = core::run_des_scalapack(one, roof, 1 << 23, 512);
+    std::cout << "\nSingle-site ScaLAPACK at N=512 tops out at "
+              << format_number(s.gflops, 4)
+              << " Gflop/s (paper: < 70 of 235 practical)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared plumbing for the figure/table benches: the paper's matrix-size
+// sweeps, site configurations, and gnuplot-friendly series printing.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/des_algos.hpp"
+#include "model/roofline.hpp"
+#include "simgrid/topology.hpp"
+
+namespace qrgrid::bench {
+
+/// The paper's row-count sweep (x axis of Figs. 4, 5, 8): powers of two
+/// from 2^17 = 131,072 up to a per-N memory cap mirroring the 16 GB limit
+/// of the original testbed (N = 64/128 reach 33.5M rows; N = 256/512 stop
+/// at 8.4M).
+inline std::vector<double> m_sweep(double n) {
+  const double cap = n <= 128 ? (1 << 25) : (1 << 23);
+  std::vector<double> ms;
+  for (double m = 1 << 17; m <= cap; m *= 2) ms.push_back(m);
+  return ms;
+}
+
+/// Column counts of the paper's four subfigures.
+inline std::vector<double> n_values() { return {64, 128, 256, 512}; }
+
+/// Site counts of each figure's three curves.
+inline std::vector<int> site_counts() { return {1, 2, 4}; }
+
+/// Per-cluster domain counts explored by the paper (Figs. 6-7).
+inline std::vector<int> domain_counts() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+/// TSQR at the best per-cluster domain count (what Fig. 5 reports).
+inline core::DesRunResult best_tsqr(const simgrid::GridTopology& topo,
+                                    const model::Roofline& roof, double m,
+                                    double n) {
+  core::DesRunResult best;
+  best.seconds = -1.0;
+  for (int d : domain_counts()) {
+    core::DesRunResult r = core::run_des_tsqr(topo, roof, d, m, n);
+    if (best.seconds < 0.0 || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+inline void print_series_header(const std::string& title,
+                                const std::string& xlabel,
+                                const std::string& ylabel) {
+  std::cout << "\n## " << title << "\n"
+            << "# x = " << xlabel << ", y = " << ylabel << "\n";
+}
+
+/// One gnuplot-ready line: "series: <name> <x> <y>".
+inline void print_point(const std::string& series, double x, double y) {
+  std::cout << "series: " << series << ' ' << format_number(x) << ' '
+            << format_number(y, 4) << '\n';
+}
+
+}  // namespace qrgrid::bench

@@ -1,0 +1,78 @@
+// Quickstart: factor a tall-and-skinny matrix with TSQR on a simulated
+// two-site grid, recover the explicit Q, and verify the factorization.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole public API surface: topology -> cost model ->
+// runtime -> tsqr_factor / tsqr_form_explicit_q -> quality metrics.
+#include <iostream>
+
+#include "core/tsqr.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+#include "model/roofline.hpp"
+#include "simgrid/cost.hpp"
+
+using namespace qrgrid;
+
+int main() {
+  // A grid of 2 sites x 2 nodes x 2 processors = 8 processes, with the
+  // Grid'5000 link parameters of the paper's Fig. 3(a).
+  simgrid::GridTopology topo = simgrid::GridTopology::grid5000(
+      /*sites=*/2, /*nodes_per_cluster=*/2, /*procs_per_node=*/2);
+  auto cost = std::make_shared<simgrid::TopologyCostModel>(
+      topo, model::paper_calibration());
+  const int p = topo.total_procs();
+
+  // Global matrix: 16,384 x 32, distributed as contiguous row blocks.
+  const Index m_loc = 2048, n = 32;
+  std::cout << "TSQR of a " << m_loc * p << " x " << n << " matrix over "
+            << p << " simulated grid processes\n";
+
+  msg::Runtime runtime(p, cost);
+  std::vector<Matrix> q_blocks(static_cast<std::size_t>(p));
+  Matrix r;
+  double simulated_seconds = 0.0;
+
+  msg::RunStats stats = runtime.run([&](msg::Comm& comm) {
+    // Each rank generates its rows of a reproducible global matrix.
+    Matrix local(m_loc, n);
+    fill_gaussian_rows(local.view(), comm.rank() * m_loc, /*seed=*/2026);
+
+    // Factor: one reduction over R factors along the topology-aware tree.
+    core::TsqrOptions options;
+    options.tree = core::TreeKind::kGridHierarchical;
+    for (int rank = 0; rank < p; ++rank) {
+      options.rank_cluster.push_back(topo.location_of(rank).cluster);
+    }
+    core::TsqrFactors factors = tsqr_factor(comm, local.view(), options);
+
+    // Recover this rank's block of the explicit orthogonal factor.
+    q_blocks[static_cast<std::size_t>(comm.rank())] =
+        tsqr_form_explicit_q(comm, factors);
+    if (comm.rank() == 0) {
+      r = std::move(factors.r);
+      simulated_seconds = comm.vtime();
+    }
+  });
+
+  // Assemble Q and verify against the regenerated input.
+  Matrix a(m_loc * p, n), q(m_loc * p, n);
+  fill_gaussian_rows(a.view(), 0, 2026);
+  for (int rank = 0; rank < p; ++rank) {
+    copy(q_blocks[static_cast<std::size_t>(rank)].view(),
+         q.block(rank * m_loc, 0, m_loc, n));
+  }
+
+  std::cout << "  ||A - QR|| / ||A||  = "
+            << factorization_residual(a.view(), q.view(), r.view()) << '\n'
+            << "  ||Q^T Q - I||       = " << orthogonality_error(q.view())
+            << '\n'
+            << "  messages            = " << stats.messages
+            << " (inter-site: "
+            << stats.messages_by_class[static_cast<int>(
+                   msg::LinkClass::kInterCluster)]
+            << ", the tuned tree pays sites-1 per phase)\n"
+            << "  simulated grid time = " << simulated_seconds << " s\n";
+  return 0;
+}

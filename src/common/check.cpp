@@ -1,0 +1,14 @@
+#include "common/check.hpp"
+
+namespace qrgrid::detail {
+
+void check_failed(const char* expr, const std::string& msg,
+                  std::source_location loc) {
+  std::ostringstream oss;
+  oss << "QRGRID_CHECK failed: (" << expr << ") at " << loc.file_name() << ':'
+      << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace qrgrid::detail

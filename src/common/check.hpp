@@ -1,0 +1,53 @@
+// Error-handling primitives shared by every qrgrid module.
+//
+// The library follows a fail-fast policy for programmer errors (dimension
+// mismatches, invalid arguments): QRGRID_CHECK throws qrgrid::Error with a
+// formatted message including the failing expression and source location.
+// Numerical conditions that a caller may want to handle (e.g. rank
+// deficiency detection) are reported through return values instead.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qrgrid {
+
+/// Exception thrown on contract violations detected by QRGRID_CHECK.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const std::string& msg,
+                               std::source_location loc);
+
+}  // namespace detail
+
+}  // namespace qrgrid
+
+/// Verify a precondition; throws qrgrid::Error with context on failure.
+/// Enabled in all build types: the cost is negligible next to the numerical
+/// kernels and silent corruption is far worse than a branch.
+#define QRGRID_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::qrgrid::detail::check_failed(#expr, "",                         \
+                                     std::source_location::current()); \
+    }                                                                   \
+  } while (false)
+
+/// QRGRID_CHECK with an extra streamed message, e.g.
+///   QRGRID_CHECK_MSG(a.rows() == b.rows(), "a=" << a.rows());
+#define QRGRID_CHECK_MSG(expr, stream_expr)                             \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream qrgrid_check_oss_;                             \
+      qrgrid_check_oss_ << stream_expr;                                 \
+      ::qrgrid::detail::check_failed(#expr, qrgrid_check_oss_.str(),    \
+                                     std::source_location::current()); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch for benchmark harnesses (real time, as opposed to
+// the simulated virtual time tracked by simgrid::VirtualClock).
+#pragma once
+
+#include <chrono>
+
+namespace qrgrid {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace qrgrid

@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace qrgrid {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  rows_.clear();
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-' ||
+         s[0] == '+' || s[0] == '.';
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      const std::size_t pad = width[c] - r[c].size();
+      if (looks_numeric(r[c])) {
+        os << std::string(pad, ' ') << r[c];
+      } else {
+        os << r[c] << std::string(pad, ' ');
+      }
+      if (c + 1 < r.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += width[c] + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string format_number(double v, int precision) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream oss;
+    oss.precision(15);
+    oss << v;
+    return oss.str();
+  }
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,33 @@
+// Minimal fixed-width text table printer used by the benchmark harness to
+// emit paper-style rows (and gnuplot-ready "series:" lines).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qrgrid {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row; resets any accumulated rows.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with two-space column separation, right-aligning numeric-looking
+  /// cells.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with engineering-style trimming ("12.3", "0.071", "256").
+std::string format_number(double v, int precision = 4);
+
+}  // namespace qrgrid

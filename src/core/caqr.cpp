@@ -1,0 +1,72 @@
+#include "core/caqr.hpp"
+
+#include <algorithm>
+
+namespace qrgrid::core {
+
+CaqrFactors caqr_factor(msg::Comm& comm, MatrixView a_local, Index row_offset,
+                        const CaqrOptions& options) {
+  const Index m_local = a_local.rows();
+  const Index n = a_local.cols();
+  const Index b = options.panel_width;
+  QRGRID_CHECK(b >= 1);
+  const bool am_root = comm.rank() == 0;
+  if (am_root) {
+    QRGRID_CHECK_MSG(row_offset == 0 && m_local >= n,
+                     "rank 0 must own all pivot rows (m_local >= N)");
+  }
+
+  CaqrFactors f;
+  f.n = n;
+  f.m_local = m_local;
+  f.row_offset = row_offset;
+  if (am_root) f.r = Matrix(n, n);
+
+  for (Index j0 = 0; j0 < n; j0 += b) {
+    const Index jb = std::min(b, n - j0);
+    // Active block: rank 0 drops the rows already frozen into R; other
+    // ranks keep all their rows (they sit strictly below every pivot).
+    const Index r0 = am_root ? j0 : 0;
+    MatrixView panel = a_local.block(r0, j0, m_local - r0, jb);
+    TsqrFactors pf = tsqr_factor(comm, panel, options.tsqr);
+    if (am_root) {
+      copy(pf.r.view(), f.r.block(j0, j0, jb, jb));
+    }
+
+    const Index width = n - j0 - jb;
+    if (width > 0) {
+      MatrixView trailing = a_local.block(r0, j0 + jb, m_local - r0, width);
+      tsqr_apply_qt(comm, pf, trailing);
+      if (am_root) {
+        // The projected top rows are the finished R block for this panel.
+        copy(trailing.block(0, 0, jb, width),
+             f.r.block(j0, j0 + jb, jb, width));
+      }
+    }
+    f.panel_starts.push_back(j0);
+    f.panels.push_back(std::move(pf));
+  }
+  return f;
+}
+
+Matrix caqr_form_explicit_q(msg::Comm& comm, const CaqrFactors& factors) {
+  const Index n = factors.n;
+  const Index m_local = factors.m_local;
+  const bool am_root = comm.rank() == 0;
+
+  // Q = Q_0 Q_1 ... Q_{K-1} applied to the leading N columns of I.
+  Matrix q(m_local, n);
+  for (Index i = 0; i < m_local; ++i) {
+    const Index gi = factors.row_offset + i;
+    if (gi < n) q(i, gi) = 1.0;
+  }
+  for (std::size_t k = factors.panels.size(); k-- > 0;) {
+    const Index j0 = factors.panel_starts[k];
+    const Index r0 = am_root ? j0 : 0;
+    MatrixView block = q.block(r0, 0, m_local - r0, n);
+    tsqr_apply_q(comm, factors.panels[k], block);
+  }
+  return q;
+}
+
+}  // namespace qrgrid::core

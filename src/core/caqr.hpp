@@ -1,0 +1,45 @@
+// Communication-Avoiding QR for general (not just single-panel) matrices.
+//
+// CAQR is the (factor panel) / (update trailing matrix) algorithm whose
+// panel kernel is TSQR (paper §II-C): the M x N matrix is distributed as
+// row blocks; each width-b panel is factored with one TSQR reduction, and
+// the trailing matrix is updated by applying the panel's implicit Q^T —
+// leaf ormqr on every rank plus one up-and-down tree sweep per panel.
+// This is the "first step towards the factorization of general matrices
+// on the grid" the paper's conclusion announces.
+//
+// Layout restriction (documented in DESIGN.md): rank 0's row block must
+// contain all N pivot rows (m_local(rank 0) >= N), the natural regime for
+// the tall-skinny matrices this library targets.
+#pragma once
+
+#include <vector>
+
+#include "core/tsqr.hpp"
+
+namespace qrgrid::core {
+
+struct CaqrOptions {
+  Index panel_width = 32;
+  TsqrOptions tsqr;  ///< tree shape used by every panel reduction
+};
+
+struct CaqrFactors {
+  Index n = 0;
+  Index m_local = 0;
+  Index row_offset = 0;
+  /// Per-panel implicit factors; leaf views point into the factored
+  /// matrix, which must outlive this object.
+  std::vector<TsqrFactors> panels;
+  std::vector<Index> panel_starts;
+  Matrix r;  ///< N x N upper triangular, on rank 0 only
+};
+
+/// Factors the distributed matrix in place. Collective.
+CaqrFactors caqr_factor(msg::Comm& comm, MatrixView a_local, Index row_offset,
+                        const CaqrOptions& options);
+
+/// Materializes this rank's m_local x N block of the explicit Q.
+Matrix caqr_form_explicit_q(msg::Comm& comm, const CaqrFactors& factors);
+
+}  // namespace qrgrid::core

@@ -1,0 +1,57 @@
+#include "core/extensions/tscholesky.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/flops.hpp"
+
+namespace qrgrid::core {
+
+TsCholeskyResult tscholesky_qr(msg::Comm& comm, ConstMatrixView a_local,
+                               int iterations) {
+  QRGRID_CHECK(iterations >= 1);
+  const Index m = a_local.rows();
+  const Index n = a_local.cols();
+
+  TsCholeskyResult out;
+  out.q_local = Matrix::copy_of(a_local);
+  out.r = Matrix::identity(n);
+
+  for (int it = 0; it < iterations; ++it) {
+    // Local Gram contribution, reduced across all ranks (packed upper).
+    Matrix gram(n, n);
+    syrk_upper_at_a(1.0, out.q_local.view(), 0.0, gram.view());
+    comm.compute(flops::syrk(static_cast<double>(m), static_cast<double>(n)),
+                 static_cast<int>(n));
+    std::vector<double> packed;
+    packed.reserve(static_cast<std::size_t>(n * (n + 1) / 2));
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i <= j; ++i) packed.push_back(gram(i, j));
+    }
+    comm.allreduce_sum(packed);
+    std::size_t idx = 0;
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i <= j; ++i) gram(i, j) = packed[idx++];
+    }
+
+    // Redundant Cholesky on every rank (n x n is tiny next to m x n).
+    if (!potrf_upper(gram.view())) {
+      out.ok = false;
+      return out;
+    }
+    zero_below_diagonal(gram.view());
+    comm.compute(flops::potrf(static_cast<double>(n)), static_cast<int>(n));
+
+    // Q := Q * R_it^{-1}; accumulate R := R_it * R.
+    trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, gram.view(),
+         out.q_local.view());
+    comm.compute(flops::trsm(static_cast<double>(m), static_cast<double>(n)),
+                 static_cast<int>(n));
+    Matrix r_new(n, n);
+    gemm(Trans::No, Trans::No, 1.0, gram.view(), out.r.view(), 0.0,
+         r_new.view());
+    out.r = std::move(r_new);
+  }
+  return out;
+}
+
+}  // namespace qrgrid::core

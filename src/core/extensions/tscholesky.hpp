@@ -1,0 +1,27 @@
+// Communication-avoiding CholeskyQR on distributed row blocks.
+//
+// The paper's conclusion notes the TSQR construction "can be (trivially)
+// extended to ... Cholesky factorization": like TSQR, CholeskyQR needs a
+// single allreduce (of the Gram matrix) regardless of the column count,
+// but it squares the condition number. CholeskyQR2 (iterations = 2) runs
+// the process twice to recover orthogonality on moderately conditioned
+// inputs. Both live here as the extension + as stability foils for TSQR.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "msg/comm.hpp"
+
+namespace qrgrid::core {
+
+struct TsCholeskyResult {
+  Matrix q_local;  ///< this rank's m_local x n block of Q
+  Matrix r;        ///< n x n upper triangular (replicated on all ranks)
+  bool ok = true;  ///< false if a Gram matrix was not numerically SPD
+};
+
+/// Distributed CholeskyQR: one Gram allreduce + redundant Cholesky +
+/// local triangular solve per iteration. Collective.
+TsCholeskyResult tscholesky_qr(msg::Comm& comm, ConstMatrixView a_local,
+                               int iterations = 1);
+
+}  // namespace qrgrid::core

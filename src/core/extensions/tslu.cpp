@@ -1,0 +1,136 @@
+#include "core/extensions/tslu.hpp"
+
+#include <algorithm>
+
+#include "linalg/lu.hpp"
+
+namespace qrgrid::core {
+
+namespace {
+
+constexpr int kTagTslu = 5000;
+
+/// A candidate set: n rows (with their global indices) competing to be
+/// pivots. Wire format: [ids (n doubles) | rows column-major (n*n)].
+struct Candidate {
+  std::vector<Index> ids;
+  Matrix rows;  // n x n
+};
+
+std::vector<double> pack(const Candidate& c) {
+  const Index n = c.rows.rows();
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(n + n * n));
+  for (Index i = 0; i < n; ++i) {
+    buf.push_back(static_cast<double>(c.ids[static_cast<std::size_t>(i)]));
+  }
+  buf.insert(buf.end(), c.rows.data(),
+             c.rows.data() + static_cast<std::size_t>(n * n));
+  return buf;
+}
+
+Candidate unpack(const std::vector<double>& buf, Index n) {
+  QRGRID_CHECK(static_cast<Index>(buf.size()) == n + n * n);
+  Candidate c;
+  c.ids.resize(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    c.ids[static_cast<std::size_t>(i)] =
+        static_cast<Index>(buf[static_cast<std::size_t>(i)]);
+  }
+  c.rows = Matrix(n, n);
+  std::copy(buf.begin() + static_cast<std::ptrdiff_t>(n), buf.end(),
+            c.rows.data());
+  return c;
+}
+
+/// Partial-pivoted LU on a copy of `block`; returns the indices (into
+/// block's rows) of the n winning pivot rows, in pivot order.
+std::vector<Index> select_pivot_rows(ConstMatrixView block, bool* ok) {
+  Matrix work = Matrix::copy_of(block);
+  std::vector<Index> ipiv;
+  if (!getrf(work.view(), ipiv)) *ok = false;
+  std::vector<Index> order(static_cast<std::size_t>(block.rows()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<Index>(i);
+  }
+  apply_pivots(ipiv, order);
+  order.resize(static_cast<std::size_t>(block.cols()));
+  return order;
+}
+
+}  // namespace
+
+TsluResult tslu_panel(msg::Comm& comm, ConstMatrixView a_local,
+                      Index row_offset, TreeKind tree,
+                      const std::vector<int>& rank_cluster) {
+  const Index m = a_local.rows();
+  const Index n = a_local.cols();
+  QRGRID_CHECK_MSG(m >= n, "TSLU requires m_local >= n");
+
+  TsluResult result;
+
+  // Leaf round: partial pivoting over the local block.
+  Candidate mine;
+  {
+    std::vector<Index> winners = select_pivot_rows(a_local, &result.ok);
+    mine.ids.resize(static_cast<std::size_t>(n));
+    mine.rows = Matrix(n, n);
+    for (Index i = 0; i < n; ++i) {
+      const Index local_row = winners[static_cast<std::size_t>(i)];
+      mine.ids[static_cast<std::size_t>(i)] = row_offset + local_row;
+      for (Index j = 0; j < n; ++j) mine.rows(i, j) = a_local(local_row, j);
+    }
+  }
+
+  // Tournament over the same reduction trees TSQR uses.
+  const ReductionTree rtree =
+      ReductionTree::make(tree, comm.size(), rank_cluster);
+  const int me = comm.rank();
+  for (int level = 0; level < rtree.depth(); ++level) {
+    for (const Merge& merge :
+         rtree.levels()[static_cast<std::size_t>(level)].merges) {
+      if (merge.child == me) {
+        comm.send(merge.parent, kTagTslu + level, pack(mine));
+      } else if (merge.parent == me) {
+        Candidate theirs =
+            unpack(comm.recv(merge.child, kTagTslu + level), n);
+        // Stack the two candidate sets and re-run the playoff.
+        Matrix stacked(2 * n, n);
+        copy(mine.rows.view(), stacked.block(0, 0, n, n));
+        copy(theirs.rows.view(), stacked.block(n, 0, n, n));
+        std::vector<Index> winners =
+            select_pivot_rows(stacked.view(), &result.ok);
+        Candidate next;
+        next.ids.resize(static_cast<std::size_t>(n));
+        next.rows = Matrix(n, n);
+        for (Index i = 0; i < n; ++i) {
+          const Index s = winners[static_cast<std::size_t>(i)];
+          next.ids[static_cast<std::size_t>(i)] =
+              s < n ? mine.ids[static_cast<std::size_t>(s)]
+                    : theirs.ids[static_cast<std::size_t>(s - n)];
+          for (Index j = 0; j < n; ++j) {
+            next.rows(i, j) = s < n ? mine.rows(s, j) : theirs.rows(s - n, j);
+          }
+        }
+        mine = std::move(next);
+      }
+    }
+  }
+
+  if (me == rtree.root()) {
+    result.pivot_rows = mine.ids;
+    // Final LU of the winning block yields the panel's U factor.
+    Matrix work = Matrix::copy_of(mine.rows.view());
+    std::vector<Index> ipiv;
+    if (!getrf(work.view(), ipiv)) result.ok = false;
+    result.u = Matrix(n, n);
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i <= j; ++i) result.u(i, j) = work(i, j);
+    }
+    // Track the final permutation so pivot_rows matches U's row order.
+    apply_pivots(ipiv, result.pivot_rows);
+  }
+  return result;
+}
+
+}  // namespace qrgrid::core

@@ -1,0 +1,34 @@
+// TSLU — tournament-pivoting panel factorization (CALU's panel kernel).
+//
+// The paper's conclusion: "the work and conclusion we have reached here
+// for TSQR/CAQR can be (trivially) extended to TSLU/CALU". TSLU selects N
+// good pivot rows from a tall panel with a single reduction: each domain
+// proposes its N partial-pivoting rows, and merges run partial-pivoted LU
+// on stacked 2N x N candidate blocks, keeping the winners — same tree,
+// same message count as TSQR.
+#pragma once
+
+#include <vector>
+
+#include "core/tree.hpp"
+#include "linalg/matrix.hpp"
+#include "msg/comm.hpp"
+
+namespace qrgrid::core {
+
+struct TsluResult {
+  /// Global indices of the N selected pivot rows (valid on the root).
+  std::vector<Index> pivot_rows;
+  /// U factor of the selected pivot block (n x n, valid on the root).
+  Matrix u;
+  bool ok = true;  ///< false if some LU met an exactly-zero pivot
+};
+
+/// Runs the tournament over the distributed panel (m_local x n row block
+/// per rank, global row index of the first local row given by
+/// `row_offset`). Collective.
+TsluResult tslu_panel(msg::Comm& comm, ConstMatrixView a_local,
+                      Index row_offset, TreeKind tree = TreeKind::kBinary,
+                      const std::vector<int>& rank_cluster = {});
+
+}  // namespace qrgrid::core

@@ -1,0 +1,66 @@
+#include "core/lstsq.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace qrgrid::core {
+
+LeastSquaresResult tsqr_least_squares(msg::Comm& comm, MatrixView a_local,
+                                      MatrixView b_local,
+                                      const TsqrOptions& options) {
+  const Index n = a_local.cols();
+  const Index nrhs = b_local.cols();
+  QRGRID_CHECK(b_local.rows() == a_local.rows());
+
+  LeastSquaresResult out;
+
+  // Factor A and rotate b into the Q basis. After apply_qt the root's
+  // leading n rows of b hold Q^T b's coefficient block; everything else
+  // (on every rank) belongs to the residual.
+  TsqrFactors factors = tsqr_factor(comm, a_local, options);
+  tsqr_apply_qt(comm, factors, b_local);
+
+  // Residual: sum of squares of all rows of Q^T b except the root's
+  // leading n — computed once, shared via an allreduce.
+  std::vector<double> ss(static_cast<std::size_t>(nrhs), 0.0);
+  const Index skip = comm.rank() == 0 ? n : 0;
+  for (Index j = 0; j < nrhs; ++j) {
+    double acc = 0.0;
+    for (Index i = skip; i < b_local.rows(); ++i) {
+      acc += b_local(i, j) * b_local(i, j);
+    }
+    ss[static_cast<std::size_t>(j)] = acc;
+  }
+  comm.allreduce_sum(ss);
+  out.residual_norms.resize(static_cast<std::size_t>(nrhs));
+  for (Index j = 0; j < nrhs; ++j) {
+    out.residual_norms[static_cast<std::size_t>(j)] =
+        std::sqrt(ss[static_cast<std::size_t>(j)]);
+  }
+
+  // Solve R x = (Q^T b)(0:n, :) on the root, then broadcast.
+  std::vector<double> payload;
+  if (comm.rank() == 0) {
+    bool singular = false;
+    for (Index i = 0; i < n; ++i) {
+      if (factors.r(i, i) == 0.0) singular = true;
+    }
+    Matrix x(n, nrhs);
+    if (!singular) {
+      copy(b_local.block(0, 0, n, nrhs), x.view());
+      trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0,
+           factors.r.view(), x.view());
+    }
+    payload.assign(x.data(), x.data() + static_cast<std::size_t>(n * nrhs));
+    payload.push_back(singular ? 0.0 : 1.0);
+  }
+  comm.bcast(payload, 0);
+  QRGRID_CHECK(static_cast<Index>(payload.size()) == n * nrhs + 1);
+  out.ok = payload.back() != 0.0;
+  out.x = Matrix(n, nrhs);
+  std::copy(payload.begin(), payload.end() - 1, out.x.data());
+  return out;
+}
+
+}  // namespace qrgrid::core

@@ -1,0 +1,34 @@
+// Distributed linear least squares on top of TSQR — the canonical
+// application of a tall-skinny QR: solve  min_x ||A x - b||_2  for an
+// M x N matrix distributed as row blocks (one per rank) and one or more
+// right-hand sides distributed the same way.
+//
+// Method: factor A with one TSQR reduction, apply Q^T to b with the
+// implicit factors (leaf ormqr + one tree sweep), solve the N x N
+// triangular system on the root, and broadcast the solution. Compared to
+// the normal equations (A^T A x = A^T b, the same communication volume),
+// the conditioning is cond(A) instead of cond(A)^2 — the same stability
+// argument the paper makes for orthogonalization schemes.
+#pragma once
+
+#include "core/tsqr.hpp"
+
+namespace qrgrid::core {
+
+struct LeastSquaresResult {
+  /// The N x nrhs solution, replicated on every rank.
+  Matrix x;
+  /// ||A x - b||_2 per right-hand side, replicated on every rank.
+  std::vector<double> residual_norms;
+  /// False if R was exactly singular (rank-deficient A).
+  bool ok = true;
+};
+
+/// Solves the distributed least-squares problem. `a_local` (m_local x n)
+/// and `b_local` (m_local x nrhs) are overwritten (A with its reflectors,
+/// b with Q^T b). Collective over `comm`.
+LeastSquaresResult tsqr_least_squares(msg::Comm& comm, MatrixView a_local,
+                                      MatrixView b_local,
+                                      const TsqrOptions& options = {});
+
+}  // namespace qrgrid::core

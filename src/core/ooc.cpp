@@ -1,0 +1,54 @@
+#include "core/ooc.hpp"
+
+#include <algorithm>
+
+#include "linalg/flops.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/tpqrt.hpp"
+
+namespace qrgrid::core {
+
+OocTsqr::OocTsqr(Index n) : n_(n), r_(n, n) {
+  QRGRID_CHECK(n >= 1);
+}
+
+void OocTsqr::absorb(ConstMatrixView panel) {
+  QRGRID_CHECK_MSG(panel.cols() == n_,
+                   "panel has " << panel.cols() << " columns, expected "
+                                << n_);
+  QRGRID_CHECK(panel.rows() >= 1);
+  rows_seen_ += panel.rows();
+  panels_seen_ += 1;
+
+  if (!seeded_) {
+    // First panel: factor it to seed the accumulator. Panels narrower
+    // than n rows are padded implicitly by later folds.
+    Matrix work = Matrix::copy_of(panel);
+    if (work.rows() >= n_) {
+      std::vector<double> tau;
+      geqrf(work.view(), tau);
+      flops_ += flops::geqrf(static_cast<double>(work.rows()),
+                             static_cast<double>(n_));
+      Matrix r = extract_r(work.view());
+      copy(r.view(), r_.block(0, 0, n_, n_));
+      seeded_ = true;
+      return;
+    }
+    // Degenerate short first panel: fold it as a dense block onto the
+    // (zero) accumulator; R stays rank-deficient until enough rows.
+  }
+  // Fold: QR of [R; panel] with the triangle-on-dense kernel.
+  Matrix v2 = Matrix::copy_of(panel);
+  std::vector<double> tau;
+  tpqrt_td(r_.view(), v2.view(), tau);
+  flops_ += flops::tpqrt_td(static_cast<double>(panel.rows()),
+                            static_cast<double>(n_));
+  seeded_ = true;
+}
+
+Matrix OocTsqr::r() const {
+  QRGRID_CHECK_MSG(rows_seen_ >= n_, "need at least n rows for a full R");
+  return Matrix::copy_of(r_.view());
+}
+
+}  // namespace qrgrid::core

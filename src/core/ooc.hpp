@@ -1,0 +1,52 @@
+// Out-of-core (streaming) TSQR — the flat-tree variant of §II-C.
+//
+// "CAQR with a flat tree has been implemented in the context of
+// out-of-core QR factorization [Gunter & van de Geijn]": when the matrix
+// does not fit in memory, row panels are streamed through a single
+// process and folded into a running R factor with the
+// triangle-on-top-of-dense kernel (tpqrt_td). The accumulator needs only
+// O(N^2) memory regardless of M — the sequential sibling of the
+// distributed reduction, and the reason the combine operation's
+// associativity matters (any streaming order gives the same R).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid::core {
+
+class OocTsqr {
+ public:
+  /// Starts a factorization of a (virtual) M x n matrix, M unbounded.
+  explicit OocTsqr(Index n);
+
+  /// Folds the next row panel (any row count >= 1) into the running R.
+  /// Panels must arrive in row order only if the caller wants to relate
+  /// reflectors to row indices; the R factor itself is order-independent.
+  void absorb(ConstMatrixView panel);
+
+  /// Rows absorbed so far.
+  Index rows_seen() const { return rows_seen_; }
+
+  /// Number of panels folded so far.
+  Index panels_seen() const { return panels_seen_; }
+
+  /// The n x n upper-triangular R of everything absorbed so far. Valid
+  /// once rows_seen() >= n.
+  Matrix r() const;
+
+  /// Total flops spent in the folds (for harness accounting).
+  double flops() const { return flops_; }
+
+ private:
+  Index n_;
+  Index rows_seen_ = 0;
+  Index panels_seen_ = 0;
+  bool seeded_ = false;
+  Matrix r_;  ///< running n x n upper triangle
+  double flops_ = 0.0;
+};
+
+}  // namespace qrgrid::core

@@ -1,0 +1,176 @@
+#include "core/pdgeqr2.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/flops.hpp"
+
+namespace qrgrid::core {
+
+namespace {
+
+/// Local row range [lo, m_local) participating in the reflector tail of
+/// global column j (global rows > j).
+Index tail_start(Index row_offset, Index m_local, Index j) {
+  const Index lo = j + 1 - row_offset;
+  if (lo <= 0) return 0;
+  if (lo >= m_local) return m_local;
+  return lo;
+}
+
+}  // namespace
+
+void pdgeqr2_panel(msg::Comm& comm, MatrixView a_local, Index row_offset,
+                   Index col0, Index panel_cols, std::vector<double>& tau) {
+  const Index m_local = a_local.rows();
+  const Index n = a_local.cols();
+  QRGRID_CHECK(col0 >= 0 && col0 + panel_cols <= n);
+  QRGRID_CHECK(static_cast<Index>(tau.size()) >= col0 + panel_cols);
+  const Index col_end = col0 + panel_cols;
+
+  for (Index j = col0; j < col_end; ++j) {
+    const bool i_own_pivot =
+        row_offset <= j && j < row_offset + m_local;
+    const Index pivot_local = j - row_offset;
+    const Index lo = tail_start(row_offset, m_local, j);
+
+    // Allreduce #1 (the per-column "normalization" reduction of Fig. 1):
+    // [sum of squares of the tail, pivot value].
+    std::vector<double> norm_msg = {0.0, 0.0};
+    for (Index i = lo; i < m_local; ++i) {
+      norm_msg[0] += a_local(i, j) * a_local(i, j);
+    }
+    if (i_own_pivot) norm_msg[1] = a_local(pivot_local, j);
+    comm.compute(2.0 * static_cast<double>(m_local - lo), static_cast<int>(n));
+    comm.allreduce_sum(norm_msg);
+
+    const double xnorm = std::sqrt(norm_msg[0]);
+    const double alpha = norm_msg[1];
+    double tau_j = 0.0;
+    double inv = 0.0;
+    double beta = alpha;
+    if (xnorm != 0.0) {
+      beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+      tau_j = (beta - alpha) / beta;
+      inv = 1.0 / (alpha - beta);
+    }
+    tau[static_cast<std::size_t>(j)] = tau_j;
+    // Scale the local tail into reflector entries; the pivot owner writes
+    // the R diagonal.
+    for (Index i = lo; i < m_local; ++i) a_local(i, j) *= inv;
+    if (i_own_pivot) a_local(pivot_local, j) = beta;
+
+    if (j + 1 < col_end) {
+      // Allreduce #2 (the per-column "update" reduction): w = v^T A_trail.
+      const Index width = col_end - j - 1;
+      std::vector<double> w(static_cast<std::size_t>(width), 0.0);
+      for (Index k = 0; k < width; ++k) {
+        double acc = 0.0;
+        for (Index i = lo; i < m_local; ++i) {
+          acc += a_local(i, j) * a_local(i, j + 1 + k);
+        }
+        if (i_own_pivot) acc += a_local(pivot_local, j + 1 + k);
+        w[static_cast<std::size_t>(k)] = acc;
+      }
+      comm.compute(2.0 * static_cast<double>(m_local - lo) *
+                       static_cast<double>(width),
+                   static_cast<int>(n));
+      comm.allreduce_sum(w);
+      for (Index k = 0; k < width; ++k) {
+        const double tw = tau_j * w[static_cast<std::size_t>(k)];
+        if (tw == 0.0) continue;
+        for (Index i = lo; i < m_local; ++i) {
+          a_local(i, j + 1 + k) -= tw * a_local(i, j);
+        }
+        if (i_own_pivot) a_local(pivot_local, j + 1 + k) -= tw;
+      }
+      comm.compute(2.0 * static_cast<double>(m_local - lo) *
+                       static_cast<double>(width),
+                   static_cast<int>(n));
+    }
+  }
+}
+
+/// Gathers the upper-triangular rows owned by each rank into the n x n R
+/// factor on rank 0 (rows arrive ordered by rank == by global row index).
+Matrix assemble_r_on_root(msg::Comm& comm, ConstMatrixView a_local,
+                          Index row_offset, Index n) {
+  std::vector<double> mine;
+  for (Index i = 0; i < a_local.rows(); ++i) {
+    const Index gi = row_offset + i;
+    if (gi >= n) break;
+    for (Index jj = gi; jj < n; ++jj) mine.push_back(a_local(i, jj));
+  }
+  std::vector<double> all = comm.gather(mine, 0);
+  Matrix r;
+  if (comm.rank() == 0) {
+    r = Matrix(n, n);
+    std::size_t idx = 0;
+    for (Index gi = 0; gi < n && idx < all.size(); ++gi) {
+      for (Index jj = gi; jj < n; ++jj) r(gi, jj) = all[idx++];
+    }
+    QRGRID_CHECK(idx == all.size());
+  }
+  return r;
+}
+
+Pdgeqr2Factors pdgeqr2_factor(msg::Comm& comm, MatrixView a_local,
+                              Index row_offset) {
+  Pdgeqr2Factors f;
+  f.n = a_local.cols();
+  f.m_local = a_local.rows();
+  f.row_offset = row_offset;
+  f.local = a_local;
+  f.tau.assign(static_cast<std::size_t>(f.n), 0.0);
+  pdgeqr2_panel(comm, a_local, row_offset, 0, f.n, f.tau);
+  f.r = assemble_r_on_root(comm, a_local, row_offset, f.n);
+  return f;
+}
+
+Matrix pdgeqr2_form_explicit_q(msg::Comm& comm, const Pdgeqr2Factors& f) {
+  const Index n = f.n;
+  const Index m_local = f.m_local;
+  const Index row_offset = f.row_offset;
+  Matrix q(m_local, n);
+  for (Index i = 0; i < m_local; ++i) {
+    const Index gi = row_offset + i;
+    if (gi < n) q(i, gi) = 1.0;
+  }
+  // Distributed dorg2r: apply H_i to the trailing columns in reverse, one
+  // allreduce of w per reflector.
+  for (Index i = n - 1; i >= 0; --i) {
+    const double tau = f.tau[static_cast<std::size_t>(i)];
+    if (tau == 0.0) continue;
+    const bool i_own_pivot = row_offset <= i && i < row_offset + m_local;
+    const Index pivot_local = i - row_offset;
+    const Index lo = tail_start(row_offset, m_local, i);
+    const Index width = n - i;
+    std::vector<double> w(static_cast<std::size_t>(width), 0.0);
+    for (Index k = 0; k < width; ++k) {
+      double acc = 0.0;
+      for (Index r = lo; r < m_local; ++r) {
+        acc += f.local(r, i) * q(r, i + k);
+      }
+      if (i_own_pivot) acc += q(pivot_local, i + k);
+      w[static_cast<std::size_t>(k)] = acc;
+    }
+    comm.compute(2.0 * static_cast<double>(m_local - lo) *
+                     static_cast<double>(width),
+                 static_cast<int>(n));
+    comm.allreduce_sum(w);
+    for (Index k = 0; k < width; ++k) {
+      const double tw = tau * w[static_cast<std::size_t>(k)];
+      if (tw == 0.0) continue;
+      for (Index r = lo; r < m_local; ++r) {
+        q(r, i + k) -= tw * f.local(r, i);
+      }
+      if (i_own_pivot) q(pivot_local, i + k) -= tw;
+    }
+    comm.compute(2.0 * static_cast<double>(m_local - lo) *
+                     static_cast<double>(width),
+                 static_cast<int>(n));
+  }
+  return q;
+}
+
+}  // namespace qrgrid::core

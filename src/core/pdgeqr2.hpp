@@ -1,0 +1,53 @@
+// ScaLAPACK-style panel factorization baseline (PDGEQR2 analog).
+//
+// The M x N matrix is distributed as contiguous row blocks. For every
+// column the algorithm performs one allreduce to assemble the column norm
+// (the "normalization" reduction of the paper's Fig. 1) and one allreduce
+// of w = v^T A_trailing for the rank-1 update — 2N allreduces in total,
+// i.e. 2 N log2(P) critical-path messages versus TSQR's log2(P). This is
+// exactly the communication pattern the paper identifies as the
+// grid-performance bottleneck; it is implemented here as the head-to-head
+// baseline (and as the panel kernel of the blocked pdgeqrf baseline).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "msg/comm.hpp"
+
+namespace qrgrid::core {
+
+struct Pdgeqr2Factors {
+  Index n = 0;
+  Index m_local = 0;
+  Index row_offset = 0;      ///< global index of this rank's first row
+  MatrixView local;          ///< reflectors stored in place (R rows on owners)
+  std::vector<double> tau;   ///< all N scalars, replicated on every rank
+  Matrix r;                  ///< n x n upper triangular, on rank 0 only
+};
+
+/// Factors the distributed matrix; `a_local` is overwritten with the
+/// reflector tails (and the R rows on the ranks owning global rows < N).
+/// `row_offset` is the global index of this rank's first row; blocks must
+/// be contiguous and ordered by rank. Collective.
+Pdgeqr2Factors pdgeqr2_factor(msg::Comm& comm, MatrixView a_local,
+                              Index row_offset);
+
+/// Materializes this rank's m_local x n block of the explicit Q
+/// (distributed Householder accumulation, one allreduce per column).
+Matrix pdgeqr2_form_explicit_q(msg::Comm& comm, const Pdgeqr2Factors& f);
+
+/// Panel kernel shared with the blocked pdgeqrf: factors the columns
+/// [col0, col0 + panel_cols) of the distributed matrix in place (global
+/// column c's reflector pivots on global row c), updating only within the
+/// panel. tau[col0 .. col0+panel_cols) is filled; tau must already have
+/// size >= col0 + panel_cols.
+void pdgeqr2_panel(msg::Comm& comm, MatrixView a_local, Index row_offset,
+                   Index col0, Index panel_cols, std::vector<double>& tau);
+
+/// Gathers the upper-triangular rows of the factored distributed matrix
+/// into the n x n R factor on rank 0 (empty elsewhere). Collective.
+Matrix assemble_r_on_root(msg::Comm& comm, ConstMatrixView a_local,
+                          Index row_offset, Index n);
+
+}  // namespace qrgrid::core

@@ -1,0 +1,149 @@
+#include "core/pdgeqrf.hpp"
+
+#include <algorithm>
+
+#include "core/pdgeqr2.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/flops.hpp"
+
+namespace qrgrid::core {
+
+namespace {
+
+/// Extracts this rank's slice of the panel's reflector block V in
+/// canonical form: zero above the pivot row, implicit unit on it, tails
+/// below (the factored matrix stores R values on/above the diagonal).
+Matrix local_v(ConstMatrixView a_local, Index row_offset, Index col0,
+               Index jb) {
+  const Index m_local = a_local.rows();
+  Matrix v(m_local, jb);
+  for (Index jj = 0; jj < jb; ++jj) {
+    const Index c = col0 + jj;  // global column == global pivot row
+    for (Index i = 0; i < m_local; ++i) {
+      const Index gi = row_offset + i;
+      if (gi < c) continue;
+      v(i, jj) = gi == c ? 1.0 : a_local(i, col0 + jj);
+    }
+  }
+  return v;
+}
+
+/// Builds the panel's T factor from the replicated Gram block S = V^T V
+/// and the reflector scalars (the dlarft recurrence with S precomputed).
+Matrix build_t(const Matrix& s, const std::vector<double>& tau, Index col0,
+               Index jb) {
+  Matrix t(jb, jb);
+  for (Index i = 0; i < jb; ++i) {
+    const double taui = tau[static_cast<std::size_t>(col0 + i)];
+    t(i, i) = taui;
+    if (i == 0 || taui == 0.0) continue;
+    for (Index j = 0; j < i; ++j) t(j, i) = -taui * s(j, i);
+    trmm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0,
+         t.block(0, 0, i, i), t.block(0, i, i, 1));
+  }
+  return t;
+}
+
+/// Applies the panel's block reflector to the local slice of C:
+///   C := (I - V T^op V^T) C, with W assembled through one allreduce.
+void apply_block_reflector(msg::Comm& comm, const Matrix& v, const Matrix& t,
+                           Trans trans, MatrixView c, int ncols) {
+  const Index jb = v.cols();
+  const Index m_local = v.rows();
+  const Index width = c.cols();
+  if (width == 0) return;
+  // W = V^T C (jb x width), summed across ranks.
+  Matrix w(jb, width);
+  gemm(Trans::Yes, Trans::No, 1.0, v.view(), c, 0.0, w.view());
+  comm.compute(flops::gemm(static_cast<double>(jb),
+                           static_cast<double>(width),
+                           static_cast<double>(m_local)),
+               ncols);
+  std::vector<double> buf(w.data(),
+                          w.data() + static_cast<std::size_t>(jb * width));
+  comm.allreduce_sum(buf);
+  std::copy(buf.begin(), buf.end(), w.data());
+  // W := T^T W (Q^T) or T W (Q), then the rank-jb update C -= V W.
+  trmm(Side::Left, UpLo::Upper, trans, Diag::NonUnit, 1.0, t.view(),
+       w.view());
+  gemm(Trans::No, Trans::No, -1.0, v.view(), w.view(), 1.0, c);
+  comm.compute(flops::gemm(static_cast<double>(m_local),
+                           static_cast<double>(width),
+                           static_cast<double>(jb)),
+               ncols);
+}
+
+}  // namespace
+
+PdgeqrfFactors pdgeqrf_factor(msg::Comm& comm, MatrixView a_local,
+                              Index row_offset, Index nb) {
+  QRGRID_CHECK(nb >= 1);
+  const Index m_local = a_local.rows();
+  const Index n = a_local.cols();
+  const int ncols = static_cast<int>(n);
+
+  PdgeqrfFactors f;
+  f.n = n;
+  f.m_local = m_local;
+  f.row_offset = row_offset;
+  f.nb = nb;
+  f.local = a_local;
+  f.tau.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (Index j0 = 0; j0 < n; j0 += nb) {
+    const Index jb = std::min(nb, n - j0);
+    // Panel: the per-column PDGEQR2 kernel (2 allreduces per column).
+    pdgeqr2_panel(comm, a_local, row_offset, j0, jb, f.tau);
+
+    // Block reflector pieces, replicated: S = V^T V via one allreduce,
+    // then the T recurrence locally (deterministic on every rank).
+    Matrix v = local_v(a_local, row_offset, j0, jb);
+    Matrix s(jb, jb);
+    syrk_upper_at_a(1.0, v.view(), 0.0, s.view());
+    comm.compute(flops::syrk(static_cast<double>(m_local),
+                             static_cast<double>(jb)),
+                 ncols);
+    std::vector<double> sbuf(s.data(),
+                             s.data() + static_cast<std::size_t>(jb * jb));
+    comm.allreduce_sum(sbuf);
+    std::copy(sbuf.begin(), sbuf.end(), s.data());
+    Matrix t = build_t(s, f.tau, j0, jb);
+
+    // Trailing update: C := Q_panel^T C with one W-allreduce.
+    const Index width = n - j0 - jb;
+    if (width > 0) {
+      apply_block_reflector(comm, v, t, Trans::Yes,
+                            a_local.block(0, j0 + jb, m_local, width),
+                            ncols);
+    }
+    f.panel_t.push_back(std::move(t));
+  }
+
+  f.r = assemble_r_on_root(comm, a_local, row_offset, n);
+  return f;
+}
+
+Matrix pdgeqrf_form_explicit_q(msg::Comm& comm, const PdgeqrfFactors& f) {
+  const Index n = f.n;
+  const Index m_local = f.m_local;
+  const int ncols = static_cast<int>(n);
+  Matrix q(m_local, n);
+  for (Index i = 0; i < m_local; ++i) {
+    const Index gi = f.row_offset + i;
+    if (gi < n) q(i, gi) = 1.0;
+  }
+  // Blocked dorgqr: panels in reverse; panel k only touches columns
+  // >= j0 (the earlier identity columns are invariant under reflectors
+  // supported on rows >= j0).
+  const Index num_panels = static_cast<Index>(f.panel_t.size());
+  for (Index k = num_panels - 1; k >= 0; --k) {
+    const Index j0 = k * f.nb;
+    const Index jb = f.panel_t[static_cast<std::size_t>(k)].rows();
+    Matrix v = local_v(f.local, f.row_offset, j0, jb);
+    apply_block_reflector(comm, v, f.panel_t[static_cast<std::size_t>(k)],
+                          Trans::No, q.block(0, j0, m_local, n - j0), ncols);
+  }
+  return q;
+}
+
+}  // namespace qrgrid::core

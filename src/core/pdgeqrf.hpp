@@ -1,0 +1,39 @@
+// Blocked ScaLAPACK-style QR (PDGEQRF analog, NB-wide panels).
+//
+// The production baseline of the paper's Fig. 4: panels are factored with
+// the per-column PDGEQR2 kernel (two allreduces per column), then the
+// trailing matrix is updated with the compact-WY block reflector, which
+// costs two more allreduces per panel (the V^T V Gram block for T, and
+// W = V^T C). The default NB = 64 matches the paper's tuning (§II-B);
+// the blocking only pays off when there are trailing columns to update,
+// i.e. for N > NB — on a single skinny panel PDGEQRF degenerates to
+// PDGEQR2, which is exactly why ScaLAPACK struggles on TS matrices.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "msg/comm.hpp"
+
+namespace qrgrid::core {
+
+struct PdgeqrfFactors {
+  Index n = 0;
+  Index m_local = 0;
+  Index row_offset = 0;
+  Index nb = 64;
+  MatrixView local;            ///< reflectors in place (R rows on owners)
+  std::vector<double> tau;     ///< replicated on every rank
+  std::vector<Matrix> panel_t; ///< per-panel T factors (replicated)
+  Matrix r;                    ///< n x n upper triangular, rank 0 only
+};
+
+/// Factors the distributed matrix in place. Collective.
+PdgeqrfFactors pdgeqrf_factor(msg::Comm& comm, MatrixView a_local,
+                              Index row_offset, Index nb = 64);
+
+/// Materializes this rank's m_local x n block of the explicit Q by
+/// applying the block reflectors in reverse (two allreduces per panel).
+Matrix pdgeqrf_form_explicit_q(msg::Comm& comm, const PdgeqrfFactors& f);
+
+}  // namespace qrgrid::core

@@ -1,0 +1,146 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qrgrid::core {
+
+ReductionTree ReductionTree::flat(int num_domains) {
+  QRGRID_CHECK(num_domains >= 1);
+  ReductionTree t;
+  t.num_domains_ = num_domains;
+  for (int d = 1; d < num_domains; ++d) {
+    t.levels_.push_back(TreeLevel{{Merge{0, d}}});
+  }
+  return t;
+}
+
+ReductionTree ReductionTree::binary(int num_domains) {
+  QRGRID_CHECK(num_domains >= 1);
+  ReductionTree t;
+  t.num_domains_ = num_domains;
+  for (int stride = 1; stride < num_domains; stride *= 2) {
+    TreeLevel level;
+    for (int d = 0; d + stride < num_domains; d += 2 * stride) {
+      level.merges.push_back(Merge{d, d + stride});
+    }
+    t.levels_.push_back(std::move(level));
+  }
+  return t;
+}
+
+namespace {
+
+/// Binary tree over an arbitrary ordered set of domain ids; returns the
+/// per-level merges and the surviving root (members[0]).
+std::vector<TreeLevel> binary_over(const std::vector<int>& members) {
+  std::vector<TreeLevel> levels;
+  const int n = static_cast<int>(members.size());
+  for (int stride = 1; stride < n; stride *= 2) {
+    TreeLevel level;
+    for (int i = 0; i + stride < n; i += 2 * stride) {
+      level.merges.push_back(
+          Merge{members[static_cast<std::size_t>(i)],
+                members[static_cast<std::size_t>(i + stride)]});
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+}  // namespace
+
+ReductionTree ReductionTree::grid_hierarchical(
+    const std::vector<int>& domain_cluster) {
+  const int d = static_cast<int>(domain_cluster.size());
+  QRGRID_CHECK(d >= 1);
+  ReductionTree t;
+  t.num_domains_ = d;
+
+  // Group domains by cluster, preserving domain order within a cluster.
+  std::map<int, std::vector<int>> by_cluster;
+  for (int i = 0; i < d; ++i) {
+    by_cluster[domain_cluster[static_cast<std::size_t>(i)]].push_back(i);
+  }
+  QRGRID_CHECK_MSG(by_cluster.begin()->second.front() == 0,
+                   "domain 0 must belong to the first cluster");
+
+  // Phase 1: binary tree inside every cluster, levels aligned so all
+  // clusters reduce concurrently.
+  std::vector<std::vector<TreeLevel>> per_cluster;
+  std::vector<int> roots;
+  for (const auto& [cluster, members] : by_cluster) {
+    (void)cluster;
+    per_cluster.push_back(binary_over(members));
+    roots.push_back(members.front());
+  }
+  std::size_t max_depth = 0;
+  for (const auto& lv : per_cluster) max_depth = std::max(max_depth, lv.size());
+  for (std::size_t k = 0; k < max_depth; ++k) {
+    TreeLevel level;
+    for (const auto& lv : per_cluster) {
+      if (k < lv.size()) {
+        level.merges.insert(level.merges.end(), lv[k].merges.begin(),
+                            lv[k].merges.end());
+      }
+    }
+    t.levels_.push_back(std::move(level));
+  }
+
+  // Phase 2: binary tree across the cluster roots.
+  for (auto& level : binary_over(roots)) {
+    t.levels_.push_back(std::move(level));
+  }
+  return t;
+}
+
+ReductionTree ReductionTree::make(TreeKind kind, int num_domains,
+                                  const std::vector<int>& domain_cluster) {
+  switch (kind) {
+    case TreeKind::kFlat:
+      return flat(num_domains);
+    case TreeKind::kBinary:
+      return binary(num_domains);
+    case TreeKind::kGridHierarchical: {
+      if (domain_cluster.empty()) {
+        // No topology information: degenerate to one cluster == binary.
+        return binary(num_domains);
+      }
+      QRGRID_CHECK(static_cast<int>(domain_cluster.size()) == num_domains);
+      return grid_hierarchical(domain_cluster);
+    }
+  }
+  QRGRID_CHECK(false);
+  return {};
+}
+
+int ReductionTree::inter_cluster_merges(
+    const std::vector<int>& domain_cluster) const {
+  QRGRID_CHECK(static_cast<int>(domain_cluster.size()) == num_domains_);
+  int count = 0;
+  for (const auto& level : levels_) {
+    for (const auto& m : level.merges) {
+      if (domain_cluster[static_cast<std::size_t>(m.parent)] !=
+          domain_cluster[static_cast<std::size_t>(m.child)]) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<RowBlock> partition_rows(std::int64_t total_rows, int parts) {
+  QRGRID_CHECK(parts >= 1 && total_rows >= 0);
+  std::vector<RowBlock> out(static_cast<std::size_t>(parts));
+  const std::int64_t base = total_rows / parts;
+  const std::int64_t extra = total_rows % parts;
+  std::int64_t offset = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::int64_t count = base + (p < extra ? 1 : 0);
+    out[static_cast<std::size_t>(p)] = RowBlock{offset, count};
+    offset += count;
+  }
+  return out;
+}
+
+}  // namespace qrgrid::core

@@ -1,0 +1,81 @@
+// Reduction trees for the TSQR allreduce over R factors.
+//
+// A ReductionTree describes, level by level, which domain merges into
+// which: at each Merge the child sends its current R to the parent, which
+// combines the two triangles (tpqrt_tt) and carries the result upward.
+// Domain 0 is always the root.
+//
+// Three shapes matter in the paper:
+//  - Flat: the sequential/out-of-core variant — domain 0 absorbs every
+//    other domain one at a time (D-1 levels).
+//  - Binary: the classic parallel tree of Demmel et al. (log2(D) levels).
+//  - GridHierarchical: the paper's contribution — a binary tree *inside*
+//    each cluster followed by a binary tree *across* clusters, so the
+//    number of inter-cluster messages is sites-1 regardless of N or of
+//    the per-cluster domain count (Fig. 2 vs Fig. 1).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace qrgrid::core {
+
+enum class TreeKind { kFlat, kBinary, kGridHierarchical };
+
+struct Merge {
+  int parent = 0;  ///< domain that receives and combines
+  int child = 0;   ///< domain that sends its R and goes idle
+};
+
+struct TreeLevel {
+  std::vector<Merge> merges;
+};
+
+class ReductionTree {
+ public:
+  int num_domains() const { return num_domains_; }
+  int root() const { return 0; }
+  const std::vector<TreeLevel>& levels() const { return levels_; }
+
+  /// Flat (sequential) reduction: D-1 levels of one merge each.
+  static ReductionTree flat(int num_domains);
+
+  /// Binary reduction over domain indices (stride doubling).
+  static ReductionTree binary(int num_domains);
+
+  /// Binary within each cluster, then binary across cluster roots.
+  /// `domain_cluster[d]` gives the cluster of domain d; domains of one
+  /// cluster need not be contiguous. Cluster roots are the lowest-index
+  /// domain of each cluster, and the grid root is domain 0's cluster root
+  /// remapped to domain 0's position (we require domain 0 in the first
+  /// non-empty cluster so the root is domain 0).
+  static ReductionTree grid_hierarchical(const std::vector<int>& domain_cluster);
+
+  /// Builds the requested shape. For kGridHierarchical, `domain_cluster`
+  /// must be provided; the other shapes ignore it.
+  static ReductionTree make(TreeKind kind, int num_domains,
+                            const std::vector<int>& domain_cluster = {});
+
+  /// Number of merges whose parent and child live in different clusters —
+  /// the inter-cluster message count of the reduction (Figs. 1-2 argue
+  /// the tuned tree minimizes exactly this quantity).
+  int inter_cluster_merges(const std::vector<int>& domain_cluster) const;
+
+  /// Depth (number of levels).
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+ private:
+  int num_domains_ = 0;
+  std::vector<TreeLevel> levels_;
+};
+
+/// Splits `total_rows` into `parts` contiguous row blocks as evenly as
+/// possible; returns each part's (offset, count).
+struct RowBlock {
+  std::int64_t offset = 0;
+  std::int64_t count = 0;
+};
+std::vector<RowBlock> partition_rows(std::int64_t total_rows, int parts);
+
+}  // namespace qrgrid::core

@@ -1,0 +1,42 @@
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace qrgrid {
+
+double nrm2(Index n, const double* x) {
+  // Scaled sum of squares as in LAPACK dlassq: avoids overflow/underflow
+  // for entries near the extremes of the double range.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (Index i = 0; i < n; ++i) {
+    const double absxi = std::fabs(x[i]);
+    if (absxi == 0.0) continue;
+    if (scale < absxi) {
+      const double r = scale / absxi;
+      ssq = 1.0 + ssq * r * r;
+      scale = absxi;
+    } else {
+      const double r = absxi / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double dot(Index n, const double* x, const double* y) {
+  double acc = 0.0;
+  for (Index i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(Index n, double alpha, const double* x, double* y) {
+  if (alpha == 0.0) return;
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(Index n, double alpha, double* x) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+}  // namespace qrgrid

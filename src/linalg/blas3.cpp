@@ -1,0 +1,183 @@
+#include "linalg/blas.hpp"
+
+namespace qrgrid {
+
+namespace {
+
+// Cache-blocking tile sizes for the reference gemm: one panel of A
+// (MC x KC doubles) should fit comfortably in L2.
+constexpr Index kMC = 128;
+constexpr Index kKC = 128;
+
+double elem(ConstMatrixView v, Trans t, Index i, Index j) {
+  return t == Trans::No ? v(i, j) : v(j, i);
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const Index m = c.rows();
+  const Index n = c.cols();
+  const Index k = (ta == Trans::No) ? a.cols() : a.rows();
+  QRGRID_CHECK_MSG(((ta == Trans::No) ? a.rows() : a.cols()) == m &&
+                       ((tb == Trans::No) ? b.rows() : b.cols()) == k &&
+                       ((tb == Trans::No) ? b.cols() : b.rows()) == n,
+                   "gemm shape mismatch: C " << m << "x" << n << ", k=" << k);
+
+  if (beta != 1.0) {
+    for (Index j = 0; j < n; ++j) {
+      double* cj = &c(0, j);
+      if (beta == 0.0) {
+        for (Index i = 0; i < m; ++i) cj[i] = 0.0;
+      } else {
+        scal(m, beta, cj);
+      }
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (ta == Trans::No && tb == Trans::No) {
+    // Blocked axpy formulation: C(:,j) += (alpha*B(k,j)) * A(:,k), with A
+    // traversed panel by panel so its columns stay cache-resident.
+    for (Index k0 = 0; k0 < k; k0 += kKC) {
+      const Index kb = std::min(kKC, k - k0);
+      for (Index i0 = 0; i0 < m; i0 += kMC) {
+        const Index ib = std::min(kMC, m - i0);
+        for (Index j = 0; j < n; ++j) {
+          double* cj = &c(i0, j);
+          for (Index kk = 0; kk < kb; ++kk) {
+            const double w = alpha * b(k0 + kk, j);
+            if (w != 0.0) axpy(ib, w, &a(i0, k0 + kk), cj);
+          }
+        }
+      }
+    }
+    return;
+  }
+  if (ta == Trans::Yes && tb == Trans::No) {
+    // C(i,j) += alpha * dot(A(:,i), B(:,j)): both operands stream down
+    // contiguous columns.
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < m; ++i) {
+        c(i, j) += alpha * dot(k, &a(0, i), &b(0, j));
+      }
+    }
+    return;
+  }
+  // Remaining transpose combinations are used rarely (small blocks); a
+  // straightforward triple loop is sufficient.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (Index kk = 0; kk < k; ++kk) {
+        acc += elem(a, ta, i, kk) * elem(b, tb, kk, j);
+      }
+      c(i, j) += alpha * acc;
+    }
+  }
+}
+
+void trmm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  const Index n = t.rows();
+  QRGRID_CHECK(t.cols() == n);
+  const bool unit = diag == Diag::Unit;
+  auto tij = [&](Index i, Index j) {
+    return trans == Trans::No ? t(i, j) : t(j, i);
+  };
+  const bool effective_upper = (uplo == UpLo::Upper) == (trans == Trans::No);
+
+  if (side == Side::Left) {
+    QRGRID_CHECK(b.rows() == n);
+    for (Index col = 0; col < b.cols(); ++col) {
+      double* x = &b(0, col);
+      if (effective_upper) {
+        for (Index i = 0; i < n; ++i) {
+          double acc = unit ? x[i] : tij(i, i) * x[i];
+          for (Index j = i + 1; j < n; ++j) acc += tij(i, j) * x[j];
+          x[i] = alpha * acc;
+        }
+      } else {
+        for (Index i = n - 1; i >= 0; --i) {
+          double acc = unit ? x[i] : tij(i, i) * x[i];
+          for (Index j = 0; j < i; ++j) acc += tij(i, j) * x[j];
+          x[i] = alpha * acc;
+        }
+      }
+    }
+  } else {
+    QRGRID_CHECK(b.cols() == n);
+    // Row-side triangular multiply: process result columns in the order
+    // that lets us update in place.
+    const Index m = b.rows();
+    if (effective_upper) {
+      for (Index j = n - 1; j >= 0; --j) {
+        double* bj = &b(0, j);
+        if (!unit) scal(m, tij(j, j), bj);
+        for (Index i = 0; i < j; ++i) axpy(m, tij(i, j), &b(0, i), bj);
+        if (alpha != 1.0) scal(m, alpha, bj);
+      }
+    } else {
+      for (Index j = 0; j < n; ++j) {
+        double* bj = &b(0, j);
+        if (!unit) scal(m, tij(j, j), bj);
+        for (Index i = j + 1; i < n; ++i) axpy(m, tij(i, j), &b(0, i), bj);
+        if (alpha != 1.0) scal(m, alpha, bj);
+      }
+    }
+  }
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  const Index n = t.rows();
+  QRGRID_CHECK(t.cols() == n);
+  if (side == Side::Left) {
+    QRGRID_CHECK(b.rows() == n);
+    for (Index col = 0; col < b.cols(); ++col) {
+      double* x = &b(0, col);
+      if (alpha != 1.0) scal(n, alpha, x);
+      trsv(uplo, trans, diag, t, x);
+    }
+    return;
+  }
+  // Right side: solve X * op(T) = alpha * B column-block-wise. Writing
+  // X = B * op(T)^{-1}, column j of X depends on previously solved columns.
+  QRGRID_CHECK(b.cols() == n);
+  const bool unit = diag == Diag::Unit;
+  auto tij = [&](Index i, Index j) {
+    return trans == Trans::No ? t(i, j) : t(j, i);
+  };
+  const bool effective_upper = (uplo == UpLo::Upper) == (trans == Trans::No);
+  const Index m = b.rows();
+  if (effective_upper) {
+    for (Index j = 0; j < n; ++j) {
+      double* bj = &b(0, j);
+      if (alpha != 1.0) scal(m, alpha, bj);
+      for (Index i = 0; i < j; ++i) axpy(m, -tij(i, j), &b(0, i), bj);
+      if (!unit) scal(m, 1.0 / tij(j, j), bj);
+    }
+  } else {
+    for (Index j = n - 1; j >= 0; --j) {
+      double* bj = &b(0, j);
+      if (alpha != 1.0) scal(m, alpha, bj);
+      for (Index i = j + 1; i < n; ++i) axpy(m, -tij(i, j), &b(0, i), bj);
+      if (!unit) scal(m, 1.0 / tij(j, j), bj);
+    }
+  }
+}
+
+void syrk_upper_at_a(double alpha, ConstMatrixView a, double beta,
+                     MatrixView c) {
+  const Index n = a.cols();
+  const Index m = a.rows();
+  QRGRID_CHECK(c.rows() == n && c.cols() == n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      c(i, j) = beta * c(i, j) + alpha * dot(m, &a(0, i), &a(0, j));
+    }
+  }
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,25 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace qrgrid {
+
+bool potrf_upper(MatrixView a) {
+  const Index n = a.rows();
+  QRGRID_CHECK(a.cols() == n);
+  for (Index j = 0; j < n; ++j) {
+    double d = a(j, j) - dot(j, &a(0, j), &a(0, j));
+    if (!(d > 0.0)) return false;
+    d = std::sqrt(d);
+    a(j, j) = d;
+    for (Index k = j + 1; k < n; ++k) {
+      const double s = a(j, k) - dot(j, &a(0, j), &a(0, k));
+      a(j, k) = s / d;
+    }
+  }
+  return true;
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,15 @@
+// Cholesky factorization, the substrate for the CholeskyQR baseline and the
+// communication-avoiding Cholesky extension (paper §VI).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+/// Factors the symmetric positive definite matrix stored in the upper
+/// triangle of `a` as A = R^T R, overwriting the upper triangle with R.
+/// Returns false (leaving `a` partially overwritten) if a non-positive
+/// pivot is met, i.e. A is not numerically positive definite.
+[[nodiscard]] bool potrf_upper(MatrixView a);
+
+}  // namespace qrgrid

@@ -1,0 +1,55 @@
+// Closed-form flop counts for the kernels, used both by the virtual-time
+// simulator (to advance clocks) and by the Table I/II verification tests.
+// Counts follow the standard LAPACK conventions (leading-order terms kept,
+// matching the paper's Section IV model).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid::flops {
+
+/// Householder QR of an m x n matrix (R only): 2 m n^2 - (2/3) n^3.
+constexpr double geqrf(double m, double n) {
+  return 2.0 * m * n * n - (2.0 / 3.0) * n * n * n;
+}
+
+/// TSQR combine of two stacked n x n triangles: (2/3) n^3.
+constexpr double tpqrt_tt(double n) { return (2.0 / 3.0) * n * n * n; }
+
+/// QR of [R (n x n); B (m x n dense)] (tpqrt_td): 2 m n^2.
+constexpr double tpqrt_td(double m, double n) { return 2.0 * m * n * n; }
+
+/// Applying the combine Q (or Q^T) of a tt node to a stacked pair of
+/// n x p blocks: 4 * (n^2 / 2) * p = 2 n^2 p.
+constexpr double tpmqrt_tt(double n, double p) { return 2.0 * n * n * p; }
+
+/// Applying a td node's Q to [n x p; m x p]: 4 m n p.
+constexpr double tpmqrt_td(double m, double n, double p) {
+  return 4.0 * m * n * p;
+}
+
+/// Forming/applying Q from an m x n factorization to n columns: same
+/// leading term as the factorization itself (paper Property 1: Q+R costs
+/// twice R alone).
+constexpr double orgqr(double m, double n) {
+  return 2.0 * m * n * n - (2.0 / 3.0) * n * n * n;
+}
+
+/// Applying Q^T (from m x k reflectors) to an m x p block: 4 m k p.
+constexpr double ormqr(double m, double k, double p) {
+  return 4.0 * m * k * p;
+}
+
+/// Matrix multiply C(m x n) += A(m x k) B(k x n).
+constexpr double gemm(double m, double n, double k) { return 2.0 * m * n * k; }
+
+/// Cholesky of n x n: n^3 / 3.
+constexpr double potrf(double n) { return n * n * n / 3.0; }
+
+/// Gram matrix A^T A for m x n (upper half): m n^2.
+constexpr double syrk(double m, double n) { return m * n * n; }
+
+/// Triangular solve with n x n triangle against m right-hand sides: m n^2.
+constexpr double trsm(double m, double n) { return m * n * n; }
+
+}  // namespace qrgrid::flops

@@ -1,0 +1,70 @@
+#include "linalg/generators.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid {
+
+Matrix random_gaussian(Index m, Index n, std::uint64_t seed) {
+  Matrix a(m, n);
+  fill_gaussian_rows(a.view(), 0, seed);
+  return a;
+}
+
+void fill_gaussian_rows(MatrixView block, Index row0, std::uint64_t seed) {
+  // Per-row counter-based generation: the RNG for global row i is seeded by
+  // (seed, i) so any partition of rows yields the same global matrix.
+  for (Index i = 0; i < block.rows(); ++i) {
+    const auto global_row = static_cast<std::uint64_t>(row0 + i);
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + global_row * 0xd1b54a32d192ed03ull +
+            0x2545f4914f6cdd1dull);
+    for (Index j = 0; j < block.cols(); ++j) block(i, j) = rng.gaussian();
+  }
+}
+
+Matrix random_with_condition(Index m, Index n, double cond,
+                             std::uint64_t seed) {
+  QRGRID_CHECK(m >= n && n >= 1 && cond >= 1.0);
+  // Orthonormal U (m x n) and V (n x n) from QR of Gaussian matrices.
+  Matrix gu = random_gaussian(m, n, seed);
+  std::vector<double> tau;
+  geqrf(gu.view(), tau);
+  Matrix u = orgqr(gu.view(), tau, n);
+
+  Matrix gv = random_gaussian(n, n, seed ^ 0xabcdef1234567890ull);
+  geqrf(gv.view(), tau);
+  Matrix v = orgqr(gv.view(), tau, n);
+
+  // Geometric singular-value spacing 1 ... 1/cond.
+  Matrix us = Matrix::copy_of(u.view());
+  for (Index j = 0; j < n; ++j) {
+    const double t = (n == 1) ? 0.0 : static_cast<double>(j) / (n - 1);
+    const double sigma = std::pow(cond, -t);
+    scal(m, sigma, &us(0, j));
+  }
+  Matrix a(m, n);
+  gemm(Trans::No, Trans::Yes, 1.0, us.view(), v.view(), 0.0, a.view());
+  return a;
+}
+
+Matrix near_parallel_columns(Index m, Index n, double epsilon,
+                             std::uint64_t seed) {
+  QRGRID_CHECK(m >= n && n >= 1);
+  Matrix a(m, n);
+  Rng rng(seed);
+  // Base direction shared by every column, plus an epsilon-scaled
+  // independent perturbation: cond(A) grows like 1/epsilon.
+  std::vector<double> base(static_cast<std::size_t>(m));
+  for (auto& v : base) v = rng.gaussian();
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      a(i, j) = base[static_cast<std::size_t>(i)] + epsilon * rng.gaussian();
+    }
+  }
+  return a;
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,34 @@
+// Reproducible test-matrix generators. Every generator is deterministic in
+// (shape, seed) so distributed algorithms can build identical global
+// matrices from independently generated row blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+/// i.i.d. standard Gaussian entries.
+Matrix random_gaussian(Index m, Index n, std::uint64_t seed);
+
+/// Fills a view with the rows [row0, row0+rows) of the same virtual
+/// Gaussian matrix random_gaussian(M, n, seed) would produce, so distributed
+/// ranks can generate disjoint row blocks of one global matrix without
+/// materializing it. Deterministic per (seed, global row index, column).
+void fill_gaussian_rows(MatrixView block, Index row0, std::uint64_t seed);
+
+/// Matrix with prescribed 2-norm condition number: A = U diag(s) V^T with
+/// U, V random orthonormal and singular values geometrically spaced from 1
+/// down to 1/cond. Requires m >= n >= 1.
+Matrix random_with_condition(Index m, Index n, double cond,
+                             std::uint64_t seed);
+
+/// The classic "almost rank-deficient" stability stress case: columns are
+/// near-parallel (a shifted Krylov-like family), driving Gram-Schmidt
+/// variants to lose orthogonality while Householder-based methods stay
+/// accurate. `epsilon` controls the near-degeneracy.
+Matrix near_parallel_columns(Index m, Index n, double epsilon,
+                             std::uint64_t seed);
+
+}  // namespace qrgrid

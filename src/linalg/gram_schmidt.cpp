@@ -1,0 +1,60 @@
+#include "linalg/gram_schmidt.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace qrgrid {
+
+GramSchmidtResult classical_gram_schmidt(ConstMatrixView a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  GramSchmidtResult out{Matrix(m, n), Matrix(n, n)};
+  Matrix& q = out.q;
+  Matrix& r = out.r;
+  copy(a, q.view());
+  for (Index j = 0; j < n; ++j) {
+    // All projection coefficients from the original column j at once.
+    for (Index i = 0; i < j; ++i) r(i, j) = dot(m, &q(0, i), &a(0, j));
+    for (Index i = 0; i < j; ++i) axpy(m, -r(i, j), &q(0, i), &q(0, j));
+    r(j, j) = nrm2(m, &q(0, j));
+    if (r(j, j) > 0.0) scal(m, 1.0 / r(j, j), &q(0, j));
+  }
+  return out;
+}
+
+GramSchmidtResult modified_gram_schmidt(ConstMatrixView a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  GramSchmidtResult out{Matrix(m, n), Matrix(n, n)};
+  Matrix& q = out.q;
+  Matrix& r = out.r;
+  copy(a, q.view());
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) {
+      // Project against the *current* (already deflated) column.
+      r(i, j) = dot(m, &q(0, i), &q(0, j));
+      axpy(m, -r(i, j), &q(0, i), &q(0, j));
+    }
+    r(j, j) = nrm2(m, &q(0, j));
+    if (r(j, j) > 0.0) scal(m, 1.0 / r(j, j), &q(0, j));
+  }
+  return out;
+}
+
+CholeskyQrResult cholesky_qr(ConstMatrixView a) {
+  const Index n = a.cols();
+  CholeskyQrResult out;
+  Matrix gram(n, n);
+  syrk_upper_at_a(1.0, a, 0.0, gram.view());
+  // Mirror to the lower triangle not needed: potrf_upper reads upper only.
+  out.ok = potrf_upper(gram.view());
+  if (!out.ok) return out;
+  zero_below_diagonal(gram.view());
+  out.r = std::move(gram);
+  out.q = Matrix::copy_of(a);
+  trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, out.r.view(),
+       out.q.view());
+  return out;
+}
+
+}  // namespace qrgrid

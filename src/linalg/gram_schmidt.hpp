@@ -1,0 +1,36 @@
+// Classical and modified Gram-Schmidt orthogonalization.
+//
+// These are the "unstable orthogonalization schemes" the paper's §II-E says
+// block eigensolvers fall back on to limit communication; they exist here
+// as stability baselines for TSQR (see tests/stability_test.cpp and
+// examples/block_eigensolver.cpp).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+struct GramSchmidtResult {
+  Matrix q;  ///< m x n with orthonormal columns (in exact arithmetic).
+  Matrix r;  ///< n x n upper triangular.
+};
+
+/// Classical Gram-Schmidt: projections against the *original* basis are
+/// computed from a single pass, losing orthogonality like cond(A)^2 * eps.
+GramSchmidtResult classical_gram_schmidt(ConstMatrixView a);
+
+/// Modified Gram-Schmidt: sequential reprojection, orthogonality loss
+/// proportional to cond(A) * eps.
+GramSchmidtResult modified_gram_schmidt(ConstMatrixView a);
+
+/// CholeskyQR: R from the Cholesky factor of A^T A, Q = A R^{-1}. One
+/// reduction like TSQR but squares the condition number; fails outright
+/// (returns ok=false) when the Gram matrix is not numerically SPD.
+struct CholeskyQrResult {
+  Matrix q;
+  Matrix r;
+  bool ok = true;
+};
+CholeskyQrResult cholesky_qr(ConstMatrixView a);
+
+}  // namespace qrgrid

@@ -1,0 +1,28 @@
+// Elementary Householder reflector generation and application, following
+// LAPACK dlarfg/dlarf semantics. A reflector H = I - tau * v v^T with
+// v(0) == 1 (stored implicitly) maps a vector onto a multiple of e_1.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+/// Result of reflector generation: `beta` is the value the annihilated
+/// vector's head takes (the R diagonal entry) and `tau` the scaling factor.
+struct Reflector {
+  double beta = 0.0;
+  double tau = 0.0;
+};
+
+/// Generates a Householder reflector for the (n+1)-vector [alpha; x]:
+/// on return x holds v(1..n) (v(0) = 1 implicit) and H * [alpha; x] =
+/// [beta; 0]. With tau == 0 the reflector is the identity (x already zero).
+/// The sign convention matches LAPACK: beta = -sign(alpha) * ||[alpha;x]||.
+Reflector larfg(double alpha, Index n, double* x);
+
+/// Applies H = I - tau * v v^T from the left to C (rows(C) == len(v)),
+/// where v has an implicit leading 1 followed by `v_tail` of length
+/// rows(C) - 1. `work` must hold cols(C) doubles.
+void larf_left(double tau, const double* v_tail, MatrixView c, double* work);
+
+}  // namespace qrgrid

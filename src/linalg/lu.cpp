@@ -1,0 +1,50 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "linalg/blas.hpp"
+
+namespace qrgrid {
+
+bool getrf(MatrixView a, std::vector<Index>& ipiv) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  const Index k = std::min(m, n);
+  ipiv.assign(static_cast<std::size_t>(k), 0);
+  for (Index j = 0; j < k; ++j) {
+    // Partial pivoting: largest magnitude in column j at/below the diagonal.
+    Index piv = j;
+    double best = std::fabs(a(j, j));
+    for (Index i = j + 1; i < m; ++i) {
+      const double v = std::fabs(a(i, j));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    ipiv[static_cast<std::size_t>(j)] = piv;
+    if (best == 0.0) return false;
+    if (piv != j) {
+      for (Index c = 0; c < n; ++c) std::swap(a(j, c), a(piv, c));
+    }
+    const double inv = 1.0 / a(j, j);
+    for (Index i = j + 1; i < m; ++i) a(i, j) *= inv;
+    // Trailing rank-1 update.
+    for (Index c = j + 1; c < n; ++c) {
+      const double ajc = a(j, c);
+      if (ajc == 0.0) continue;
+      axpy(m - j - 1, -ajc, &a(j + 1, j), &a(j + 1, c));
+    }
+  }
+  return true;
+}
+
+void apply_pivots(const std::vector<Index>& ipiv, std::vector<Index>& rows) {
+  for (std::size_t k = 0; k < ipiv.size(); ++k) {
+    const auto piv = static_cast<std::size_t>(ipiv[k]);
+    if (piv != k) std::swap(rows[k], rows[piv]);
+  }
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,22 @@
+// Unblocked LU with partial pivoting (LAPACK dgetf2 analog) — the kernel
+// behind the TSLU tournament-pivoting extension (paper §VI points at
+// TSLU/CALU as the direct transposition of the TSQR idea to LU).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+/// Factors A (m x n, m >= n) as P A = L U in place: L unit lower
+/// trapezoidal below the diagonal, U upper triangular on/above it.
+/// ipiv[k] = row swapped with row k at step k (LAPACK convention,
+/// 0-based). Returns false if an exact zero pivot is met.
+[[nodiscard]] bool getrf(MatrixView a, std::vector<Index>& ipiv);
+
+/// Applies the row swaps recorded by getrf to the index list `rows`
+/// (tracking which original rows ended up on top).
+void apply_pivots(const std::vector<Index>& ipiv, std::vector<Index>& rows);
+
+}  // namespace qrgrid

@@ -1,0 +1,40 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+
+namespace qrgrid {
+
+Matrix Matrix::copy_of(ConstMatrixView v) {
+  Matrix out(v.rows(), v.cols());
+  copy(v, out.view());
+  return out;
+}
+
+Matrix Matrix::identity(Index n) {
+  Matrix out(n, n);
+  for (Index i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  QRGRID_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (Index j = 0; j < src.cols(); ++j) {
+    const double* s = &src(0, j);
+    double* d = &dst(0, j);
+    std::copy(s, s + src.rows(), d);
+  }
+}
+
+void set_zero(MatrixView dst) {
+  for (Index j = 0; j < dst.cols(); ++j) {
+    double* d = &dst(0, j);
+    std::fill(d, d + dst.rows(), 0.0);
+  }
+}
+
+void zero_below_diagonal(MatrixView a) {
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index i = j + 1; i < a.rows(); ++i) a(i, j) = 0.0;
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,151 @@
+// Column-major dense matrix container and lightweight strided views.
+//
+// Storage convention follows LAPACK: element (i, j) of a view with leading
+// dimension `ld` lives at data[i + j*ld]. All qrgrid kernels operate on
+// views so that submatrices (panels, trailing blocks, triangles) can be
+// addressed without copies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace qrgrid {
+
+using Index = std::int64_t;
+
+/// Non-owning mutable view of a column-major matrix block.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, Index rows, Index cols, Index ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    QRGRID_CHECK(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index ld() const { return ld_; }
+  double* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(Index i, Index j) const {
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-block of `nr` x `nc` starting at (r0, c0).
+  MatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    QRGRID_CHECK_MSG(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_,
+                     "block(" << r0 << "," << c0 << "," << nr << "," << nc
+                              << ") of " << rows_ << "x" << cols_);
+    return MatrixView(data_ + r0 + c0 * ld_, nr, nc, ld_);
+  }
+
+  /// Column j as an (rows x 1) view.
+  MatrixView col(Index j) const { return block(0, j, rows_, 1); }
+
+ private:
+  double* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index ld_ = 0;
+};
+
+/// Non-owning read-only view; implicitly constructible from MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, Index rows, Index cols, Index ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    QRGRID_CHECK(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+  ConstMatrixView(const MatrixView& v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index ld() const { return ld_; }
+  const double* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const double& operator()(Index i, Index j) const {
+    return data_[i + j * ld_];
+  }
+
+  ConstMatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    QRGRID_CHECK_MSG(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_,
+                     "block(" << r0 << "," << c0 << "," << nr << "," << nc
+                              << ") of " << rows_ << "x" << cols_);
+    return ConstMatrixView(data_ + r0 + c0 * ld_, nr, nc, ld_);
+  }
+
+  ConstMatrixView col(Index j) const { return block(0, j, rows_, 1); }
+
+ private:
+  const double* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index ld_ = 0;
+};
+
+/// Owning column-major matrix (contiguous, ld == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {
+    QRGRID_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Deep copy of an arbitrary view into a fresh contiguous matrix.
+  static Matrix copy_of(ConstMatrixView v);
+
+  /// n x n identity.
+  static Matrix identity(Index n);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index ld() const { return rows_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(Index i, Index j) {
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const double& operator()(Index i, Index j) const {
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  MatrixView view() { return MatrixView(data(), rows_, cols_, rows_); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data(), rows_, cols_, rows_);
+  }
+  MatrixView block(Index r0, Index c0, Index nr, Index nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  ConstMatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copies src into dst element-wise; shapes must match.
+void copy(ConstMatrixView src, MatrixView dst);
+
+/// dst := 0 everywhere.
+void set_zero(MatrixView dst);
+
+/// Keeps the upper triangle (including diagonal) of `a`, zeroing below.
+void zero_below_diagonal(MatrixView a);
+
+}  // namespace qrgrid

@@ -1,0 +1,91 @@
+#include "linalg/norms.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace qrgrid {
+
+double frobenius_norm(ConstMatrixView a) {
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      const double v = std::fabs(a(i, j));
+      if (v == 0.0) continue;
+      if (scale < v) {
+        const double r = scale / v;
+        ssq = 1.0 + ssq * r * r;
+        scale = v;
+      } else {
+        const double r = v / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double max_abs(ConstMatrixView a) {
+  double best = 0.0;
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index i = 0; i < a.rows(); ++i)
+      best = std::max(best, std::fabs(a(i, j)));
+  return best;
+}
+
+double orthogonality_error(ConstMatrixView q) {
+  const Index n = q.cols();
+  Matrix g(n, n);
+  syrk_upper_at_a(1.0, q, 0.0, g.view());
+  double acc = 0.0;
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      const double target = (i == j) ? 1.0 : 0.0;
+      const double d = g(i, j) - target;
+      // Off-diagonal entries appear twice in the full Gram matrix.
+      acc += (i == j ? 1.0 : 2.0) * d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double factorization_residual(ConstMatrixView a, ConstMatrixView q,
+                              ConstMatrixView r) {
+  Matrix qr = Matrix::copy_of(a);
+  gemm(Trans::No, Trans::No, -1.0, q, r, 1.0, qr.view());
+  const double denom = frobenius_norm(a);
+  return denom == 0.0 ? frobenius_norm(qr.view())
+                      : frobenius_norm(qr.view()) / denom;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  QRGRID_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0.0;
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index i = 0; i < a.rows(); ++i)
+      best = std::max(best, std::fabs(a(i, j) - b(i, j)));
+  return best;
+}
+
+void normalize_r_sign(MatrixView r, MatrixView* q) {
+  const Index k = std::min(r.rows(), r.cols());
+  for (Index i = 0; i < k; ++i) {
+    if (r(i, i) < 0.0) {
+      for (Index j = i; j < r.cols(); ++j) r(i, j) = -r(i, j);
+      if (q != nullptr) {
+        for (Index row = 0; row < q->rows(); ++row)
+          (*q)(row, i) = -(*q)(row, i);
+      }
+    }
+  }
+}
+
+bool is_upper_triangular(ConstMatrixView a) {
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index i = j + 1; i < a.rows(); ++i)
+      if (a(i, j) != 0.0) return false;
+  return true;
+}
+
+}  // namespace qrgrid

@@ -1,0 +1,33 @@
+// Norms and factorization-quality metrics used throughout the test and
+// benchmark suites.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+/// Frobenius norm with overflow-safe accumulation.
+double frobenius_norm(ConstMatrixView a);
+
+/// max_{i,j} |a(i,j)|.
+double max_abs(ConstMatrixView a);
+
+/// ||Q^T Q - I||_F — orthogonality loss of a column-orthonormal factor.
+double orthogonality_error(ConstMatrixView q);
+
+/// ||A - Q R||_F / ||A||_F — relative factorization residual.
+double factorization_residual(ConstMatrixView a, ConstMatrixView q,
+                              ConstMatrixView r);
+
+/// Max elementwise |a - b| (same shapes).
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// Rescales R (and the matching columns of Q if non-null) so every diagonal
+/// entry of R is non-negative. The QR factorization is unique under this
+/// convention, which lets tests compare R factors across algorithms.
+void normalize_r_sign(MatrixView r, MatrixView* q = nullptr);
+
+/// True iff all entries strictly below the diagonal are exactly zero.
+bool is_upper_triangular(ConstMatrixView a);
+
+}  // namespace qrgrid

@@ -1,0 +1,47 @@
+// Structured QR of two stacked R-factors — the TSQR combine kernel.
+//
+// Given two n x n upper triangular matrices R1 and R2, computes the QR
+// factorization of the 2n x n stacked matrix [R1; R2]:
+//
+//     [R1]   =  Q  [R]
+//     [R2]         [0]
+//
+// exploiting the triangular structure of both blocks (LAPACK dtpqrt2 with a
+// fully triangular pentagonal block). Reflector j touches only row j of the
+// top block and rows 0..j of the bottom block, so V2 (the stored reflector
+// tails) is n x n upper triangular and the cost is (2/3) n^3 flops — the
+// extra-flop term of the TSQR performance model (Table I of the paper).
+#pragma once
+
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qrgrid {
+
+/// Factored combine node: R1 is overwritten with the merged R factor and
+/// r2 with the reflector tails V2 (upper triangular, column j has j+1
+/// entries). `tau` receives the n reflector scalars.
+void tpqrt_tt(MatrixView r1, MatrixView r2, std::vector<double>& tau);
+
+/// Applies the orthogonal factor of a tpqrt_tt combine (or its transpose)
+/// to a stacked pair [C1; C2] (each n x p) from the left:
+///   trans == Trans::Yes : [C1; C2] := Q^T [C1; C2]
+///   trans == Trans::No  : [C1; C2] := Q   [C1; C2]
+/// where v2/tau are the outputs of tpqrt_tt.
+void tpmqrt_tt(Trans trans, ConstMatrixView v2, const std::vector<double>& tau,
+               MatrixView c1, MatrixView c2);
+
+/// Variant for a dense (non-triangular) bottom block: QR of [R1; B] where
+/// R1 is n x n upper triangular and B is m x n dense (LAPACK dtpqrt with
+/// L = 0). Used by the flat-tree/out-of-core TSQR variant. B is overwritten
+/// with the dense reflector block V2 (m x n).
+void tpqrt_td(MatrixView r1, MatrixView b, std::vector<double>& tau);
+
+/// Applies the orthogonal factor of a tpqrt_td node to [C1; C2] with C1
+/// n x p and C2 m x p.
+void tpmqrt_td(Trans trans, ConstMatrixView v2, const std::vector<double>& tau,
+               MatrixView c1, MatrixView c2);
+
+}  // namespace qrgrid

@@ -1,0 +1,50 @@
+#include "model/costs.hpp"
+
+#include <cmath>
+
+namespace qrgrid::model {
+
+namespace {
+double log2p(double p) { return p <= 1.0 ? 0.0 : std::log2(p); }
+}  // namespace
+
+CostBreakdown scalapack_qr2_costs(double m, double n, double p, Outputs out) {
+  const double lg = log2p(p);
+  CostBreakdown c;
+  c.messages = 2.0 * n * lg;
+  c.volume_doubles = lg * n * n / 2.0;
+  c.flops = (2.0 * m * n * n - (2.0 / 3.0) * n * n * n) / p;
+  if (out == Outputs::kQAndR) {
+    c.messages *= 2.0;
+    c.volume_doubles *= 2.0;
+    c.flops *= 2.0;
+  }
+  return c;
+}
+
+CostBreakdown tsqr_costs(double m, double n, double p, Outputs out) {
+  const double lg = log2p(p);
+  CostBreakdown c;
+  c.messages = lg;
+  c.volume_doubles = lg * n * n / 2.0;
+  c.flops = (2.0 * m * n * n - (2.0 / 3.0) * n * n * n) / p +
+            (2.0 / 3.0) * lg * n * n * n;
+  if (out == Outputs::kQAndR) {
+    c.messages *= 2.0;
+    c.volume_doubles *= 2.0;
+    c.flops *= 2.0;
+  }
+  return c;
+}
+
+double predict_time_s(const CostBreakdown& c, const MachineParams& mp) {
+  return mp.latency_s * c.messages +
+         mp.inv_bandwidth_s_per_double * c.volume_doubles +
+         c.flops / (mp.domain_gflops * 1e9);
+}
+
+double useful_flops(double m, double n) {
+  return 2.0 * m * n * n - (2.0 / 3.0) * n * n * n;
+}
+
+}  // namespace qrgrid::model

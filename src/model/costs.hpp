@@ -1,0 +1,50 @@
+// Closed-form communication/computation costs from Section IV of the
+// paper (Tables I and II), and the time estimate of Equation (1):
+//
+//   time = beta * (#msg) + alpha * (vol. data exchanged) + gamma * (#FLOPs)
+//
+// where alpha is the inverse bandwidth, beta the latency, and gamma the
+// inverse flop rate of one domain. Counts are *critical-path* quantities:
+// an allreduce over P domains contributes log2(P) messages.
+#pragma once
+
+namespace qrgrid::model {
+
+/// Critical-path communication/computation breakdown of one factorization.
+struct CostBreakdown {
+  double messages = 0.0;      ///< latency-bound message count
+  double volume_doubles = 0.0;///< data exchanged along the critical path
+  double flops = 0.0;         ///< flops on the critical path, per domain
+};
+
+/// Which factors the caller requests (Table I vs Table II).
+enum class Outputs { kROnly, kQAndR };
+
+/// ScaLAPACK QR2 (one allreduce per column for the normalization plus one
+/// per column for the update):
+///   #msg = 2 N log2(P)        (4 N log2(P) with Q)
+///   vol  = log2(P) N^2 / 2    (2x with Q)
+///   flop = (2 M N^2 - 2/3 N^3) / P            (2x with Q)
+CostBreakdown scalapack_qr2_costs(double m, double n, double p, Outputs out);
+
+/// TSQR (single allreduce over R factors):
+///   #msg = log2(P)            (2 log2(P) with Q)
+///   vol  = log2(P) N^2 / 2    (2x with Q)
+///   flop = (2 M N^2 - 2/3 N^3)/P + 2/3 log2(P) N^3    (2x with Q)
+CostBreakdown tsqr_costs(double m, double n, double p, Outputs out);
+
+/// Network/compute constants for Equation (1).
+struct MachineParams {
+  double latency_s = 0.0;          ///< beta
+  double inv_bandwidth_s_per_double = 0.0;  ///< alpha (per double)
+  double domain_gflops = 1.0;      ///< 1/gamma, in Gflop/s
+};
+
+/// Equation (1): predicted factorization time in seconds.
+double predict_time_s(const CostBreakdown& c, const MachineParams& mp);
+
+/// The "useful" flop count the paper divides by to report Gflop/s
+/// (Householder QR of an M x N matrix, R-factor only).
+double useful_flops(double m, double n);
+
+}  // namespace qrgrid::model

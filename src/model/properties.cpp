@@ -1,0 +1,43 @@
+#include "model/properties.hpp"
+
+namespace qrgrid::model {
+
+double property1_qr_over_r_ratio(double m, double n, double p,
+                                 const MachineParams& mp) {
+  const double t_r =
+      predict_time_s(tsqr_costs(m, n, p, Outputs::kROnly), mp);
+  const double t_qr =
+      predict_time_s(tsqr_costs(m, n, p, Outputs::kQAndR), mp);
+  return t_qr / t_r;
+}
+
+double predicted_tsqr_gflops(double m, double n, double p,
+                             const MachineParams& mp) {
+  const double t = predict_time_s(tsqr_costs(m, n, p, Outputs::kROnly), mp);
+  return useful_flops(m, n) / t / 1e9;
+}
+
+double predicted_qr2_gflops(double m, double n, double p,
+                            const MachineParams& mp) {
+  const double t =
+      predict_time_s(scalapack_qr2_costs(m, n, p, Outputs::kROnly), mp);
+  return useful_flops(m, n) / t / 1e9;
+}
+
+double property5_crossover_n(double m, double p, const MachineParams& mp,
+                             double n_lo, double n_hi) {
+  auto tsqr_minus_qr2 = [&](double n) {
+    return predict_time_s(tsqr_costs(m, n, p, Outputs::kROnly), mp) -
+           predict_time_s(scalapack_qr2_costs(m, n, p, Outputs::kROnly), mp);
+  };
+  // TSQR should be faster (negative diff) at small N and slower at huge N.
+  if (tsqr_minus_qr2(n_lo) >= 0.0 || tsqr_minus_qr2(n_hi) <= 0.0) return -1.0;
+  double lo = n_lo, hi = n_hi;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-6 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (tsqr_minus_qr2(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace qrgrid::model

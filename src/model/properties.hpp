@@ -1,0 +1,31 @@
+// The five qualitative performance properties of Section IV, phrased as
+// checkable predicates over the closed-form model. The test suite asserts
+// them across wide parameter sweeps; bench_properties prints the evidence.
+#pragma once
+
+#include "model/costs.hpp"
+
+namespace qrgrid::model {
+
+/// Property 1: computing both Q and R costs about twice R alone.
+/// Returns the Q+R / R-only predicted-time ratio.
+double property1_qr_over_r_ratio(double m, double n, double p,
+                                 const MachineParams& mp);
+
+/// Property 3: performance (useful Gflop/s) increases with M.
+/// Returns predicted Gflop/s for TSQR at the given shape.
+double predicted_tsqr_gflops(double m, double n, double p,
+                             const MachineParams& mp);
+
+/// Property 4 companion: predicted Gflop/s for ScaLAPACK QR2.
+double predicted_qr2_gflops(double m, double n, double p,
+                            const MachineParams& mp);
+
+/// Property 5: TSQR beats QR2 for mid-range N; for large enough N (with
+/// everything else fixed) the extra 2/3 log2(P) N^3 flops flip the sign.
+/// Returns the N at which the predicted times cross (or a negative value
+/// if they do not cross within [n_lo, n_hi]).
+double property5_crossover_n(double m, double p, const MachineParams& mp,
+                             double n_lo = 1.0, double n_hi = 1.0e6);
+
+}  // namespace qrgrid::model

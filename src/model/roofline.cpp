@@ -1,0 +1,14 @@
+#include "model/roofline.hpp"
+
+namespace qrgrid::model {
+
+double Roofline::rate_gflops(int ncols) const {
+  if (ncols <= 0) return dgemm_gflops;
+  const double n = static_cast<double>(ncols);
+  const double eff = f_min + (f_max - f_min) * (n / (n + n_half));
+  return dgemm_gflops * eff;
+}
+
+Roofline paper_calibration() { return Roofline{}; }
+
+}  // namespace qrgrid::model

@@ -1,0 +1,172 @@
+// Collective operations built on the point-to-point layer. Algorithm
+// choices mirror the cost model of the paper's Section IV:
+//  - bcast / reduce: binomial trees (log2(P) rounds),
+//  - allreduce: recursive doubling butterfly (log2(P) rounds — the paper
+//    charges an allreduce exactly log2(P) messages on the critical path),
+//  - barrier: dissemination (ceil(log2(P)) rounds).
+#include <cmath>
+
+#include "common/check.hpp"
+#include "msg/comm.hpp"
+
+namespace qrgrid::msg {
+
+namespace {
+
+// Tags reserved for collective plumbing; user point-to-point traffic on the
+// same communicator must stay below this range.
+constexpr int kTagBcast = (1 << 28) + 1;
+constexpr int kTagReduce = (1 << 28) + 2;
+constexpr int kTagAllreduceFold = (1 << 28) + 3;
+constexpr int kTagAllreduceUnfold = (1 << 28) + 4;
+constexpr int kTagGather = (1 << 28) + 5;
+// Per-step tag families (step/mask added to the base): keep them in
+// disjoint high ranges so a slow rank still inside one collective can never
+// match a fast peer's message from the next collective call.
+constexpr int kTagBarrier = 1 << 29;
+constexpr int kTagAllreduceFly = (1 << 29) + (1 << 27);
+
+int floor_pow2(int p) {
+  int v = 1;
+  while (v * 2 <= p) v *= 2;
+  return v;
+}
+
+}  // namespace
+
+void Comm::barrier() {
+  const int p = size();
+  for (int step = 1; step < p; step *= 2) {
+    const int to = (rank_ + step) % p;
+    const int from = (rank_ - step % p + p) % p;
+    send(to, kTagBarrier + step, {});
+    (void)recv(from, kTagBarrier + step);
+  }
+}
+
+void Comm::bcast(std::vector<double>& data, int root) {
+  const int p = size();
+  QRGRID_CHECK(root >= 0 && root < p);
+  if (p == 1) return;
+  const int vr = (rank_ - root % p + p) % p;
+  // Receive phase: find the bit at which we hang off the binomial tree.
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      const int src = (vr ^ mask) + root;
+      data = recv(src % p, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: forward to our subtree.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vr | mask) < p && !(vr & mask)) {
+      const int dst = (vr | mask) + root;
+      send(dst % p, kTagBcast, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce(std::vector<double>& data, int root, const ReduceOp& op) {
+  const int p = size();
+  QRGRID_CHECK(root >= 0 && root < p);
+  const int vr = (rank_ - root % p + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      const int dst = (vr ^ mask) + root;
+      send(dst % p, kTagReduce, data);
+      return;  // contributed; done
+    }
+    if ((vr | mask) < p) {
+      const int src = (vr | mask) + root;
+      std::vector<double> incoming = recv(src % p, kTagReduce);
+      QRGRID_CHECK(incoming.size() == data.size());
+      op(std::span<double>(data), std::span<const double>(incoming));
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduce(std::vector<double>& data, const ReduceOp& op) {
+  const int p = size();
+  if (p == 1) return;
+  const int p2 = floor_pow2(p);
+  const int rem = p - p2;
+
+  // Fold the extra ranks into the power-of-two core: ranks [0, 2*rem) pair
+  // up (even sends to odd); ranks >= 2*rem participate directly.
+  int vrank;  // rank within the butterfly, or -1 if folded out
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      send(rank_ + 1, kTagAllreduceFold, data);
+      vrank = -1;
+    } else {
+      std::vector<double> incoming = recv(rank_ - 1, kTagAllreduceFold);
+      QRGRID_CHECK(incoming.size() == data.size());
+      op(std::span<double>(data), std::span<const double>(incoming));
+      vrank = rank_ / 2;
+    }
+  } else {
+    vrank = rank_ - rem;
+  }
+
+  auto to_rank = [&](int vr) { return vr < rem ? 2 * vr + 1 : vr + rem; };
+
+  if (vrank >= 0) {
+    // Recursive doubling: log2(p2) rounds of pairwise exchange+combine.
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      const int partner = to_rank(vrank ^ mask);
+      send(partner, kTagAllreduceFly + mask, data);
+      std::vector<double> incoming = recv(partner, kTagAllreduceFly + mask);
+      QRGRID_CHECK(incoming.size() == data.size());
+      op(std::span<double>(data), std::span<const double>(incoming));
+    }
+  }
+
+  // Unfold: odd partners return the final value to the folded-out evens.
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 1) {
+      send(rank_ - 1, kTagAllreduceUnfold, data);
+    } else {
+      data = recv(rank_ + 1, kTagAllreduceUnfold);
+    }
+  }
+}
+
+void Comm::allreduce_sum(std::vector<double>& data) {
+  allreduce(data, [](std::span<double> acc, std::span<const double> in) {
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+  });
+}
+
+std::vector<double> Comm::gather(std::span<const double> data, int root) {
+  const int p = size();
+  if (rank_ != root) {
+    send(root, kTagGather, data);
+    return {};
+  }
+  std::vector<double> out;
+  for (int r = 0; r < p; ++r) {
+    if (r == root) {
+      out.insert(out.end(), data.begin(), data.end());
+    } else {
+      std::vector<double> part = recv(r, kTagGather);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+std::vector<double> Comm::allgather(std::span<const double> data) {
+  // Gather to rank 0, then broadcast. Requires equal contribution sizes to
+  // reconstruct boundaries; qrgrid callers only allgather fixed-size items.
+  std::vector<double> all = gather(data, 0);
+  bcast(all, 0);
+  return all;
+}
+
+}  // namespace qrgrid::msg

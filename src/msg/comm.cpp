@@ -1,0 +1,260 @@
+#include "msg/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace qrgrid::msg {
+
+namespace detail {
+
+namespace {
+
+struct MailKey {
+  int src;
+  std::uint64_t context;
+  int tag;
+  bool operator<(const MailKey& o) const {
+    return std::tie(src, context, tag) < std::tie(o.src, o.context, o.tag);
+  }
+};
+
+struct Mail {
+  std::vector<double> payload;
+  double arrival_vtime = 0.0;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<MailKey, std::deque<Mail>> queues;
+};
+
+/// Per-rank accounting, cache-line padded: each rank thread writes only its
+/// own slot, so no synchronization is needed until aggregation.
+struct alignas(64) PerRank {
+  double clock = 0.0;
+  long long sends = 0;
+  long long recvs = 0;
+  long long bytes_sent = 0;
+  long long messages_by_class[kNumLinkClasses] = {0, 0, 0, 0};
+  long long bytes_by_class[kNumLinkClasses] = {0, 0, 0, 0};
+  double flops = 0.0;
+};
+
+}  // namespace
+
+struct RuntimeState {
+  int nprocs = 0;
+  std::shared_ptr<const CostModel> cost;
+  std::vector<Mailbox> mailboxes;
+  std::vector<PerRank> per_rank;
+  std::atomic<std::uint64_t> next_context{1};
+  std::atomic<bool> aborted{false};
+
+  explicit RuntimeState(int p, std::shared_ptr<const CostModel> c)
+      : nprocs(p), cost(std::move(c)), mailboxes(p), per_rank(p) {
+    if (!cost) cost = std::make_shared<ZeroCostModel>();
+  }
+
+  void reset() {
+    for (auto& mb : mailboxes) {
+      std::lock_guard<std::mutex> lk(mb.mu);
+      mb.queues.clear();
+    }
+    for (auto& pr : per_rank) pr = PerRank{};
+    aborted.store(false, std::memory_order_relaxed);
+  }
+
+  void abort_all() {
+    aborted.store(true, std::memory_order_seq_cst);
+    for (auto& mb : mailboxes) {
+      std::lock_guard<std::mutex> lk(mb.mu);
+      mb.cv.notify_all();
+    }
+  }
+
+  void put(int src_global, int dst_global, std::uint64_t context, int tag,
+           std::vector<double> payload, double depart_vtime) {
+    const std::size_t bytes = payload.size() * sizeof(double);
+    const double arrival =
+        depart_vtime + cost->transfer_seconds(src_global, dst_global, bytes);
+    PerRank& pr = per_rank[static_cast<std::size_t>(src_global)];
+    if (src_global != dst_global) {
+      pr.sends += 1;
+      pr.bytes_sent += static_cast<long long>(bytes);
+      const auto cls =
+          static_cast<std::size_t>(cost->link_class(src_global, dst_global));
+      pr.messages_by_class[cls] += 1;
+      pr.bytes_by_class[cls] += static_cast<long long>(bytes);
+    }
+    Mailbox& mb = mailboxes[static_cast<std::size_t>(dst_global)];
+    {
+      std::lock_guard<std::mutex> lk(mb.mu);
+      mb.queues[MailKey{src_global, context, tag}].push_back(
+          Mail{std::move(payload), arrival});
+    }
+    mb.cv.notify_all();
+  }
+
+  Mail take(int dst_global, int src_global, std::uint64_t context, int tag) {
+    Mailbox& mb = mailboxes[static_cast<std::size_t>(dst_global)];
+    std::unique_lock<std::mutex> lk(mb.mu);
+    const MailKey key{src_global, context, tag};
+    mb.cv.wait(lk, [&] {
+      if (aborted.load(std::memory_order_relaxed)) return true;
+      auto it = mb.queues.find(key);
+      return it != mb.queues.end() && !it->second.empty();
+    });
+    if (aborted.load(std::memory_order_relaxed)) {
+      throw Error("msg::Runtime aborted: a peer rank threw an exception");
+    }
+    auto it = mb.queues.find(key);
+    Mail m = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) mb.queues.erase(it);
+    return m;
+  }
+};
+
+}  // namespace detail
+
+void Comm::send(int dst, int tag, std::span<const double> payload) {
+  QRGRID_CHECK_MSG(dst >= 0 && dst < size(), "send dst=" << dst);
+  const int src_g = global_rank();
+  const int dst_g = to_global(dst);
+  state_->put(src_g, dst_g, context_, tag,
+              std::vector<double>(payload.begin(), payload.end()),
+              state_->per_rank[static_cast<std::size_t>(src_g)].clock);
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  QRGRID_CHECK_MSG(src >= 0 && src < size(), "recv src=" << src);
+  const int me_g = global_rank();
+  const int src_g = to_global(src);
+  auto mail = state_->take(me_g, src_g, context_, tag);
+  auto& pr = state_->per_rank[static_cast<std::size_t>(me_g)];
+  pr.recvs += 1;
+  pr.clock = std::max(pr.clock, mail.arrival_vtime) +
+             state_->cost->serialization_seconds(
+                 src_g, me_g, mail.payload.size() * sizeof(double));
+  return std::move(mail.payload);
+}
+
+void Comm::compute(double flops, int ncols) {
+  auto& pr = state_->per_rank[static_cast<std::size_t>(global_rank())];
+  pr.clock += state_->cost->flop_seconds(global_rank(), flops, ncols);
+  pr.flops += flops;
+}
+
+double Comm::vtime() const {
+  return state_->per_rank[static_cast<std::size_t>(global_rank())].clock;
+}
+
+void Comm::advance_vtime(double seconds) {
+  state_->per_rank[static_cast<std::size_t>(global_rank())].clock += seconds;
+}
+
+Comm Comm::split(int color, int key) {
+  QRGRID_CHECK(color >= 0);
+  // Exchange (color, key) pairs; every rank derives the same grouping.
+  std::vector<double> mine = {static_cast<double>(color),
+                              static_cast<double>(key)};
+  std::vector<double> all = allgather(mine);
+
+  // Distinct colors in ascending order determine child-context offsets.
+  std::vector<int> colors;
+  for (int r = 0; r < size(); ++r)
+    colors.push_back(static_cast<int>(all[static_cast<std::size_t>(2 * r)]));
+  std::vector<int> distinct = colors;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  // Rank 0 of the parent allocates a contiguous context block and shares
+  // it, so sibling groups get unique, agreed-upon contexts.
+  std::vector<double> base(1);
+  if (rank_ == 0) {
+    base[0] = static_cast<double>(
+        state_->next_context.fetch_add(distinct.size()));
+  }
+  bcast(base, 0);
+  const auto ctx_base = static_cast<std::uint64_t>(base[0]);
+
+  // Build my group ordered by (key, parent rank).
+  std::vector<std::pair<int, int>> members;  // (key, parent rank)
+  for (int r = 0; r < size(); ++r) {
+    if (colors[static_cast<std::size_t>(r)] == color) {
+      members.emplace_back(
+          static_cast<int>(all[static_cast<std::size_t>(2 * r + 1)]), r);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<int> group;
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].second == rank_) my_new_rank = static_cast<int>(i);
+    group.push_back(to_global(members[i].second));
+  }
+  QRGRID_CHECK(my_new_rank >= 0);
+  const auto color_idx = static_cast<std::uint64_t>(
+      std::lower_bound(distinct.begin(), distinct.end(), color) -
+      distinct.begin());
+  return Comm(state_, ctx_base + color_idx, my_new_rank, std::move(group));
+}
+
+Runtime::Runtime(int nprocs, std::shared_ptr<const CostModel> cost)
+    : nprocs_(nprocs),
+      state_(std::make_unique<detail::RuntimeState>(nprocs, std::move(cost))) {
+  QRGRID_CHECK(nprocs >= 1);
+}
+
+Runtime::~Runtime() = default;
+
+RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
+  state_->reset();
+  std::vector<int> world(static_cast<std::size_t>(nprocs_));
+  for (int r = 0; r < nprocs_; ++r) world[static_cast<std::size_t>(r)] = r;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto body = [&](int rank) {
+    try {
+      Comm comm(state_.get(), /*context=*/0, rank, world);
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      state_->abort_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs_ - 1));
+  for (int r = 1; r < nprocs_; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunStats stats;
+  for (const auto& pr : state_->per_rank) {
+    stats.messages += pr.sends;
+    stats.bytes += pr.bytes_sent;
+    for (int c = 0; c < kNumLinkClasses; ++c) {
+      stats.messages_by_class[c] += pr.messages_by_class[c];
+      stats.bytes_by_class[c] += pr.bytes_by_class[c];
+    }
+    stats.total_flops += pr.flops;
+    stats.max_rank_flops = std::max(stats.max_rank_flops, pr.flops);
+    stats.max_vtime = std::max(stats.max_vtime, pr.clock);
+  }
+  return stats;
+}
+
+}  // namespace qrgrid::msg

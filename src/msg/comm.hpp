@@ -1,0 +1,140 @@
+// SPMD message-passing runtime: the MPI substitute of the reproduction.
+//
+// Runtime::run(P, fn) spawns P rank threads that communicate through typed
+// mailboxes with MPI-like semantics: point-to-point messages are matched by
+// (source, communicator context, tag) in FIFO order, communicators can be
+// split collectively (MPI_Comm_split), and every transfer advances the
+// receiver's virtual clock according to a pluggable CostModel — so a run on
+// a laptop yields both *real* numerical results and *simulated* grid
+// timings, plus exact message/byte/flop counters for the paper's Table I/II
+// validation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "msg/cost_model.hpp"
+
+namespace qrgrid::msg {
+
+/// Counters aggregated across one Runtime::run invocation. "Messages" are
+/// point-to-point transfers between *distinct* ranks (self-sends used by
+/// collective implementations are not counted, matching the paper's model).
+struct RunStats {
+  long long messages = 0;
+  long long bytes = 0;
+  long long messages_by_class[kNumLinkClasses] = {0, 0, 0, 0};
+  long long bytes_by_class[kNumLinkClasses] = {0, 0, 0, 0};
+  double total_flops = 0.0;
+  double max_rank_flops = 0.0;  ///< max over ranks: critical-path proxy
+  double max_vtime = 0.0;       ///< simulated makespan (max final clock)
+};
+
+namespace detail {
+struct RuntimeState;
+}
+
+/// Rank-local handle to a communicator (a subgroup of the runtime's ranks
+/// with a private tag space). Cheap to copy; not thread-safe across ranks
+/// (each rank uses only its own handles, as in MPI).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+
+  /// Blocking typed send of a double payload to `dst` (rank in this comm).
+  void send(int dst, int tag, std::span<const double> payload);
+
+  /// Blocking receive from `src` matching `tag`; returns the payload.
+  std::vector<double> recv(int src, int tag);
+
+  /// Advances this rank's virtual clock by the cost of `flops` floating
+  /// point operations on n-column blocks, and accrues flop counters.
+  void compute(double flops, int ncols = 0);
+
+  /// Current virtual time of this rank.
+  double vtime() const;
+
+  /// Explicitly advances this rank's virtual clock (e.g. modeled I/O).
+  void advance_vtime(double seconds);
+
+  /// Collectively splits this communicator: ranks supplying the same
+  /// `color` end up in the same child comm, ordered by (key, parent rank).
+  /// Every rank of the parent must call split (MPI_Comm_split semantics).
+  Comm split(int color, int key);
+
+  /// Global rank in the underlying runtime (for topology queries).
+  int global_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+
+  /// Translates a rank of this comm to the runtime's global rank.
+  int to_global(int r) const { return group_[static_cast<std::size_t>(r)]; }
+
+  // ---- Collectives (implemented in collectives.cpp) ----
+
+  /// Synchronizes all ranks (dissemination barrier).
+  void barrier();
+
+  /// Broadcasts `data` from `root` to every rank (binomial tree).
+  void bcast(std::vector<double>& data, int root);
+
+  /// Element-wise reduction to `root`; `op` combines (accumulator, input).
+  using ReduceOp = std::function<void(std::span<double>, std::span<const double>)>;
+  void reduce(std::vector<double>& data, int root, const ReduceOp& op);
+
+  /// Reduction whose result every rank receives (reduce + bcast over a
+  /// binomial tree: 2·log2(P) message steps, the paper's allreduce model).
+  void allreduce(std::vector<double>& data, const ReduceOp& op);
+
+  /// Element-wise sum allreduce (the common case).
+  void allreduce_sum(std::vector<double>& data);
+
+  /// Gathers each rank's vector to `root` (concatenated in rank order).
+  std::vector<double> gather(std::span<const double> data, int root);
+
+  /// Gathers and delivers the concatenation to every rank.
+  std::vector<double> allgather(std::span<const double> data);
+
+ private:
+  friend class Runtime;
+  Comm(detail::RuntimeState* state, std::uint64_t context, int rank,
+       std::vector<int> group)
+      : state_(state), context_(context), rank_(rank),
+        group_(std::move(group)) {}
+
+  detail::RuntimeState* state_ = nullptr;
+  std::uint64_t context_ = 0;   ///< private tag space of this communicator
+  int rank_ = 0;                ///< rank within this communicator
+  std::vector<int> group_;      ///< comm rank -> global rank
+};
+
+/// Owns the rank threads, mailboxes, virtual clocks, and counters.
+class Runtime {
+ public:
+  /// `cost` may be null, meaning ZeroCostModel.
+  explicit Runtime(int nprocs, std::shared_ptr<const CostModel> cost = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int size() const { return nprocs_; }
+
+  /// Runs `fn(comm)` on every rank (spawning size()-1 threads plus the
+  /// caller) over COMM_WORLD, and returns the aggregated statistics.
+  /// Exceptions thrown by any rank are rethrown on the caller after all
+  /// threads join.
+  RunStats run(const std::function<void(Comm&)>& fn);
+
+ private:
+  int nprocs_;
+  std::unique_ptr<detail::RuntimeState> state_;
+};
+
+}  // namespace qrgrid::msg

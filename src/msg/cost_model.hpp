@@ -1,0 +1,61 @@
+// Cost-model interface decoupling the message-passing runtime from the
+// grid topology. The runtime advances each rank's *virtual clock* by the
+// costs this interface reports; simgrid::TopologyCostModel implements it
+// with the Grid'5000 link parameters, while ZeroCostModel turns the
+// accounting off for plain correctness tests.
+#pragma once
+
+#include <cstddef>
+
+namespace qrgrid::msg {
+
+/// Classification of the link a message crosses, for the paper's
+/// locality analysis (Fig. 1 vs Fig. 2 count inter-cluster messages).
+enum class LinkClass : int {
+  kSelf = 0,          ///< same process (loopback)
+  kIntraNode = 1,     ///< shared-memory transfer between co-located ranks
+  kIntraCluster = 2,  ///< within one cluster/site (e.g. GigE)
+  kInterCluster = 3,  ///< between geographical sites (wide-area)
+};
+inline constexpr int kNumLinkClasses = 4;
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Virtual seconds for the *wire* part of a transfer from `src` to
+  /// `dst` — the portion concurrent transfers can overlap (link latency;
+  /// may include a byte term for models that lump everything here).
+  virtual double transfer_seconds(int src, int dst,
+                                  std::size_t bytes) const = 0;
+
+  /// Virtual seconds the *receiver* is occupied absorbing the message
+  /// (bytes / bandwidth in the LogGP sense). Serializes concurrent
+  /// arrivals at one rank: a flat reduction tree pays this D-1 times at
+  /// its root while a binary tree spreads it. Default: 0 (models that
+  /// fold everything into transfer_seconds).
+  virtual double serialization_seconds(int /*src*/, int /*dst*/,
+                                       std::size_t /*bytes*/) const {
+    return 0.0;
+  }
+
+  /// Virtual seconds for `rank` to execute `flops` floating-point
+  /// operations in a kernel that processes n-column blocks (the column
+  /// count selects the roofline efficiency; pass 0 for "peak").
+  virtual double flop_seconds(int rank, double flops, int ncols) const = 0;
+
+  /// Which class of link connects the two ranks.
+  virtual LinkClass link_class(int src, int dst) const = 0;
+};
+
+/// No-cost model: virtual clocks stay at zero; only counters move.
+class ZeroCostModel final : public CostModel {
+ public:
+  double transfer_seconds(int, int, std::size_t) const override { return 0.0; }
+  double flop_seconds(int, double, int) const override { return 0.0; }
+  LinkClass link_class(int src, int dst) const override {
+    return src == dst ? LinkClass::kSelf : LinkClass::kIntraCluster;
+  }
+};
+
+}  // namespace qrgrid::msg

@@ -1,0 +1,5 @@
+// TopologyCostModel is header-only; this translation unit anchors the
+// vtable so the library has a home for it.
+#include "simgrid/cost.hpp"
+
+namespace qrgrid::simgrid {}

@@ -1,0 +1,54 @@
+// Bridges the grid topology into the message-passing runtime's virtual
+// clocks: transfers cost latency + bytes/bandwidth on the link between the
+// two ranks' locations, compute costs flops at the roofline rate of the
+// rank's cluster.
+#pragma once
+
+#include <memory>
+
+#include "model/roofline.hpp"
+#include "msg/cost_model.hpp"
+#include "simgrid/topology.hpp"
+
+namespace qrgrid::simgrid {
+
+class TopologyCostModel final : public msg::CostModel {
+ public:
+  TopologyCostModel(GridTopology topology, model::Roofline roofline)
+      : topology_(std::move(topology)), roofline_(roofline) {}
+
+  double transfer_seconds(int src, int dst, std::size_t) const override {
+    // Wire part: the latency, overlappable across concurrent messages.
+    if (src == dst) return 0.0;
+    return topology_.link(src, dst).latency_s;
+  }
+
+  double serialization_seconds(int src, int dst,
+                               std::size_t bytes) const override {
+    // Byte part, charged at the receiver: back-to-back arrivals queue.
+    if (src == dst) return 0.0;
+    return static_cast<double>(bytes) / topology_.link(src, dst).bandwidth_Bps;
+  }
+
+  double flop_seconds(int rank, double flops, int ncols) const override {
+    // Rate scaled by the cluster's peak relative to the calibration
+    // baseline (the slowest cluster), so faster sites finish sooner.
+    const auto loc = topology_.location_of(rank);
+    const double scale = topology_.cluster(loc.cluster).proc_peak_gflops /
+                         topology_.cluster(0).proc_peak_gflops;
+    return flops / (roofline_.rate_gflops(ncols) * scale * 1e9);
+  }
+
+  msg::LinkClass link_class(int src, int dst) const override {
+    return topology_.link_class(src, dst);
+  }
+
+  const GridTopology& topology() const { return topology_; }
+  const model::Roofline& roofline() const { return roofline_; }
+
+ private:
+  GridTopology topology_;
+  model::Roofline roofline_;
+};
+
+}  // namespace qrgrid::simgrid

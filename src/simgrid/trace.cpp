@@ -1,0 +1,59 @@
+#include "simgrid/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace qrgrid::simgrid {
+
+double TraceLog::busy_seconds(int rank) const {
+  double acc = 0.0;
+  for (const auto& e : events_) {
+    if (e.rank == rank) acc += e.end - e.start;
+  }
+  return acc;
+}
+
+double TraceLog::busy_seconds(int rank, ActivityKind kind) const {
+  double acc = 0.0;
+  for (const auto& e : events_) {
+    if (e.rank == rank && e.kind == kind) acc += e.end - e.start;
+  }
+  return acc;
+}
+
+std::string render_timeline(const TraceLog& log, int num_ranks,
+                            double horizon, int width) {
+  QRGRID_CHECK(num_ranks >= 1 && width >= 1 && horizon > 0.0);
+  std::vector<std::string> rows(static_cast<std::size_t>(num_ranks),
+                                std::string(static_cast<std::size_t>(width),
+                                            '.'));
+  for (const auto& e : log.events()) {
+    if (e.rank < 0 || e.rank >= num_ranks) continue;
+    const int lo = std::clamp(
+        static_cast<int>(e.start / horizon * width), 0, width - 1);
+    const int hi = std::clamp(
+        static_cast<int>(e.end / horizon * width), lo, width - 1);
+    auto& row = rows[static_cast<std::size_t>(e.rank)];
+    for (int c = lo; c <= hi; ++c) {
+      auto& cell = row[static_cast<std::size_t>(c)];
+      // Compute paints over transfer paints over idle.
+      if (e.kind == ActivityKind::kCompute || cell == '.') {
+        cell = static_cast<char>(e.kind);
+      }
+    }
+  }
+  std::ostringstream oss;
+  for (int r = 0; r < num_ranks; ++r) {
+    oss << "rank ";
+    const std::string label = std::to_string(r);
+    oss << std::string(4 - std::min<std::size_t>(4, label.size()), ' ')
+        << label << " |" << rows[static_cast<std::size_t>(r)] << "|\n";
+  }
+  oss << "          0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
+      << "t=" << horizon << "s  (C compute, R receive, . idle)\n";
+  return oss.str();
+}
+
+}  // namespace qrgrid::simgrid

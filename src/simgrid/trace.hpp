@@ -1,0 +1,47 @@
+// Execution tracing for the DES engine: per-rank activity records and a
+// text Gantt renderer, the observability tool for understanding where a
+// schedule's time goes (compute vs communication, which ranks idle).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qrgrid::simgrid {
+
+enum class ActivityKind : char {
+  kCompute = 'C',
+  kTransfer = 'R',  ///< receive/serialization occupancy at the receiver
+};
+
+struct TraceEvent {
+  int rank = 0;
+  double start = 0.0;
+  double end = 0.0;
+  ActivityKind kind = ActivityKind::kCompute;
+};
+
+/// Append-only activity log filled by DesEngine when tracing is enabled.
+class TraceLog {
+ public:
+  void record(int rank, double start, double end, ActivityKind kind) {
+    if (end > start) events_.push_back(TraceEvent{rank, start, end, kind});
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Total busy seconds of one rank, optionally filtered by kind.
+  double busy_seconds(int rank) const;
+  double busy_seconds(int rank, ActivityKind kind) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Renders the log as a text Gantt chart: one row per rank, `width`
+/// character cells spanning [0, horizon]; 'C' = computing, 'R' =
+/// receiving, '.' = idle. When both kinds overlap a cell, compute wins
+/// (it is the useful work).
+std::string render_timeline(const TraceLog& log, int num_ranks,
+                            double horizon, int width = 80);
+
+}  // namespace qrgrid::simgrid

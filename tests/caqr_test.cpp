@@ -1,0 +1,158 @@
+#include "core/caqr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid::core {
+namespace {
+
+Matrix reference_r(const Matrix& global) {
+  Matrix f = Matrix::copy_of(global.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  Matrix r = extract_r(f.view());
+  normalize_r_sign(r.view());
+  return r;
+}
+
+struct CaqrCase {
+  int procs;
+  Index n;
+  Index m_loc;
+  Index panel;
+};
+
+class CaqrTest : public ::testing::TestWithParam<CaqrCase> {};
+
+TEST_P(CaqrTest, RMatchesSequentialReference) {
+  const CaqrCase c = GetParam();
+  const Index m_global = c.m_loc * c.procs;
+  Matrix global = random_gaussian(m_global, c.n, 5050);
+  Matrix want = reference_r(global);
+
+  msg::Runtime rt(c.procs);
+  Matrix got;
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(c.m_loc, c.n);
+    fill_gaussian_rows(local.view(), comm.rank() * c.m_loc, 5050);
+    CaqrOptions opts;
+    opts.panel_width = c.panel;
+    CaqrFactors f =
+        caqr_factor(comm, local.view(), comm.rank() * c.m_loc, opts);
+    if (comm.rank() == 0) {
+      normalize_r_sign(f.r.view());
+      got = std::move(f.r);
+    }
+  });
+  ASSERT_EQ(got.rows(), c.n);
+  EXPECT_LT(max_abs_diff(got.view(), want.view()),
+            1e-10 * frobenius_norm(want.view()))
+      << "procs=" << c.procs << " n=" << c.n << " panel=" << c.panel;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CaqrTest,
+    ::testing::Values(CaqrCase{1, 12, 30, 4}, CaqrCase{2, 16, 20, 4},
+                      CaqrCase{4, 12, 16, 3}, CaqrCase{4, 16, 20, 16},
+                      CaqrCase{3, 10, 14, 4}, CaqrCase{4, 15, 18, 4}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.procs) + "_n" +
+             std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.panel);
+    });
+
+TEST(Caqr, PanelWidthDoesNotChangeR) {
+  const int procs = 2;
+  const Index m_loc = 24, n = 12;
+  msg::Runtime rt(procs);
+  Matrix r_narrow, r_wide;
+  rt.run([&](msg::Comm& comm) {
+    for (Index panel : {3, 12}) {
+      Matrix local(m_loc, n);
+      fill_gaussian_rows(local.view(), comm.rank() * m_loc, 5151);
+      CaqrOptions opts;
+      opts.panel_width = panel;
+      CaqrFactors f =
+          caqr_factor(comm, local.view(), comm.rank() * m_loc, opts);
+      if (comm.rank() == 0) {
+        normalize_r_sign(f.r.view());
+        (panel == 3 ? r_narrow : r_wide) = std::move(f.r);
+      }
+    }
+  });
+  EXPECT_LT(max_abs_diff(r_narrow.view(), r_wide.view()),
+            1e-10 * frobenius_norm(r_narrow.view()));
+}
+
+TEST(Caqr, ExplicitQIsOrthogonalAndReconstructs) {
+  const int procs = 3;
+  const Index m_loc = 20, n = 9;
+  Matrix global = random_gaussian(m_loc * procs, n, 5252);
+  msg::Runtime rt(procs);
+  std::vector<Matrix> q_blocks(procs);
+  Matrix r_final;
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(m_loc, n);
+    fill_gaussian_rows(local.view(), comm.rank() * m_loc, 5252);
+    CaqrOptions opts;
+    opts.panel_width = 4;
+    CaqrFactors f =
+        caqr_factor(comm, local.view(), comm.rank() * m_loc, opts);
+    q_blocks[static_cast<std::size_t>(comm.rank())] =
+        caqr_form_explicit_q(comm, f);
+    if (comm.rank() == 0) r_final = std::move(f.r);
+  });
+  Matrix q_global(m_loc * procs, n);
+  for (int r = 0; r < procs; ++r) {
+    copy(q_blocks[static_cast<std::size_t>(r)].view(),
+         q_global.block(r * m_loc, 0, m_loc, n));
+  }
+  EXPECT_LT(orthogonality_error(q_global.view()), 1e-11);
+  EXPECT_LT(factorization_residual(global.view(), q_global.view(),
+                                   r_final.view()),
+            1e-11);
+}
+
+TEST(Caqr, HierarchicalTreePanelsMatchBinary) {
+  const int procs = 4;
+  const Index m_loc = 18, n = 8;
+  msg::Runtime rt(procs);
+  Matrix r_binary, r_grid;
+  rt.run([&](msg::Comm& comm) {
+    for (int which : {0, 1}) {
+      Matrix local(m_loc, n);
+      fill_gaussian_rows(local.view(), comm.rank() * m_loc, 5353);
+      CaqrOptions opts;
+      opts.panel_width = 4;
+      if (which == 1) {
+        opts.tsqr.tree = TreeKind::kGridHierarchical;
+        opts.tsqr.rank_cluster = {0, 0, 1, 1};
+      }
+      CaqrFactors f =
+          caqr_factor(comm, local.view(), comm.rank() * m_loc, opts);
+      if (comm.rank() == 0) {
+        normalize_r_sign(f.r.view());
+        (which == 0 ? r_binary : r_grid) = std::move(f.r);
+      }
+    }
+  });
+  EXPECT_LT(max_abs_diff(r_binary.view(), r_grid.view()),
+            1e-10 * frobenius_norm(r_binary.view()));
+}
+
+TEST(Caqr, RootWithoutAllPivotRowsIsRejected) {
+  msg::Runtime rt(2);
+  EXPECT_THROW(rt.run([](msg::Comm& comm) {
+                 Matrix local(6, 10);  // rank 0 has fewer rows than N
+                 fill_gaussian_rows(local.view(), comm.rank() * 6, 1);
+                 CaqrOptions opts;
+                 (void)caqr_factor(comm, local.view(), comm.rank() * 6, opts);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace qrgrid::core

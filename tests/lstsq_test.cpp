@@ -1,0 +1,195 @@
+#include "core/lstsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+
+namespace qrgrid::core {
+namespace {
+
+/// Builds b = A x_true + noise on each rank's block.
+Matrix make_rhs(const Matrix& a_block, const Matrix& x_true,
+                double noise_scale, Index row0, std::uint64_t seed) {
+  Matrix b(a_block.rows(), x_true.cols());
+  gemm(Trans::No, Trans::No, 1.0, a_block.view(), x_true.view(), 0.0,
+       b.view());
+  if (noise_scale > 0.0) {
+    Matrix noise(a_block.rows(), x_true.cols());
+    fill_gaussian_rows(noise.view(), row0, seed);
+    for (Index j = 0; j < b.cols(); ++j) {
+      for (Index i = 0; i < b.rows(); ++i) {
+        b(i, j) += noise_scale * noise(i, j);
+      }
+    }
+  }
+  return b;
+}
+
+class LstsqTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(LstsqTest, ConsistentSystemRecoversExactSolution) {
+  const auto [procs, n, nrhs] = GetParam();
+  const Index m_loc = 3 * n;
+  Matrix global = random_gaussian(m_loc * procs, n, 11000);
+  Matrix x_true = random_gaussian(n, nrhs, 11001);
+
+  msg::Runtime rt(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix a = Matrix::copy_of(global.block(comm.rank() * m_loc, 0, m_loc, n));
+    Matrix b = make_rhs(a, x_true, 0.0, comm.rank() * m_loc, 0);
+    LeastSquaresResult res =
+        tsqr_least_squares(comm, a.view(), b.view());
+    ASSERT_TRUE(res.ok);
+    EXPECT_LT(max_abs_diff(res.x.view(), x_true.view()), 1e-10);
+    for (double r : res.residual_norms) EXPECT_LT(r, 1e-9);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LstsqTest,
+                         ::testing::Values(std::tuple{1, 6, 1},
+                                           std::tuple{2, 8, 2},
+                                           std::tuple{4, 10, 3},
+                                           std::tuple{5, 7, 1}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(std::get<0>(info.param)) +
+                                  "_n" + std::to_string(std::get<1>(info.param)) +
+                                  "_rhs" + std::to_string(std::get<2>(info.param));
+                         });
+
+TEST(Lstsq, SolutionIsReplicatedOnAllRanks) {
+  const int procs = 3;
+  const Index m_loc = 20, n = 5;
+  Matrix global = random_gaussian(m_loc * procs, n, 12000);
+  Matrix x_true = random_gaussian(n, 1, 12001);
+  msg::Runtime rt(procs);
+  std::vector<Matrix> xs(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix a = Matrix::copy_of(global.block(comm.rank() * m_loc, 0, m_loc, n));
+    Matrix b = make_rhs(a, x_true, 0.0, comm.rank() * m_loc, 0);
+    xs[static_cast<std::size_t>(comm.rank())] =
+        tsqr_least_squares(comm, a.view(), b.view()).x;
+  });
+  for (int r = 1; r < procs; ++r) {
+    EXPECT_EQ(max_abs_diff(xs[0].view(),
+                           xs[static_cast<std::size_t>(r)].view()),
+              0.0);
+  }
+}
+
+TEST(Lstsq, ResidualMatchesDirectEvaluation) {
+  const int procs = 4;
+  const Index m_loc = 25, n = 6;
+  Matrix global = random_gaussian(m_loc * procs, n, 13000);
+  Matrix x_true = random_gaussian(n, 1, 13001);
+  msg::Runtime rt(procs);
+  Matrix x;
+  double reported = 0.0;
+  std::vector<Matrix> bs(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix a = Matrix::copy_of(global.block(comm.rank() * m_loc, 0, m_loc, n));
+    Matrix b = make_rhs(a, x_true, 0.3, comm.rank() * m_loc, 999);
+    bs[static_cast<std::size_t>(comm.rank())] = Matrix::copy_of(b.view());
+    LeastSquaresResult res = tsqr_least_squares(comm, a.view(), b.view());
+    if (comm.rank() == 0) {
+      x = std::move(res.x);
+      reported = res.residual_norms[0];
+    }
+  });
+  // Direct: ||A x - b|| with the assembled pieces.
+  Matrix b_global(m_loc * procs, 1);
+  for (int r = 0; r < procs; ++r) {
+    copy(bs[static_cast<std::size_t>(r)].view(),
+         b_global.block(r * m_loc, 0, m_loc, 1));
+  }
+  Matrix resid = Matrix::copy_of(b_global.view());
+  gemm(Trans::No, Trans::No, -1.0, global.view(), x.view(), 1.0,
+       resid.view());
+  EXPECT_NEAR(reported, frobenius_norm(resid.view()),
+              1e-10 * frobenius_norm(b_global.view()));
+}
+
+TEST(Lstsq, ResidualIsMinimal) {
+  // Any perturbation of the solution must increase ||A x - b||.
+  const int procs = 2;
+  const Index m_loc = 30, n = 4;
+  Matrix global = random_gaussian(m_loc * procs, n, 14000);
+  Matrix x_true = random_gaussian(n, 1, 14001);
+  msg::Runtime rt(procs);
+  Matrix x;
+  std::vector<Matrix> bs(procs);
+  rt.run([&](msg::Comm& comm) {
+    Matrix a = Matrix::copy_of(global.block(comm.rank() * m_loc, 0, m_loc, n));
+    Matrix b = make_rhs(a, x_true, 0.5, comm.rank() * m_loc, 555);
+    bs[static_cast<std::size_t>(comm.rank())] = Matrix::copy_of(b.view());
+    LeastSquaresResult res = tsqr_least_squares(comm, a.view(), b.view());
+    if (comm.rank() == 0) x = std::move(res.x);
+  });
+  Matrix b_global(m_loc * procs, 1);
+  for (int r = 0; r < procs; ++r) {
+    copy(bs[static_cast<std::size_t>(r)].view(),
+         b_global.block(r * m_loc, 0, m_loc, 1));
+  }
+  auto residual_of = [&](const Matrix& cand) {
+    Matrix resid = Matrix::copy_of(b_global.view());
+    gemm(Trans::No, Trans::No, -1.0, global.view(), cand.view(), 1.0,
+         resid.view());
+    return frobenius_norm(resid.view());
+  };
+  const double best = residual_of(x);
+  for (Index k = 0; k < n; ++k) {
+    Matrix perturbed = Matrix::copy_of(x.view());
+    perturbed(k, 0) += 1e-3;
+    EXPECT_GT(residual_of(perturbed), best);
+  }
+}
+
+TEST(Lstsq, BeatsNormalEquationsOnIllConditionedProblems) {
+  // cond(A) ~ 1e9: the Gram matrix is numerically singular so the normal
+  // equations collapse, while the QR route still recovers x accurately.
+  const int procs = 2;
+  const Index m_loc = 60, n = 8;
+  Matrix global = random_with_condition(m_loc * procs, n, 1e9, 15000);
+  Matrix x_true = random_gaussian(n, 1, 15001);
+
+  msg::Runtime rt(procs);
+  Matrix x_qr;
+  rt.run([&](msg::Comm& comm) {
+    Matrix a = Matrix::copy_of(global.block(comm.rank() * m_loc, 0, m_loc, n));
+    Matrix b = make_rhs(a, x_true, 0.0, comm.rank() * m_loc, 0);
+    LeastSquaresResult res = tsqr_least_squares(comm, a.view(), b.view());
+    if (comm.rank() == 0) x_qr = std::move(res.x);
+  });
+  // QR solution: relative forward error bounded by ~cond * eps.
+  const double err_qr = max_abs_diff(x_qr.view(), x_true.view()) /
+                        frobenius_norm(x_true.view());
+  EXPECT_LT(err_qr, 1e-4);
+
+  // Normal equations on the same problem (sequential is enough).
+  Matrix gram(n, n);
+  syrk_upper_at_a(1.0, global.view(), 0.0, gram.view());
+  const bool chol_ok = potrf_upper(gram.view());
+  if (chol_ok) {
+    Matrix rhs(n, 1);
+    Matrix b_full(m_loc * procs, 1);
+    gemm(Trans::No, Trans::No, 1.0, global.view(), x_true.view(), 0.0,
+         b_full.view());
+    gemm(Trans::Yes, Trans::No, 1.0, global.view(), b_full.view(), 0.0,
+         rhs.view());
+    trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
+         gram.view(), rhs.view());
+    trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0,
+         gram.view(), rhs.view());
+    const double err_ne = max_abs_diff(rhs.view(), x_true.view()) /
+                          frobenius_norm(x_true.view());
+    EXPECT_GT(err_ne, err_qr);
+  } else {
+    SUCCEED();  // Cholesky of the squared system already broke down
+  }
+}
+
+}  // namespace
+}  // namespace qrgrid::core

@@ -1,0 +1,102 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+
+namespace qrgrid {
+namespace {
+
+/// Reconstructs P A from the factored form and the pivot sequence.
+Matrix reconstruct_pa(ConstMatrixView lu, const std::vector<Index>& ipiv,
+                      ConstMatrixView a) {
+  const Index m = a.rows();
+  std::vector<Index> perm(static_cast<std::size_t>(m));
+  for (Index i = 0; i < m; ++i) perm[static_cast<std::size_t>(i)] = i;
+  apply_pivots(ipiv, perm);
+  Matrix pa(m, a.cols());
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      pa(i, j) = a(perm[static_cast<std::size_t>(i)], j);
+    }
+  }
+  (void)lu;
+  return pa;
+}
+
+class GetrfTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GetrfTest, ReconstructsPermutedInput) {
+  const auto [m, n] = GetParam();
+  Matrix a = random_gaussian(m, n, 300 + m);
+  Matrix f = Matrix::copy_of(a.view());
+  std::vector<Index> ipiv;
+  ASSERT_TRUE(getrf(f.view(), ipiv));
+
+  // L (m x n unit lower trapezoidal) * U (n x n upper) == P A.
+  const Index k = std::min<Index>(m, n);
+  Matrix l(m, k);
+  for (Index j = 0; j < k; ++j) {
+    l(j, j) = 1.0;
+    for (Index i = j + 1; i < m; ++i) l(i, j) = f(i, j);
+  }
+  Matrix u(k, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= std::min(j, k - 1); ++i) u(i, j) = f(i, j);
+  }
+  Matrix prod(m, n);
+  gemm(Trans::No, Trans::No, 1.0, l.view(), u.view(), 0.0, prod.view());
+  Matrix pa = reconstruct_pa(f.view(), ipiv, a.view());
+  EXPECT_LT(max_abs_diff(prod.view(), pa.view()), 1e-10 * m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GetrfTest,
+                         ::testing::Combine(::testing::Values(4, 20, 50),
+                                            ::testing::Values(1, 4, 20)));
+
+TEST(Getrf, PartialPivotingBoundsMultipliers) {
+  Matrix a = random_gaussian(30, 10, 310);
+  std::vector<Index> ipiv;
+  ASSERT_TRUE(getrf(a.view(), ipiv));
+  // With partial pivoting every L multiplier has magnitude <= 1.
+  for (Index j = 0; j < 10; ++j) {
+    for (Index i = j + 1; i < 30; ++i) {
+      EXPECT_LE(std::fabs(a(i, j)), 1.0 + 1e-14);
+    }
+  }
+}
+
+TEST(Getrf, SingularMatrixReturnsFalse) {
+  Matrix a(5, 3);  // an all-zero column forces a zero pivot
+  for (Index i = 0; i < 5; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 2) = static_cast<double>(2 * i + 1);
+  }
+  std::vector<Index> ipiv;
+  EXPECT_FALSE(getrf(a.view(), ipiv));
+}
+
+TEST(Getrf, PivotSwapTrackingMatchesManualPermutation) {
+  std::vector<Index> ipiv = {2, 2, 3};
+  std::vector<Index> rows = {0, 1, 2, 3};
+  apply_pivots(ipiv, rows);
+  // step 0: swap(0,2) -> {2,1,0,3}; step 1: swap(1,2) -> {2,0,1,3};
+  // step 2: swap(2,3) -> {2,0,3,1}
+  EXPECT_EQ(rows, (std::vector<Index>{2, 0, 3, 1}));
+}
+
+TEST(Getrf, IdentityNeedsNoPivoting) {
+  Matrix a = Matrix::identity(6);
+  std::vector<Index> ipiv;
+  ASSERT_TRUE(getrf(a.view(), ipiv));
+  for (std::size_t k = 0; k < ipiv.size(); ++k) {
+    EXPECT_EQ(ipiv[k], static_cast<Index>(k));
+  }
+}
+
+}  // namespace
+}  // namespace qrgrid

@@ -1,0 +1,124 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace qrgrid {
+namespace {
+
+TEST(Matrix, ConstructionZeroInitializes) {
+  Matrix a(3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(0, 1) = 3.0;
+  EXPECT_EQ(a.data()[0], 1.0);
+  EXPECT_EQ(a.data()[1], 2.0);
+  EXPECT_EQ(a.data()[2], 3.0);
+}
+
+TEST(Matrix, IdentityFactory) {
+  Matrix eye = Matrix::identity(3);
+  for (Index j = 0; j < 3; ++j) {
+    for (Index i = 0; i < 3; ++i) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, ViewSharesStorage) {
+  Matrix a(4, 4);
+  MatrixView v = a.view();
+  v(2, 3) = 7.5;
+  EXPECT_EQ(a(2, 3), 7.5);
+}
+
+TEST(Matrix, BlockViewAddressesSubmatrix) {
+  Matrix a(5, 5);
+  for (Index j = 0; j < 5; ++j) {
+    for (Index i = 0; i < 5; ++i) a(i, j) = static_cast<double>(10 * i + j);
+  }
+  MatrixView b = a.block(1, 2, 3, 2);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_EQ(b(0, 0), a(1, 2));
+  EXPECT_EQ(b(2, 1), a(3, 3));
+  b(0, 0) = -1.0;
+  EXPECT_EQ(a(1, 2), -1.0);
+}
+
+TEST(Matrix, NestedBlocksCompose) {
+  Matrix a(6, 6);
+  a(3, 4) = 42.0;
+  MatrixView outer = a.block(1, 1, 5, 5);
+  MatrixView inner = outer.block(2, 3, 2, 2);
+  EXPECT_EQ(inner(0, 0), 42.0);
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix a(3, 3);
+  EXPECT_THROW(a.block(0, 0, 4, 1), Error);
+  EXPECT_THROW(a.block(2, 2, 2, 2), Error);
+  EXPECT_THROW(a.block(-1, 0, 1, 1), Error);
+}
+
+TEST(Matrix, CopyOfViewIsDeep) {
+  Matrix a(3, 3);
+  a(1, 1) = 5.0;
+  Matrix b = Matrix::copy_of(a.view());
+  a(1, 1) = 9.0;
+  EXPECT_EQ(b(1, 1), 5.0);
+}
+
+TEST(Matrix, CopyRejectsShapeMismatch) {
+  Matrix a(3, 3);
+  Matrix b(3, 4);
+  EXPECT_THROW(copy(a.view(), b.view()), Error);
+}
+
+TEST(Matrix, ZeroBelowDiagonal) {
+  Matrix a(4, 3);
+  a.fill(1.0);
+  zero_below_diagonal(a.view());
+  for (Index j = 0; j < 3; ++j) {
+    for (Index i = 0; i < 4; ++i) {
+      EXPECT_EQ(a(i, j), i > j ? 0.0 : 1.0);
+    }
+  }
+}
+
+TEST(Matrix, SetZeroOnStridedView) {
+  Matrix a(4, 4);
+  a.fill(3.0);
+  set_zero(a.block(1, 1, 2, 2));
+  EXPECT_EQ(a(0, 0), 3.0);
+  EXPECT_EQ(a(1, 1), 0.0);
+  EXPECT_EQ(a(2, 2), 0.0);
+  EXPECT_EQ(a(3, 3), 3.0);
+}
+
+TEST(Matrix, EmptyMatrixIsUsable) {
+  Matrix a(0, 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a.view().empty());
+}
+
+TEST(Matrix, ColView) {
+  Matrix a(3, 2);
+  a(2, 1) = 8.0;
+  MatrixView c = a.view().col(1);
+  EXPECT_EQ(c.cols(), 1);
+  EXPECT_EQ(c(2, 0), 8.0);
+}
+
+}  // namespace
+}  // namespace qrgrid

@@ -1,0 +1,106 @@
+#include "model/costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/roofline.hpp"
+
+namespace qrgrid::model {
+namespace {
+
+TEST(Costs, TableOneScalapackROnly) {
+  // Table I line 1: 2N log2(P) messages, log2(P) N^2/2 volume,
+  // (2MN^2 - 2/3 N^3)/P flops.
+  const double m = 1e6, n = 64, p = 16;
+  CostBreakdown c = scalapack_qr2_costs(m, n, p, Outputs::kROnly);
+  EXPECT_DOUBLE_EQ(c.messages, 2 * 64 * 4);
+  EXPECT_DOUBLE_EQ(c.volume_doubles, 4 * 64 * 64 / 2);
+  EXPECT_DOUBLE_EQ(c.flops, (2 * m * n * n - 2.0 / 3.0 * n * n * n) / p);
+}
+
+TEST(Costs, TableOneTsqrROnly) {
+  const double m = 1e6, n = 64, p = 16;
+  CostBreakdown c = tsqr_costs(m, n, p, Outputs::kROnly);
+  EXPECT_DOUBLE_EQ(c.messages, 4);
+  EXPECT_DOUBLE_EQ(c.volume_doubles, 4 * 64 * 64 / 2);
+  EXPECT_DOUBLE_EQ(c.flops, (2 * m * n * n - 2.0 / 3.0 * n * n * n) / p +
+                                2.0 / 3.0 * 4 * n * n * n);
+}
+
+TEST(Costs, TableTwoIsExactlyTwiceTableOne) {
+  // Section IV: "the cost to compute both the Q and the R factors is
+  // exactly twice the cost for computing R only."
+  const double m = 5e5, n = 128, p = 64;
+  for (auto costs : {scalapack_qr2_costs, tsqr_costs}) {
+    CostBreakdown r = costs(m, n, p, Outputs::kROnly);
+    CostBreakdown qr = costs(m, n, p, Outputs::kQAndR);
+    EXPECT_DOUBLE_EQ(qr.messages, 2.0 * r.messages);
+    EXPECT_DOUBLE_EQ(qr.volume_doubles, 2.0 * r.volume_doubles);
+    EXPECT_DOUBLE_EQ(qr.flops, 2.0 * r.flops);
+  }
+}
+
+TEST(Costs, SingleDomainHasNoCommunication) {
+  CostBreakdown c = tsqr_costs(1e6, 64, 1, Outputs::kROnly);
+  EXPECT_DOUBLE_EQ(c.messages, 0.0);
+  EXPECT_DOUBLE_EQ(c.volume_doubles, 0.0);
+}
+
+TEST(Costs, TsqrTradesMessagesForFlops) {
+  // The central claim: TSQR sends a factor 2N fewer messages but does
+  // 2/3 log2(P) N^3 more flops.
+  const double m = 1e7, n = 256, p = 128;
+  CostBreakdown qr2 = scalapack_qr2_costs(m, n, p, Outputs::kROnly);
+  CostBreakdown tsqr = tsqr_costs(m, n, p, Outputs::kROnly);
+  EXPECT_DOUBLE_EQ(qr2.messages / tsqr.messages, 2.0 * n);
+  EXPECT_GT(tsqr.flops, qr2.flops);
+  const double extra = 2.0 / 3.0 * std::log2(p) * n * n * n;
+  EXPECT_NEAR((tsqr.flops - qr2.flops) / extra, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tsqr.volume_doubles, qr2.volume_doubles);
+}
+
+TEST(Costs, Equation1CombinesThreeTerms) {
+  CostBreakdown c;
+  c.messages = 10;
+  c.volume_doubles = 1000;
+  c.flops = 2e9;
+  MachineParams mp;
+  mp.latency_s = 1e-3;
+  mp.inv_bandwidth_s_per_double = 1e-7;
+  mp.domain_gflops = 2.0;
+  EXPECT_DOUBLE_EQ(predict_time_s(c, mp), 10e-3 + 1e-4 + 1.0);
+}
+
+TEST(Costs, UsefulFlopsMatchesHouseholderCount) {
+  EXPECT_DOUBLE_EQ(useful_flops(100, 10),
+                   2.0 * 100 * 100 - 2.0 / 3.0 * 1000);
+}
+
+TEST(Roofline, RateIncreasesWithColumnCount) {
+  // Property 4's microscopic cause: wider panels run closer to DGEMM
+  // speed.
+  Roofline r = paper_calibration();
+  EXPECT_LT(r.rate_gflops(1), r.rate_gflops(64));
+  EXPECT_LT(r.rate_gflops(64), r.rate_gflops(512));
+  EXPECT_LT(r.rate_gflops(512), r.dgemm_gflops);
+}
+
+TEST(Roofline, PeakRateForZeroColumns) {
+  Roofline r = paper_calibration();
+  EXPECT_DOUBLE_EQ(r.rate_gflops(0), r.dgemm_gflops);
+  EXPECT_DOUBLE_EQ(r.rate_gflops(-1), r.dgemm_gflops);
+}
+
+TEST(Roofline, PaperCalibrationMagnitudes) {
+  // The practical per-process peak of §V-B is 3.67 Gflop/s; QR kernels
+  // must reach only a small fraction of it at N=64 (Property 2: single
+  // site ScaLAPACK stays below ~70 of 235 practical Gflop/s).
+  Roofline r = paper_calibration();
+  EXPECT_NEAR(r.dgemm_gflops, 3.67, 1e-12);
+  EXPECT_LT(r.rate_gflops(64) / r.dgemm_gflops, 0.35);
+  EXPECT_GT(r.rate_gflops(512) / r.dgemm_gflops, 0.25);
+}
+
+}  // namespace
+}  // namespace qrgrid::model

@@ -1,0 +1,102 @@
+#include "linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/generators.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid {
+namespace {
+
+TEST(Norms, FrobeniusBasic) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm(a.view()), 5.0);
+}
+
+TEST(Norms, FrobeniusHandlesExtremeScales) {
+  Matrix a(1, 2);
+  a(0, 0) = 1e300;
+  a(0, 1) = 1e300;
+  EXPECT_NEAR(frobenius_norm(a.view()) / (1e300 * std::sqrt(2.0)), 1.0, 1e-14);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix a(2, 3);
+  a(1, 2) = -9.0;
+  a(0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(max_abs(a.view()), 9.0);
+}
+
+TEST(Norms, OrthogonalityErrorOfExactQ) {
+  Matrix a = random_gaussian(60, 12, 500);
+  std::vector<double> tau;
+  geqrf(a.view(), tau);
+  Matrix q = orgqr(a.view(), tau, 12);
+  EXPECT_LT(orthogonality_error(q.view()), 1e-13);
+}
+
+TEST(Norms, OrthogonalityErrorDetectsSkew) {
+  Matrix q = Matrix::identity(3);
+  q(0, 1) = 0.1;  // breaks orthogonality
+  EXPECT_GT(orthogonality_error(q.view()), 0.09);
+}
+
+TEST(Norms, ResidualOfExactFactorizationIsTiny) {
+  Matrix a = random_gaussian(40, 8, 510);
+  Matrix f = Matrix::copy_of(a.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  Matrix q = orgqr(f.view(), tau, 8);
+  Matrix r = extract_r(f.view());
+  EXPECT_LT(factorization_residual(a.view(), q.view(), r.view()), 1e-13);
+}
+
+TEST(Norms, NormalizeRSignFlipsRowsAndQColumns) {
+  Matrix r(2, 2);
+  r(0, 0) = -2.0;
+  r(0, 1) = 3.0;
+  r(1, 1) = 4.0;
+  Matrix q(3, 2);
+  q(0, 0) = 1.0;
+  q(1, 1) = 1.0;
+  MatrixView qv = q.view();
+  normalize_r_sign(r.view(), &qv);
+  EXPECT_EQ(r(0, 0), 2.0);
+  EXPECT_EQ(r(0, 1), -3.0);
+  EXPECT_EQ(r(1, 1), 4.0);
+  EXPECT_EQ(q(0, 0), -1.0);
+  EXPECT_EQ(q(1, 1), 1.0);  // column 1 untouched
+}
+
+TEST(Norms, NormalizedFactorizationStillReconstructs) {
+  Matrix a = random_gaussian(30, 6, 520);
+  Matrix f = Matrix::copy_of(a.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  Matrix q = orgqr(f.view(), tau, 6);
+  Matrix r = extract_r(f.view());
+  MatrixView qv = q.view();
+  normalize_r_sign(r.view(), &qv);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), r.view()), 1e-13);
+}
+
+TEST(Norms, IsUpperTriangular) {
+  Matrix a(3, 3);
+  a(0, 1) = 1.0;
+  EXPECT_TRUE(is_upper_triangular(a.view()));
+  a(2, 0) = 0.5;
+  EXPECT_FALSE(is_upper_triangular(a.view()));
+}
+
+TEST(Norms, MaxAbsDiff) {
+  Matrix a(2, 2), b(2, 2);
+  b(1, 0) = -0.25;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 0.25);
+}
+
+}  // namespace
+}  // namespace qrgrid

@@ -1,0 +1,118 @@
+#include "core/ooc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid::core {
+namespace {
+
+Matrix reference_r(const Matrix& global) {
+  Matrix f = Matrix::copy_of(global.view());
+  std::vector<double> tau;
+  geqrf(f.view(), tau);
+  Matrix r = extract_r(f.view());
+  normalize_r_sign(r.view());
+  return r;
+}
+
+class OocTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(OocTest, StreamedRMatchesInMemoryReference) {
+  const auto [m, n, panel_rows] = GetParam();
+  Matrix global = random_gaussian(m, n, 9000 + m);
+  Matrix want = reference_r(global);
+
+  OocTsqr ooc(n);
+  for (Index r0 = 0; r0 < m; r0 += panel_rows) {
+    const Index rows = std::min<Index>(panel_rows, m - r0);
+    ooc.absorb(global.block(r0, 0, rows, n));
+  }
+  EXPECT_EQ(ooc.rows_seen(), m);
+  Matrix got = ooc.r();
+  EXPECT_TRUE(is_upper_triangular(got.view()));
+  normalize_r_sign(got.view());
+  EXPECT_LT(max_abs_diff(got.view(), want.view()),
+            1e-11 * frobenius_norm(want.view()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelShapes, OocTest,
+    ::testing::Values(std::tuple{100, 8, 25}, std::tuple{100, 8, 7},
+                      std::tuple{64, 16, 16}, std::tuple{200, 4, 1},
+                      std::tuple{90, 10, 90}, std::tuple{128, 12, 50}),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_panel" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Ooc, OrderIndependenceOfR) {
+  // Associativity/commutativity of the combine (§II-C): absorbing the
+  // panels in a different order yields the same sign-normalized R.
+  const Index m = 120, n = 6, panel = 30;
+  Matrix global = random_gaussian(m, n, 4321);
+  OocTsqr fwd(n), rev(n);
+  std::vector<Index> starts;
+  for (Index r0 = 0; r0 < m; r0 += panel) starts.push_back(r0);
+  for (Index r0 : starts) fwd.absorb(global.block(r0, 0, panel, n));
+  for (auto it = starts.rbegin(); it != starts.rend(); ++it) {
+    rev.absorb(global.block(*it, 0, panel, n));
+  }
+  Matrix a = fwd.r();
+  Matrix b = rev.r();
+  normalize_r_sign(a.view());
+  normalize_r_sign(b.view());
+  EXPECT_LT(max_abs_diff(a.view(), b.view()),
+            1e-11 * frobenius_norm(a.view()));
+}
+
+TEST(Ooc, ConstantMemoryAccountingGrowsLinearly) {
+  // Flop count ~ 2 * rows * n^2 regardless of panel shape (the streaming
+  // variant trades nothing asymptotically).
+  const Index n = 8;
+  OocTsqr ooc(n);
+  Rng rng(5);
+  Index total_rows = 0;
+  for (int p = 0; p < 20; ++p) {
+    const Index rows = 4 + static_cast<Index>(rng.uniform_index(60));
+    Matrix panel = random_gaussian(rows, n, 100 + p);
+    ooc.absorb(panel.view());
+    total_rows += rows;
+  }
+  EXPECT_EQ(ooc.panels_seen(), 20);
+  const double expected = 2.0 * static_cast<double>(total_rows) * n * n;
+  EXPECT_NEAR(ooc.flops() / expected, 1.0, 0.15);
+}
+
+TEST(Ooc, ShortFirstPanelStillWorks) {
+  const Index m = 40, n = 10;
+  Matrix global = random_gaussian(m, n, 555);
+  Matrix want = reference_r(global);
+  OocTsqr ooc(n);
+  ooc.absorb(global.block(0, 0, 3, n));  // fewer rows than columns
+  ooc.absorb(global.block(3, 0, m - 3, n));
+  Matrix got = ooc.r();
+  normalize_r_sign(got.view());
+  EXPECT_LT(max_abs_diff(got.view(), want.view()),
+            1e-11 * frobenius_norm(want.view()));
+}
+
+TEST(Ooc, RejectsWrongColumnCount) {
+  OocTsqr ooc(8);
+  Matrix panel(10, 4);
+  EXPECT_THROW(ooc.absorb(panel.view()), Error);
+}
+
+TEST(Ooc, RBeforeEnoughRowsThrows) {
+  OocTsqr ooc(8);
+  Matrix panel = random_gaussian(3, 8, 1);
+  ooc.absorb(panel.view());
+  EXPECT_THROW((void)ooc.r(), Error);
+}
+
+}  // namespace
+}  // namespace qrgrid::core

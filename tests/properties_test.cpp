@@ -1,0 +1,109 @@
+// Section IV's five properties, asserted over parameter sweeps of the
+// closed-form model with Grid'5000-like constants.
+#include "model/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/roofline.hpp"
+
+namespace qrgrid::model {
+namespace {
+
+MachineParams grid_params() {
+  MachineParams mp;
+  mp.latency_s = 7e-3;                        // inter-cluster latency
+  mp.inv_bandwidth_s_per_double = 8.0 / 90e6; // ~90 Mb/s wide-area
+  mp.domain_gflops = 0.8;                     // domanial QR rate
+  return mp;
+}
+
+TEST(Property1, QAndRCostsTwiceROnly) {
+  const MachineParams mp = grid_params();
+  for (double m : {1e5, 1e6, 1e7}) {
+    for (double n : {64.0, 128.0, 512.0}) {
+      EXPECT_DOUBLE_EQ(property1_qr_over_r_ratio(m, n, 16, mp), 2.0);
+    }
+  }
+}
+
+TEST(Property2, PerformanceBoundedByDomanialKernel) {
+  // Predicted Gflop/s never exceeds P x the domanial rate.
+  const MachineParams mp = grid_params();
+  for (double p : {4.0, 64.0, 256.0}) {
+    for (double m : {1e5, 1e7}) {
+      EXPECT_LE(predicted_tsqr_gflops(m, 64, p, mp),
+                p * mp.domain_gflops + 1e-9);
+    }
+  }
+}
+
+TEST(Property3, PerformanceIncreasesWithM) {
+  const MachineParams mp = grid_params();
+  double prev = 0.0;
+  for (double m = 1e5; m <= 1e8; m *= 2) {
+    const double g = predicted_tsqr_gflops(m, 64, 256, mp);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Property3, CommunicationTermIndependentOfM) {
+  CostBreakdown a = tsqr_costs(1e5, 64, 16, Outputs::kROnly);
+  CostBreakdown b = tsqr_costs(1e8, 64, 16, Outputs::kROnly);
+  EXPECT_DOUBLE_EQ(a.messages, b.messages);
+  EXPECT_DOUBLE_EQ(a.volume_doubles, b.volume_doubles);
+  EXPECT_LT(a.flops, b.flops);
+}
+
+TEST(Property4, PerformanceIncreasesWithN) {
+  // With the latency term amortized over N^2 flops, wider matrices run
+  // faster (until the TSQR flop overhead bites — see Property 5).
+  const MachineParams mp = grid_params();
+  const double m = 4e6;
+  double prev = 0.0;
+  for (double n : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    const double g = predicted_qr2_gflops(m, n, 256, mp);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Property5, TsqrWinsMidRangeN) {
+  const MachineParams mp = grid_params();
+  const double m = 1e6, p = 256;
+  // Mid-range N: TSQR strictly faster.
+  for (double n : {16.0, 64.0, 256.0}) {
+    EXPECT_GT(predicted_tsqr_gflops(m, n, p, mp),
+              predicted_qr2_gflops(m, n, p, mp));
+  }
+}
+
+TEST(Property5, CrossoverExistsForLargeN) {
+  // "When N gets too large, the performance of TSQR deteriorates and
+  // ScaLAPACK becomes better": the predicted times must cross at some
+  // finite N, beyond which QR2 wins.
+  const MachineParams mp = grid_params();
+  const double m = 1e6, p = 256;
+  const double n_star = property5_crossover_n(m, p, mp, 8.0, 1e6);
+  ASSERT_GT(n_star, 0.0);
+  EXPECT_GT(n_star, 100.0);  // crossover sits beyond the mid-range
+  EXPECT_LT(predicted_tsqr_gflops(m, 2.0 * n_star, p, mp),
+            predicted_qr2_gflops(m, 2.0 * n_star, p, mp));
+}
+
+TEST(Property5, CrossoverGrowsWithLatency) {
+  // Higher latency favors TSQR longer: the crossover N must move right.
+  MachineParams cheap = grid_params();
+  cheap.latency_s = 1e-4;
+  MachineParams pricey = grid_params();
+  pricey.latency_s = 1e-2;
+  const double m = 1e6, p = 256;
+  const double n_cheap = property5_crossover_n(m, p, cheap, 2.0, 1e7);
+  const double n_pricey = property5_crossover_n(m, p, pricey, 2.0, 1e7);
+  ASSERT_GT(n_cheap, 0.0);
+  ASSERT_GT(n_pricey, 0.0);
+  EXPECT_GT(n_pricey, n_cheap);
+}
+
+}  // namespace
+}  // namespace qrgrid::model

@@ -1,0 +1,109 @@
+#include "simgrid/jobprofile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qrgrid::simgrid {
+namespace {
+
+JobProfile four_site_profile(int procs_per_group) {
+  JobProfile profile;
+  profile.name = "tsqr-4-sites";
+  for (int g = 0; g < 4; ++g) {
+    GroupRequirement req;
+    req.processes = procs_per_group;
+    req.max_intra_latency_s = 1e-3;        // excludes wide-area links
+    req.min_intra_bandwidth_Bps = 100e6 / 8;
+    profile.groups.push_back(req);
+  }
+  return profile;
+}
+
+TEST(MetaScheduler, PlacesFourGroupsOnFourClusters) {
+  MetaScheduler sched(GridTopology::grid5000());
+  auto alloc = sched.allocate(four_site_profile(64));
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->size(), 256);
+  // Each group must be confined to one cluster.
+  const GridTopology& topo = sched.topology();
+  for (int g = 0; g < 4; ++g) {
+    int cluster = -1;
+    for (int r = 0; r < alloc->size(); ++r) {
+      if (alloc->group_of(r) != g) continue;
+      const int c = topo.location_of(
+          alloc->placement[static_cast<std::size_t>(r)]).cluster;
+      if (cluster < 0) cluster = c;
+      EXPECT_EQ(c, cluster);
+    }
+  }
+}
+
+TEST(MetaScheduler, DistinctGroupsLandOnDistinctClusters) {
+  MetaScheduler sched(GridTopology::grid5000());
+  auto alloc = sched.allocate(four_site_profile(64));
+  ASSERT_TRUE(alloc.has_value());
+  const GridTopology& topo = sched.topology();
+  std::vector<int> cluster_of_group(4, -1);
+  for (int r = 0; r < alloc->size(); ++r) {
+    const int g = alloc->group_of(r);
+    cluster_of_group[static_cast<std::size_t>(g)] = topo.location_of(
+        alloc->placement[static_cast<std::size_t>(r)]).cluster;
+  }
+  std::sort(cluster_of_group.begin(), cluster_of_group.end());
+  EXPECT_EQ(cluster_of_group, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MetaScheduler, OversizedRequestIsRejected) {
+  MetaScheduler sched(GridTopology::grid5000(1));  // 64 procs total
+  JobProfile profile;
+  GroupRequirement req;
+  req.processes = 65;
+  profile.groups.push_back(req);
+  EXPECT_FALSE(sched.allocate(profile).has_value());
+}
+
+TEST(MetaScheduler, TwoGroupsCanShareAClusterWhenNeeded) {
+  MetaScheduler sched(GridTopology::grid5000(1));  // one 64-proc site
+  JobProfile profile;
+  for (int g = 0; g < 2; ++g) {
+    GroupRequirement req;
+    req.processes = 32;
+    profile.groups.push_back(req);
+  }
+  auto alloc = sched.allocate(profile);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->size(), 64);
+}
+
+TEST(MetaScheduler, EqualPowerToleranceEnforced) {
+  MetaScheduler sched(GridTopology::grid5000());
+  JobProfile profile = four_site_profile(64);
+  profile.equal_group_power = true;
+  // Peaks 4.0 .. 5.2 per proc: imbalance (5.2-4.0)/5.2 ~ 23%.
+  profile.power_tolerance = 0.30;
+  EXPECT_TRUE(sched.allocate(profile).has_value());
+  profile.power_tolerance = 0.10;
+  EXPECT_FALSE(sched.allocate(profile).has_value());
+}
+
+TEST(MetaScheduler, LatencyBoundTooStrictIsRejected) {
+  MetaScheduler sched(GridTopology::grid5000());
+  JobProfile profile;
+  GroupRequirement req;
+  req.processes = 8;
+  req.max_intra_latency_s = 1e-9;  // tighter than any real link
+  profile.groups.push_back(req);
+  EXPECT_FALSE(sched.allocate(profile).has_value());
+}
+
+TEST(MetaScheduler, AttributesExposeGroupIds) {
+  MetaScheduler sched(GridTopology::grid5000());
+  auto alloc = sched.allocate(four_site_profile(16));
+  ASSERT_TRUE(alloc.has_value());
+  ProcessGroupAttributes attrs = attributes_from(*alloc);
+  ASSERT_EQ(attrs.group_of_rank.size(), 64u);
+  EXPECT_EQ(attrs.group_of_rank.front(), 0);
+  EXPECT_EQ(attrs.group_of_rank.back(), 3);
+}
+
+}  // namespace
+}  // namespace qrgrid::simgrid

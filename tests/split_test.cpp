@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "msg/comm.hpp"
+
+namespace qrgrid::msg {
+namespace {
+
+TEST(Split, EvenOddGroups) {
+  Runtime rt(6);
+  rt.run([](Comm& world) {
+    Comm half = world.split(world.rank() % 2, world.rank());
+    EXPECT_EQ(half.size(), 3);
+    // Ranks ordered by key == parent rank: world {0,2,4} -> {0,1,2}.
+    EXPECT_EQ(half.rank(), world.rank() / 2);
+    // Communication stays inside the child comm.
+    std::vector<double> data = {static_cast<double>(world.rank())};
+    half.allreduce_sum(data);
+    const double want = world.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_DOUBLE_EQ(data[0], want);
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    // Reverse the ordering via descending keys.
+    Comm rev = world.split(0, world.size() - world.rank());
+    EXPECT_EQ(rev.rank(), world.size() - 1 - world.rank());
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  Runtime rt(3);
+  rt.run([](Comm& world) {
+    Comm solo = world.split(world.rank(), 0);
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    std::vector<double> data = {42.0};
+    solo.allreduce_sum(data);
+    EXPECT_EQ(data[0], 42.0);
+  });
+}
+
+TEST(Split, NestedSplits) {
+  Runtime rt(8);
+  rt.run([](Comm& world) {
+    Comm quad = world.split(world.rank() / 4, world.rank());
+    ASSERT_EQ(quad.size(), 4);
+    Comm pair = quad.split(quad.rank() / 2, quad.rank());
+    ASSERT_EQ(pair.size(), 2);
+    std::vector<double> data = {static_cast<double>(world.rank())};
+    pair.allreduce_sum(data);
+    // Pairs are {0,1},{2,3},{4,5},{6,7} in world ranks.
+    const int base = (world.rank() / 2) * 2;
+    EXPECT_DOUBLE_EQ(data[0], static_cast<double>(base + base + 1));
+  });
+}
+
+TEST(Split, SiblingCommsDoNotCrossTalk) {
+  Runtime rt(4);
+  rt.run([](Comm& world) {
+    Comm child = world.split(world.rank() % 2, world.rank());
+    // Same (src, dst, tag) in both children: contexts must separate them.
+    if (child.rank() == 0) {
+      child.send(1, 9, std::vector<double>{static_cast<double>(world.rank())});
+    } else {
+      std::vector<double> got = child.recv(0, 9);
+      // Receiver in group g must see the sender from the same group.
+      EXPECT_EQ(static_cast<int>(got[0]) % 2, world.rank() % 2);
+    }
+  });
+}
+
+TEST(Split, GlobalRankTranslation) {
+  Runtime rt(6);
+  rt.run([](Comm& world) {
+    Comm child = world.split(world.rank() < 2 ? 0 : 1, world.rank());
+    EXPECT_EQ(child.global_rank(), world.rank());
+    if (world.rank() >= 2) {
+      EXPECT_EQ(child.to_global(0), 2);
+    }
+  });
+}
+
+TEST(Split, ClusterOfClustersPattern) {
+  // The paper's usage: one communicator per geographical site, used to
+  // confine the intensive ScaLAPACK traffic inside the site.
+  const int sites = 2, per_site = 3;
+  Runtime rt(sites * per_site);
+  rt.run([&](Comm& world) {
+    const int my_site = world.rank() / per_site;
+    Comm site = world.split(my_site, world.rank());
+    EXPECT_EQ(site.size(), per_site);
+    std::vector<double> data = {1.0};
+    site.allreduce_sum(data);
+    EXPECT_DOUBLE_EQ(data[0], static_cast<double>(per_site));
+    // Site leaders form the inter-site communicator.
+    if (site.rank() == 0) {
+      Comm leaders = world.split(100, my_site);
+      // Only leaders reach here: both with color 100.
+      EXPECT_EQ(leaders.size(), sites);
+      std::vector<double> v = {static_cast<double>(my_site)};
+      leaders.allreduce_sum(v);
+      EXPECT_DOUBLE_EQ(v[0], 1.0);
+    } else {
+      (void)world.split(200 + world.rank(), 0);  // everyone must call split
+    }
+  });
+}
+
+}  // namespace
+}  // namespace qrgrid::msg

@@ -1,0 +1,164 @@
+#include "linalg/tpqrt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/qr.hpp"
+
+namespace qrgrid {
+namespace {
+
+/// Reference: QR of the stacked [R1; R2] with the generic kernel, with R
+/// sign-normalized for comparison.
+Matrix reference_stacked_r(ConstMatrixView r1, ConstMatrixView r2) {
+  const Index n = r1.cols();
+  Matrix stacked(r1.rows() + r2.rows(), n);
+  copy(r1, stacked.block(0, 0, r1.rows(), n));
+  copy(r2, stacked.block(r1.rows(), 0, r2.rows(), n));
+  std::vector<double> tau;
+  geqr2(stacked.view(), tau);
+  Matrix r = extract_r(stacked.view());
+  normalize_r_sign(r.view());
+  return r;
+}
+
+Matrix random_upper(Index n, std::uint64_t seed) {
+  Matrix r = random_gaussian(n, n, seed);
+  zero_below_diagonal(r.view());
+  return r;
+}
+
+class TpqrtTtTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpqrtTtTest, MergedRMatchesReference) {
+  const Index n = GetParam();
+  Matrix r1 = random_upper(n, 60 + n);
+  Matrix r2 = random_upper(n, 61 + n);
+  Matrix want = reference_stacked_r(r1.view(), r2.view());
+
+  std::vector<double> tau;
+  Matrix v2 = Matrix::copy_of(r2.view());
+  tpqrt_tt(r1.view(), v2.view(), tau);
+  normalize_r_sign(r1.view());
+  EXPECT_LT(max_abs_diff(r1.view(), want.view()), 1e-11 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TpqrtTtTest, ::testing::Values(1, 2, 3, 8, 33, 64));
+
+TEST(TpqrtTt, V2StaysUpperTriangular) {
+  const Index n = 12;
+  Matrix r1 = random_upper(n, 71);
+  Matrix v2 = random_upper(n, 72);
+  std::vector<double> tau;
+  tpqrt_tt(r1.view(), v2.view(), tau);
+  EXPECT_TRUE(is_upper_triangular(v2.view()));
+  EXPECT_TRUE(is_upper_triangular(r1.view()));
+}
+
+TEST(TpqrtTt, QIsOrthogonalViaApplication) {
+  // Build the explicit 2n x 2n Q by applying Q to the identity columns and
+  // verify orthogonality + reconstruction.
+  const Index n = 10;
+  Matrix r1_orig = random_upper(n, 81);
+  Matrix r2_orig = random_upper(n, 82);
+  Matrix r1 = Matrix::copy_of(r1_orig.view());
+  Matrix v2 = Matrix::copy_of(r2_orig.view());
+  std::vector<double> tau;
+  tpqrt_tt(r1.view(), v2.view(), tau);
+
+  // Q [R; 0] must reproduce the stacked input.
+  Matrix c1 = Matrix::copy_of(r1.view());
+  Matrix c2(n, n);
+  tpmqrt_tt(Trans::No, v2.view(), tau, c1.view(), c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), r1_orig.view()), 1e-11 * n);
+  EXPECT_LT(max_abs_diff(c2.view(), r2_orig.view()), 1e-11 * n);
+}
+
+TEST(TpqrtTt, QtThenQRoundTrips) {
+  const Index n = 9, p = 5;
+  Matrix r1 = random_upper(n, 91);
+  Matrix v2 = random_upper(n, 92);
+  std::vector<double> tau;
+  tpqrt_tt(r1.view(), v2.view(), tau);
+
+  Matrix c1 = random_gaussian(n, p, 93);
+  Matrix c2 = random_gaussian(n, p, 94);
+  Matrix c1_orig = Matrix::copy_of(c1.view());
+  Matrix c2_orig = Matrix::copy_of(c2.view());
+  tpmqrt_tt(Trans::Yes, v2.view(), tau, c1.view(), c2.view());
+  tpmqrt_tt(Trans::No, v2.view(), tau, c1.view(), c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), c1_orig.view()), 1e-11);
+  EXPECT_LT(max_abs_diff(c2.view(), c2_orig.view()), 1e-11);
+}
+
+TEST(TpqrtTt, ZeroBottomBlockIsNoOp) {
+  const Index n = 6;
+  Matrix r1 = random_upper(n, 95);
+  Matrix r1_orig = Matrix::copy_of(r1.view());
+  Matrix v2(n, n);  // zero
+  std::vector<double> tau;
+  tpqrt_tt(r1.view(), v2.view(), tau);
+  for (double t : tau) EXPECT_EQ(t, 0.0);
+  EXPECT_LT(max_abs_diff(r1.view(), r1_orig.view()), 1e-14);
+}
+
+class TpqrtTdTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TpqrtTdTest, DenseBottomMatchesReference) {
+  const auto [m, n] = GetParam();
+  Matrix r1 = random_upper(n, 160 + n);
+  Matrix b = random_gaussian(m, n, 161 + m);
+  Matrix want = reference_stacked_r(r1.view(), b.view());
+
+  std::vector<double> tau;
+  tpqrt_td(r1.view(), b.view(), tau);
+  normalize_r_sign(r1.view());
+  EXPECT_LT(max_abs_diff(r1.view(), want.view()), 1e-11 * (m + n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TpqrtTdTest,
+                         ::testing::Combine(::testing::Values(1, 7, 40),
+                                            ::testing::Values(1, 5, 16)));
+
+TEST(TpqrtTd, ApplyReconstructsStackedInput) {
+  const Index m = 14, n = 6;
+  Matrix r1_orig = random_upper(n, 171);
+  Matrix b_orig = random_gaussian(m, n, 172);
+  Matrix r1 = Matrix::copy_of(r1_orig.view());
+  Matrix v2 = Matrix::copy_of(b_orig.view());
+  std::vector<double> tau;
+  tpqrt_td(r1.view(), v2.view(), tau);
+
+  Matrix c1 = Matrix::copy_of(r1.view());
+  Matrix c2(m, n);
+  tpmqrt_td(Trans::No, v2.view(), tau, c1.view(), c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), r1_orig.view()), 1e-11 * m);
+  EXPECT_LT(max_abs_diff(c2.view(), b_orig.view()), 1e-11 * m);
+}
+
+TEST(TpqrtTt, AssociativityOfMerges) {
+  // Merging ((R1,R2),R3) and ((R1,R3),R2) must give the same R after sign
+  // normalization — the associativity/commutativity property that makes
+  // the TSQR reduction tree shape a free choice (paper §II-C).
+  const Index n = 8;
+  Matrix r1 = random_upper(n, 201);
+  Matrix r2 = random_upper(n, 202);
+  Matrix r3 = random_upper(n, 203);
+
+  auto merge = [&](Matrix top, Matrix bottom) {
+    std::vector<double> tau;
+    tpqrt_tt(top.view(), bottom.view(), tau);
+    return top;
+  };
+  Matrix a = merge(merge(Matrix::copy_of(r1.view()), Matrix::copy_of(r2.view())),
+                   Matrix::copy_of(r3.view()));
+  Matrix b = merge(merge(Matrix::copy_of(r1.view()), Matrix::copy_of(r3.view())),
+                   Matrix::copy_of(r2.view()));
+  normalize_r_sign(a.view());
+  normalize_r_sign(b.view());
+  EXPECT_LT(max_abs_diff(a.view(), b.view()), 1e-10 * n);
+}
+
+}  // namespace
+}  // namespace qrgrid

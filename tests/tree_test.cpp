@@ -1,0 +1,143 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qrgrid::core {
+namespace {
+
+/// Structural invariants every reduction tree must satisfy: each non-root
+/// domain is a child exactly once, never merges again afterwards, and the
+/// root is never a child.
+void check_valid_tree(const ReductionTree& t) {
+  const int d = t.num_domains();
+  std::set<int> retired;
+  std::set<int> seen_child;
+  for (const auto& level : t.levels()) {
+    for (const auto& m : level.merges) {
+      EXPECT_NE(m.parent, m.child);
+      EXPECT_GE(m.child, 0);
+      EXPECT_LT(m.child, d);
+      EXPECT_GE(m.parent, 0);
+      EXPECT_LT(m.parent, d);
+      EXPECT_FALSE(retired.contains(m.parent))
+          << "parent " << m.parent << " already sent its R";
+      EXPECT_FALSE(retired.contains(m.child));
+      EXPECT_TRUE(seen_child.insert(m.child).second)
+          << "domain " << m.child << " is a child twice";
+      retired.insert(m.child);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen_child.size()), d - 1)
+      << "every non-root domain must be absorbed exactly once";
+  EXPECT_FALSE(seen_child.contains(t.root()));
+}
+
+class TreeShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeShapeTest, FlatIsValidWithLinearDepth) {
+  const int d = GetParam();
+  ReductionTree t = ReductionTree::flat(d);
+  check_valid_tree(t);
+  EXPECT_EQ(t.depth(), d - 1);
+}
+
+TEST_P(TreeShapeTest, BinaryIsValidWithLogDepth) {
+  const int d = GetParam();
+  ReductionTree t = ReductionTree::binary(d);
+  check_valid_tree(t);
+  int expected_depth = 0;
+  for (int s = 1; s < d; s *= 2) ++expected_depth;
+  EXPECT_EQ(t.depth(), expected_depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainCounts, TreeShapeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 64, 256));
+
+TEST(Tree, BinaryMergePartnersAtPowerOfTwoStrides) {
+  ReductionTree t = ReductionTree::binary(8);
+  ASSERT_EQ(t.depth(), 3);
+  EXPECT_EQ(t.levels()[0].merges.size(), 4u);
+  EXPECT_EQ(t.levels()[1].merges.size(), 2u);
+  EXPECT_EQ(t.levels()[2].merges.size(), 1u);
+  EXPECT_EQ(t.levels()[2].merges[0].parent, 0);
+  EXPECT_EQ(t.levels()[2].merges[0].child, 4);
+}
+
+TEST(Tree, GridHierarchicalIsValid) {
+  // 3 clusters x 4 domains.
+  std::vector<int> cluster = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+  ReductionTree t = ReductionTree::grid_hierarchical(cluster);
+  check_valid_tree(t);
+}
+
+TEST(Tree, GridHierarchicalMinimizesInterClusterMessages) {
+  // The paper's Fig. 2 argument: with domains spread over S clusters, the
+  // tuned tree pays exactly S-1 inter-cluster messages; the topology-blind
+  // binary tree generally pays more.
+  for (int sites : {2, 3, 4}) {
+    const int per_site = 8;
+    std::vector<int> cluster;
+    for (int s = 0; s < sites; ++s) {
+      for (int d = 0; d < per_site; ++d) cluster.push_back(s);
+    }
+    ReductionTree tuned = ReductionTree::grid_hierarchical(cluster);
+    EXPECT_EQ(tuned.inter_cluster_merges(cluster), sites - 1);
+  }
+}
+
+TEST(Tree, InterleavedPlacementHurtsBlindBinaryTree) {
+  // Round-robin domain placement (worst case the paper's Fig. 1 caption
+  // warns about): the blind binary tree crosses clusters at every level,
+  // the tuned tree still pays sites-1.
+  const int sites = 4, per_site = 4;
+  std::vector<int> cluster;
+  for (int d = 0; d < sites * per_site; ++d) cluster.push_back(d % sites);
+  // Tuned tree handles non-contiguous clusters.
+  ReductionTree tuned = ReductionTree::grid_hierarchical(cluster);
+  EXPECT_EQ(tuned.inter_cluster_merges(cluster), sites - 1);
+  ReductionTree blind = ReductionTree::binary(sites * per_site);
+  EXPECT_GT(blind.inter_cluster_merges(cluster), sites - 1);
+}
+
+TEST(Tree, MakeDispatchesAndDegenerates) {
+  EXPECT_EQ(ReductionTree::make(TreeKind::kFlat, 5).depth(), 4);
+  EXPECT_EQ(ReductionTree::make(TreeKind::kBinary, 8).depth(), 3);
+  // Hierarchical without topology degenerates to binary.
+  EXPECT_EQ(ReductionTree::make(TreeKind::kGridHierarchical, 8).depth(), 3);
+  std::vector<int> cluster = {0, 0, 1, 1};
+  ReductionTree t =
+      ReductionTree::make(TreeKind::kGridHierarchical, 4, cluster);
+  check_valid_tree(t);
+  EXPECT_EQ(t.inter_cluster_merges(cluster), 1);
+}
+
+TEST(Tree, SingleDomainHasNoLevels) {
+  EXPECT_EQ(ReductionTree::binary(1).depth(), 0);
+  EXPECT_EQ(ReductionTree::flat(1).depth(), 0);
+}
+
+TEST(PartitionRows, EvenAndUnevenSplits) {
+  auto even = partition_rows(100, 4);
+  ASSERT_EQ(even.size(), 4u);
+  for (const auto& blk : even) EXPECT_EQ(blk.count, 25);
+  EXPECT_EQ(even[3].offset, 75);
+
+  auto uneven = partition_rows(10, 3);
+  EXPECT_EQ(uneven[0].count, 4);
+  EXPECT_EQ(uneven[1].count, 3);
+  EXPECT_EQ(uneven[2].count, 3);
+  EXPECT_EQ(uneven[0].offset + uneven[0].count, uneven[1].offset);
+  EXPECT_EQ(uneven[2].offset + uneven[2].count, 10);
+}
+
+TEST(PartitionRows, MoreParts) {
+  auto blocks = partition_rows(5, 8);
+  std::int64_t total = 0;
+  for (const auto& blk : blocks) total += blk.count;
+  EXPECT_EQ(total, 5);
+}
+
+}  // namespace
+}  // namespace qrgrid::core

@@ -1,0 +1,144 @@
+// Virtual-clock semantics of the runtime: message latency/bandwidth and
+// compute costs must combine exactly like the paper's Equation (1) along
+// the dependency chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "msg/comm.hpp"
+
+namespace qrgrid::msg {
+namespace {
+
+/// Unit-latency model: every inter-rank message costs exactly 1 virtual
+/// second, compute is free. max_vtime then equals the critical-path
+/// message count — the "#msg" column of the paper's Tables I/II.
+class UnitLatencyModel final : public CostModel {
+ public:
+  double transfer_seconds(int src, int dst, std::size_t) const override {
+    return src == dst ? 0.0 : 1.0;
+  }
+  double flop_seconds(int, double, int) const override { return 0.0; }
+  LinkClass link_class(int src, int dst) const override {
+    return src == dst ? LinkClass::kSelf : LinkClass::kIntraCluster;
+  }
+};
+
+/// Pure-bandwidth model: time == bytes transferred.
+class BytesModel final : public CostModel {
+ public:
+  double transfer_seconds(int src, int dst, std::size_t bytes) const override {
+    return src == dst ? 0.0 : static_cast<double>(bytes);
+  }
+  double flop_seconds(int, double, int) const override { return 0.0; }
+  LinkClass link_class(int src, int dst) const override {
+    return src == dst ? LinkClass::kSelf : LinkClass::kIntraCluster;
+  }
+};
+
+/// Pure-compute model: one flop == one virtual second.
+class FlopModel final : public CostModel {
+ public:
+  double transfer_seconds(int, int, std::size_t) const override { return 0.0; }
+  double flop_seconds(int, double flops, int) const override { return flops; }
+  LinkClass link_class(int src, int dst) const override {
+    return src == dst ? LinkClass::kSelf : LinkClass::kIntraCluster;
+  }
+};
+
+TEST(VirtualTime, P2pChainAccumulatesLatency) {
+  const int p = 5;
+  Runtime rt(p, std::make_shared<UnitLatencyModel>());
+  RunStats stats = rt.run([&](Comm& comm) {
+    // 0 -> 1 -> 2 -> 3 -> 4 relay.
+    if (comm.rank() > 0) {
+      (void)comm.recv(comm.rank() - 1, 0);
+    }
+    if (comm.rank() + 1 < p) {
+      comm.send(comm.rank() + 1, 0, std::vector<double>{1.0});
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, static_cast<double>(p - 1));
+}
+
+TEST(VirtualTime, ReceiverWaitsForLatestDependency) {
+  Runtime rt(3, std::make_shared<UnitLatencyModel>());
+  RunStats stats = rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(2, 0, std::vector<double>{1.0});
+    } else if (comm.rank() == 1) {
+      comm.advance_vtime(10.0);  // slow sender
+      comm.send(2, 1, std::vector<double>{1.0});
+    } else {
+      (void)comm.recv(0, 0);
+      (void)comm.recv(1, 1);
+      EXPECT_DOUBLE_EQ(comm.vtime(), 11.0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, 11.0);
+}
+
+TEST(VirtualTime, BandwidthScalesWithPayload) {
+  Runtime rt(2, std::make_shared<BytesModel>());
+  RunStats stats = rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<double>(16, 0.0));  // 128 bytes
+    } else {
+      (void)comm.recv(0, 0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, 128.0);
+}
+
+TEST(VirtualTime, ComputeAdvancesOnlyOwnClock) {
+  Runtime rt(2, std::make_shared<FlopModel>());
+  RunStats stats = rt.run([](Comm& comm) {
+    if (comm.rank() == 0) comm.compute(42.0);
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, 42.0);
+}
+
+class AllreduceDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceDepthTest, PowerOfTwoAllreduceHasLog2Depth) {
+  // The butterfly allreduce must cost exactly log2(P) message rounds on
+  // the critical path — the paper charges allreduces exactly this.
+  const int p = GetParam();
+  Runtime rt(p, std::make_shared<UnitLatencyModel>());
+  RunStats stats = rt.run([](Comm& comm) {
+    std::vector<double> data = {1.0};
+    comm.allreduce_sum(data);
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, std::log2(static_cast<double>(p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, AllreduceDepthTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(VirtualTime, BcastDepthIsCeilLog2) {
+  const int p = 8;
+  Runtime rt(p, std::make_shared<UnitLatencyModel>());
+  RunStats stats = rt.run([](Comm& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 0) data = {1.0};
+    comm.bcast(data, 0);
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, 3.0);
+}
+
+TEST(VirtualTime, SequentialAllreducesAddUp) {
+  const int p = 4;
+  const int rounds = 5;
+  Runtime rt(p, std::make_shared<UnitLatencyModel>());
+  RunStats stats = rt.run([&](Comm& comm) {
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<double> data = {1.0};
+      comm.allreduce_sum(data);
+    }
+  });
+  EXPECT_DOUBLE_EQ(stats.max_vtime, rounds * std::log2(p));
+}
+
+}  // namespace
+}  // namespace qrgrid::msg

@@ -1,0 +1,106 @@
+// The grid job service end to end, small enough to read every number:
+//
+//   1. generate a seeded 12-job Poisson workload of tall-skinny
+//      factorizations (mixed shapes and process counts);
+//   2. serve it on a 2-site Grid'5000 slice under EASY backfilling —
+//      every placement goes through the paper's JobProfile/MetaScheduler
+//      contract, every runtime is the exact DES replay of the TSQR
+//      schedule on the granted nodes;
+//   3. print the per-job timeline (who waited, who backfilled, where each
+//      job ran) and the grid-wide accounting, then contrast the three
+//      policies on the same stream.
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sched/service.hpp"
+#include "sched/workload.hpp"
+
+using namespace qrgrid;
+
+int main() {
+  simgrid::GridTopology topo = simgrid::GridTopology::grid5000(2, 4, 2);
+  const model::Roofline roof = model::paper_calibration();
+
+  sched::WorkloadSpec spec;
+  spec.jobs = 12;
+  spec.mean_interarrival_s = 0.4;
+  spec.m_choices = {1 << 18, 1 << 20, 1 << 22};
+  spec.n_choices = {64, 256};
+  spec.procs_choices = {4, 8, 16};
+  spec.seed = 4242;
+  const std::vector<sched::Job> jobs = sched::generate_workload(spec);
+
+  std::cout << "Workload: " << spec.jobs << " TSQR jobs over "
+            << topo.num_clusters() << " sites, " << topo.total_procs()
+            << " processes (" << "seed " << spec.seed << ")\n\n";
+
+  sched::ServiceOptions options;
+  options.policy = sched::Policy::kEasyBackfill;
+  sched::GridJobService service(topo, roof, options);
+  const sched::ServiceReport report = service.run(jobs);
+
+  TextTable timeline;
+  timeline.set_header({"job", "arrival", "start", "finish", "wait", "m",
+                       "n", "procs", "sites", "backfilled"});
+  for (const sched::JobOutcome& o : report.outcomes) {
+    std::string sites;
+    for (std::size_t i = 0; i < o.clusters.size(); ++i) {
+      if (i > 0) sites += '+';
+      sites += topo.cluster(o.clusters[i]).name;
+    }
+    timeline.add_row({std::to_string(o.job.id),
+                      format_number(o.job.arrival_s, 4),
+                      format_number(o.start_s, 4),
+                      format_number(o.finish_s, 4),
+                      format_number(o.wait_s(), 4),
+                      format_number(o.job.m),
+                      std::to_string(o.job.n),
+                      std::to_string(o.job.procs), sites,
+                      o.backfilled ? "yes" : ""});
+  }
+  timeline.print(std::cout);
+
+  std::cout << "\nEASY backfilling: makespan "
+            << format_number(report.makespan_s, 4) << " s, mean wait "
+            << format_number(report.mean_wait_s, 4) << " s, utilization "
+            << format_number(100.0 * report.utilization, 3) << " %, "
+            << report.backfilled_jobs << " backfilled job(s)\n";
+  for (int c = 0; c < topo.num_clusters(); ++c) {
+    std::cout << "  " << topo.cluster(c).name << ": WAN egress "
+              << format_number(
+                     static_cast<double>(report.wan_egress_bytes
+                                             [static_cast<std::size_t>(c)]) /
+                         1e6,
+                     4)
+              << " MB, ingress "
+              << format_number(
+                     static_cast<double>(
+                         report.wan_ingress_bytes
+                             [static_cast<std::size_t>(c)]) /
+                         1e6,
+                     4)
+              << " MB\n";
+  }
+
+  std::cout << "\nSame stream under all three policies:\n";
+  TextTable compare;
+  compare.set_header({"policy", "makespan (s)", "mean wait (s)",
+                      "utilization %"});
+  for (sched::Policy policy :
+       {sched::Policy::kFcfs, sched::Policy::kSpjf,
+        sched::Policy::kEasyBackfill}) {
+    sched::ServiceOptions o;
+    o.policy = policy;
+    sched::GridJobService s(topo, roof, o);
+    const sched::ServiceReport r = s.run(jobs);
+    compare.add_row({policy_name(policy), format_number(r.makespan_s, 4),
+                     format_number(r.mean_wait_s, 4),
+                     format_number(100.0 * r.utilization, 3)});
+  }
+  compare.print(std::cout);
+  std::cout << "\nThe head-of-line blocking FCFS pays on every whole-grid "
+               "job is what EASY's\nreservation-protected holes recover; "
+               "SPJF trades max wait for mean wait.\n";
+  return 0;
+}

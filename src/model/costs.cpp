@@ -43,6 +43,11 @@ double predict_time_s(const CostBreakdown& c, const MachineParams& mp) {
          c.flops / (mp.domain_gflops * 1e9);
 }
 
+double predict_tsqr_seconds(double m, double n, double domains,
+                            const MachineParams& mp, Outputs out) {
+  return predict_time_s(tsqr_costs(m, n, domains, out), mp);
+}
+
 double useful_flops(double m, double n) {
   return 2.0 * m * n * n - (2.0 / 3.0) * n * n * n;
 }

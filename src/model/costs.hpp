@@ -43,6 +43,13 @@ struct MachineParams {
 /// Equation (1): predicted factorization time in seconds.
 double predict_time_s(const CostBreakdown& c, const MachineParams& mp);
 
+/// Equation (1) applied to the TSQR breakdown in one call — the runtime
+/// prediction the job service's shortest-predicted-job-first policy sorts
+/// by (and EASY reports next to the exact replay).
+double predict_tsqr_seconds(double m, double n, double domains,
+                            const MachineParams& mp,
+                            Outputs out = Outputs::kROnly);
+
 /// The "useful" flop count the paper divides by to report Gflop/s
 /// (Householder QR of an M x N matrix, R-factor only).
 double useful_flops(double m, double n);

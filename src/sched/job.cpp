@@ -1,0 +1,53 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace qrgrid::sched {
+
+Policy policy_of(const std::string& name) {
+  if (name == "fcfs") return Policy::kFcfs;
+  if (name == "spjf") return Policy::kSpjf;
+  if (name == "easy") return Policy::kEasyBackfill;
+  throw Error("unknown policy '" + name + "' (fcfs|spjf|easy)");
+}
+
+std::string policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFcfs: return "fcfs";
+    case Policy::kSpjf: return "spjf";
+    case Policy::kEasyBackfill: return "easy";
+  }
+  return "?";
+}
+
+bool JobQueue::before(const Entry& a, const Entry& b) const {
+  if (policy_ == Policy::kSpjf) {
+    if (a.predicted_s != b.predicted_s) return a.predicted_s < b.predicted_s;
+    return a.job.id < b.job.id;
+  }
+  if (a.job.priority != b.job.priority) return a.job.priority > b.job.priority;
+  if (a.job.arrival_s != b.job.arrival_s) {
+    return a.job.arrival_s < b.job.arrival_s;
+  }
+  return a.job.id < b.job.id;
+}
+
+void JobQueue::push(Job job, double predicted_s) {
+  Entry e{std::move(job), predicted_s};
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), e,
+      [this](const Entry& a, const Entry& b) { return before(a, b); });
+  entries_.insert(pos, std::move(e));
+}
+
+Job JobQueue::remove(std::size_t i) {
+  QRGRID_CHECK(i < entries_.size());
+  Job job = std::move(entries_[i].job);
+  entries_.erase(entries_.begin() +
+                 static_cast<std::ptrdiff_t>(i));
+  return job;
+}
+
+}  // namespace qrgrid::sched

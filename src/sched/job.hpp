@@ -1,0 +1,90 @@
+// Job model and policy-ordered pending queue of the grid job service.
+//
+// The paper factors ONE tall-skinny matrix across the grid; the service
+// layer queues STREAMS of such factorizations. A Job is the request (when
+// it arrives, the matrix shape, how many processes it wants, which
+// reduction tree); the JobQueue holds not-yet-started jobs in the order
+// mandated by the active scheduling policy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace qrgrid::sched {
+
+/// How the pending queue is ordered and whether holes may be backfilled.
+enum class Policy {
+  kFcfs,          ///< strict arrival order; the head blocks everything
+  kSpjf,          ///< shortest predicted job first (Section-IV cost model)
+  kEasyBackfill,  ///< FCFS head + EASY backfilling behind its reservation
+};
+
+/// Parses "fcfs" | "spjf" | "easy"; throws qrgrid::Error otherwise.
+Policy policy_of(const std::string& name);
+std::string policy_name(Policy policy);
+
+/// One queued TSQR factorization request.
+struct Job {
+  int id = 0;
+  double arrival_s = 0.0;  ///< virtual submission time
+  double m = 0.0;          ///< matrix rows
+  int n = 0;               ///< matrix columns (tall-skinny: m >> n)
+  int procs = 0;           ///< processes requested (rounded up to nodes)
+  int priority = 0;        ///< larger runs earlier among FCFS/EASY equals
+  core::TreeKind tree = core::TreeKind::kGridHierarchical;
+};
+
+/// What the service records when a job finishes.
+struct JobOutcome {
+  Job job;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  double service_s = 0.0;      ///< DES-replayed factorization time
+  double gflops = 0.0;         ///< useful rate inside the allocation
+  std::vector<int> clusters;   ///< master cluster ids the job ran on
+  int nodes = 0;               ///< total nodes held for service_s
+  bool backfilled = false;     ///< started ahead of an EASY reservation
+
+  double wait_s() const { return start_s - job.arrival_s; }
+  double turnaround_s() const { return finish_s - job.arrival_s; }
+};
+
+/// Pending jobs in policy order. FCFS and EASY order by (priority desc,
+/// arrival, id); SPJF by (predicted runtime, id). Insertion keeps the
+/// sequence sorted so `front()` is always the next job the policy owes.
+class JobQueue {
+ public:
+  explicit JobQueue(Policy policy) : policy_(policy) {}
+
+  /// `predicted_s` is the Section-IV runtime estimate (SPJF's sort key;
+  /// stored for reporting under the other policies).
+  void push(Job job, double predicted_s);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const Job& front() const { return entries_.front().job; }
+  Job pop_front() { return remove(0); }
+
+  /// Positional access for the backfilling scan.
+  const Job& at(std::size_t i) const { return entries_[i].job; }
+  double predicted_at(std::size_t i) const {
+    return entries_[i].predicted_s;
+  }
+  Job remove(std::size_t i);
+
+ private:
+  struct Entry {
+    Job job;
+    double predicted_s = 0.0;
+  };
+  bool before(const Entry& a, const Entry& b) const;
+
+  Policy policy_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qrgrid::sched

@@ -1,0 +1,392 @@
+#include "sched/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "core/des_algos.hpp"
+#include "model/costs.hpp"
+#include "simgrid/des.hpp"
+#include "simgrid/jobprofile.hpp"
+
+namespace qrgrid::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Connectivity bounds that confine every group of a job profile to one
+/// cluster: intra-cluster GigE passes, wide-area links (>= 6 ms) do not.
+constexpr double kGroupMaxLatencyS = 1e-3;
+constexpr double kGroupMinBandwidthBps = 100e6 / 8.0;
+
+/// Topology over a per-cluster node subset of `master`, plus the mapping
+/// from its cluster indices back to master cluster ids. Shared by the
+/// placement path (free nodes) and the replay path (granted nodes).
+struct SubTopology {
+  simgrid::GridTopology topology;
+  std::vector<int> to_master;
+};
+
+SubTopology make_sub_topology(const simgrid::GridTopology& master,
+                              const std::vector<int>& nodes_per_cluster) {
+  std::vector<simgrid::ClusterSpec> clusters;
+  std::vector<int> to_master;
+  for (int c = 0; c < master.num_clusters(); ++c) {
+    const int nodes = nodes_per_cluster[static_cast<std::size_t>(c)];
+    if (nodes <= 0) continue;
+    simgrid::ClusterSpec spec = master.cluster(c);
+    spec.nodes = nodes;
+    clusters.push_back(spec);
+    to_master.push_back(c);
+  }
+  QRGRID_CHECK(!clusters.empty());
+  const std::size_t k = clusters.size();
+  std::vector<std::vector<simgrid::LinkParams>> inter(
+      k, std::vector<simgrid::LinkParams>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      inter[i][j] = i == j ? master.intra_cluster_link()
+                           : master.inter_cluster_link(
+                                 to_master[i], to_master[j]);
+    }
+  }
+  return SubTopology{
+      simgrid::GridTopology(std::move(clusters), master.intra_node_link(),
+                            master.intra_cluster_link(), std::move(inter)),
+      std::move(to_master)};
+}
+
+}  // namespace
+
+long long total_wan_bytes(const ServiceReport& report) {
+  long long bytes = 0;
+  for (long long b : report.wan_egress_bytes) bytes += b;
+  return bytes;
+}
+
+std::vector<std::string> summary_header() {
+  return {"policy",    "makespan (s)",   "mean wait (s)",
+          "max wait (s)", "jobs/hour",   "useful Gflop/s",
+          "utilization %", "backfilled", "WAN GB"};
+}
+
+std::vector<std::string> summary_row(const ServiceReport& report) {
+  return {policy_name(report.policy),
+          format_number(report.makespan_s, 5),
+          format_number(report.mean_wait_s, 4),
+          format_number(report.max_wait_s, 4),
+          format_number(report.throughput_jobs_per_hour, 4),
+          format_number(report.aggregate_gflops, 4),
+          format_number(100.0 * report.utilization, 3),
+          std::to_string(report.backfilled_jobs),
+          format_number(static_cast<double>(total_wan_bytes(report)) / 1e9,
+                        3)};
+}
+
+GridJobService::GridJobService(simgrid::GridTopology topology,
+                               model::Roofline roofline,
+                               ServiceOptions options)
+    : topology_(std::move(topology)),
+      roofline_(roofline),
+      options_(options) {
+  QRGRID_CHECK(options_.max_groups >= 1);
+  QRGRID_CHECK(options_.domains_per_cluster >= 0);
+}
+
+double GridJobService::predicted_seconds(const Job& job) const {
+  // Equation (1) with intra-cluster link constants and one domain per
+  // process — an ordering estimate, not the exact replay.
+  model::MachineParams mp;
+  mp.latency_s = topology_.intra_cluster_link().latency_s;
+  mp.inv_bandwidth_s_per_double =
+      sizeof(double) / topology_.intra_cluster_link().bandwidth_Bps;
+  mp.domain_gflops = roofline_.rate_gflops(job.n);
+  return model::predict_tsqr_seconds(job.m, job.n, job.procs, mp);
+}
+
+std::optional<GridJobService::Placement> GridJobService::try_place(
+    const Job& job, const std::vector<int>& free_nodes) const {
+  bool any_free = false;
+  for (int f : free_nodes) any_free |= f > 0;
+  if (!any_free) return std::nullopt;
+
+  SubTopology residual = make_sub_topology(topology_, free_nodes);
+  const simgrid::MetaScheduler scheduler(residual.topology);
+
+  // Fewest groups first: every extra group is another cluster boundary the
+  // R-factor reduction must cross on a wide-area link.
+  for (int g = 1; g <= options_.max_groups; ++g) {
+    const int group_procs = (job.procs + g - 1) / g;
+    simgrid::JobProfile profile;
+    profile.name = "job-" + std::to_string(job.id);
+    for (int i = 0; i < g; ++i) {
+      simgrid::GroupRequirement req;
+      req.processes = group_procs;
+      req.max_intra_latency_s = kGroupMaxLatencyS;
+      req.min_intra_bandwidth_Bps = kGroupMinBandwidthBps;
+      profile.groups.push_back(req);
+    }
+    const auto alloc = scheduler.allocate(profile);
+    if (!alloc.has_value()) continue;
+
+    std::vector<int> procs_used(
+        static_cast<std::size_t>(residual.topology.num_clusters()), 0);
+    for (int rank : alloc->placement) {
+      ++procs_used[static_cast<std::size_t>(
+          residual.topology.location_of(rank).cluster)];
+    }
+    Placement placement;
+    for (int c = 0; c < residual.topology.num_clusters(); ++c) {
+      const int procs = procs_used[static_cast<std::size_t>(c)];
+      if (procs == 0) continue;
+      const int ppn = residual.topology.cluster(c).procs_per_node;
+      const int nodes = (procs + ppn - 1) / ppn;  // node-exclusive grant
+      placement.clusters.push_back(
+          residual.to_master[static_cast<std::size_t>(c)]);
+      placement.nodes.push_back(nodes);
+      placement.total_nodes += nodes;
+    }
+    return placement;
+  }
+  return std::nullopt;
+}
+
+const GridJobService::Replay& GridJobService::replay_for(
+    const Job& job, const Placement& placement) {
+  std::ostringstream key;
+  key.precision(17);  // round-trip doubles: distinct m must not collide
+  key << job.m << ':' << job.n << ':' << static_cast<int>(job.tree) << ':'
+      << options_.domains_per_cluster;
+  for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+    key << (i == 0 ? ';' : ',') << placement.clusters[i] << 'x'
+        << placement.nodes[i];
+  }
+  const auto cached = replay_cache_.find(key.str());
+  if (cached != replay_cache_.end()) return cached->second;
+
+  std::vector<int> nodes_per_cluster(
+      static_cast<std::size_t>(topology_.num_clusters()), 0);
+  for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+    nodes_per_cluster[static_cast<std::size_t>(placement.clusters[i])] =
+        placement.nodes[i];
+  }
+  SubTopology sub = make_sub_topology(topology_, nodes_per_cluster);
+
+  int domains = options_.domains_per_cluster;
+  if (domains == 0) {
+    // Auto: one domain per process while panels are narrow (Fig. 6's
+    // regime), at most 16 for N > 128 where the combine flops stop paying
+    // for themselves (Fig. 7b).
+    int min_procs = sub.topology.cluster(0).procs();
+    for (int c = 1; c < sub.topology.num_clusters(); ++c) {
+      min_procs = std::min(min_procs, sub.topology.cluster(c).procs());
+    }
+    domains = std::min(min_procs, job.n <= 128 ? 64 : 16);
+  }
+
+  simgrid::DesEngine engine(&sub.topology, roofline_);
+  const core::DomainLayout layout =
+      core::make_domain_layout(sub.topology, domains);
+  core::des_tsqr(engine, layout.groups, layout.domain_cluster, job.m, job.n,
+                 job.tree, /*form_q=*/false);
+
+  Replay replay;
+  replay.seconds = engine.makespan();
+  replay.gflops =
+      model::useful_flops(job.m, job.n) / replay.seconds / 1e9;
+  replay.compute_utilization = engine.compute_utilization();
+  for (int c = 0; c < sub.topology.num_clusters(); ++c) {
+    replay.egress_bytes.push_back(engine.wan_egress_bytes(c));
+    replay.ingress_bytes.push_back(engine.wan_ingress_bytes(c));
+  }
+  return replay_cache_.emplace(key.str(), std::move(replay)).first->second;
+}
+
+double GridJobService::shadow_time(const Job& head,
+                                   const std::vector<Running>& running,
+                                   const std::vector<int>& free_nodes) const {
+  std::vector<const Running*> by_finish;
+  by_finish.reserve(running.size());
+  for (const Running& r : running) by_finish.push_back(&r);
+  std::sort(by_finish.begin(), by_finish.end(),
+            [](const Running* a, const Running* b) {
+              return a->finish_s != b->finish_s ? a->finish_s < b->finish_s
+                                                : a->seq < b->seq;
+            });
+  std::vector<int> free = free_nodes;
+  for (const Running* r : by_finish) {
+    for (std::size_t i = 0; i < r->placement.clusters.size(); ++i) {
+      free[static_cast<std::size_t>(r->placement.clusters[i])] +=
+          r->placement.nodes[i];
+    }
+    if (try_place(head, free).has_value()) return r->finish_s;
+  }
+  return kInf;  // unreachable once jobs are validated against the full grid
+}
+
+ServiceReport GridJobService::run(std::vector<Job> jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
+                                      : a.id < b.id;
+  });
+
+  const int nclusters = topology_.num_clusters();
+  std::vector<int> total_nodes(static_cast<std::size_t>(nclusters));
+  int grid_nodes = 0;
+  for (int c = 0; c < nclusters; ++c) {
+    total_nodes[static_cast<std::size_t>(c)] = topology_.cluster(c).nodes;
+    grid_nodes += topology_.cluster(c).nodes;
+  }
+  for (const Job& job : jobs) {
+    QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1,
+                     "malformed job " << job.id);
+    QRGRID_CHECK_MSG(try_place(job, total_nodes).has_value(),
+                     "job " << job.id << " (" << job.procs
+                            << " procs) cannot fit the grid at all");
+  }
+
+  ServiceReport report;
+  report.policy = options_.policy;
+  report.wan_egress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
+  report.wan_ingress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
+
+  std::vector<int> free_nodes = total_nodes;
+  JobQueue pending(options_.policy);
+  std::vector<Running> running;
+  double clock = 0.0;
+  double busy_node_seconds = 0.0;
+  double useful_flops_total = 0.0;
+  std::size_t next_arrival = 0;
+  int seq = 0;
+
+  auto start_job = [&](Job job, const Placement& placement,
+                       bool backfilled) {
+    const Replay& replay = replay_for(job, placement);
+    for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+      free_nodes[static_cast<std::size_t>(placement.clusters[i])] -=
+          placement.nodes[i];
+      QRGRID_CHECK(
+          free_nodes[static_cast<std::size_t>(placement.clusters[i])] >= 0);
+    }
+    running.push_back(Running{clock + replay.seconds, seq++, std::move(job),
+                              placement, clock, &replay, backfilled});
+  };
+
+  auto dispatch = [&]() {
+    // Policy order: start from the head while it fits.
+    while (!pending.empty()) {
+      const auto placement = try_place(pending.front(), free_nodes);
+      if (!placement.has_value()) break;
+      start_job(pending.pop_front(), *placement, /*backfilled=*/false);
+    }
+    if (options_.policy != Policy::kEasyBackfill || pending.empty() ||
+        running.empty()) {
+      return;
+    }
+    // EASY: the blocked head holds a reservation at its shadow time; any
+    // later job may start now iff its exact replayed finish time does not
+    // outlast the reservation (completions are exact in virtual time, so
+    // the head is provably never delayed).
+    const double shadow = shadow_time(pending.front(), running, free_nodes);
+    std::size_t i = 1;
+    while (i < pending.size()) {
+      const auto placement = try_place(pending.at(i), free_nodes);
+      if (placement.has_value()) {
+        const Replay& replay = replay_for(pending.at(i), *placement);
+        if (clock + replay.seconds <= shadow) {
+          start_job(pending.remove(i), *placement, /*backfilled=*/true);
+          ++report.backfilled_jobs;
+          continue;  // the entry at i is now the next candidate
+        }
+      }
+      ++i;
+    }
+  };
+
+  while (next_arrival < jobs.size() || !pending.empty() ||
+         !running.empty()) {
+    double t = kInf;
+    if (next_arrival < jobs.size()) t = jobs[next_arrival].arrival_s;
+    for (const Running& r : running) t = std::min(t, r.finish_s);
+    QRGRID_CHECK_MSG(t < kInf, "service deadlock: pending jobs but no "
+                               "running work or future arrivals");
+    clock = std::max(clock, t);
+
+    // Completions first so arrivals at the same instant see freed nodes.
+    for (bool found = true; found;) {
+      found = false;
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        if (running[i].finish_s > clock) continue;
+        if (!found || running[i].finish_s < running[best].finish_s ||
+            (running[i].finish_s == running[best].finish_s &&
+             running[i].seq < running[best].seq)) {
+          best = i;
+          found = true;
+        }
+      }
+      if (!found) break;
+      Running done = std::move(running[best]);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(best));
+      for (std::size_t i = 0; i < done.placement.clusters.size(); ++i) {
+        const auto c =
+            static_cast<std::size_t>(done.placement.clusters[i]);
+        free_nodes[c] += done.placement.nodes[i];
+        report.wan_egress_bytes[c] += done.replay->egress_bytes[i];
+        report.wan_ingress_bytes[c] += done.replay->ingress_bytes[i];
+      }
+      busy_node_seconds +=
+          static_cast<double>(done.placement.total_nodes) *
+          done.replay->seconds;
+      useful_flops_total += model::useful_flops(done.job.m, done.job.n);
+      JobOutcome outcome;
+      outcome.job = std::move(done.job);
+      outcome.start_s = done.start_s;
+      outcome.finish_s = done.finish_s;
+      outcome.service_s = done.replay->seconds;
+      outcome.gflops = done.replay->gflops;
+      outcome.clusters = done.placement.clusters;
+      outcome.nodes = done.placement.total_nodes;
+      outcome.backfilled = done.backfilled;
+      report.makespan_s = std::max(report.makespan_s, outcome.finish_s);
+      report.outcomes.push_back(std::move(outcome));
+    }
+
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival_s <= clock) {
+      Job job = jobs[next_arrival++];
+      const double predicted = predicted_seconds(job);
+      pending.push(std::move(job), predicted);
+    }
+
+    dispatch();
+  }
+
+  if (!report.outcomes.empty() && report.makespan_s > 0.0) {
+    double wait_sum = 0.0, turnaround_sum = 0.0;
+    for (const JobOutcome& o : report.outcomes) {
+      wait_sum += o.wait_s();
+      turnaround_sum += o.turnaround_s();
+      report.max_wait_s = std::max(report.max_wait_s, o.wait_s());
+    }
+    const auto count = static_cast<double>(report.outcomes.size());
+    report.mean_wait_s = wait_sum / count;
+    report.mean_turnaround_s = turnaround_sum / count;
+    report.throughput_jobs_per_hour = count / report.makespan_s * 3600.0;
+    report.aggregate_gflops = useful_flops_total / report.makespan_s / 1e9;
+    report.utilization =
+        busy_node_seconds /
+        (static_cast<double>(grid_nodes) * report.makespan_s);
+  }
+  std::sort(report.outcomes.begin(), report.outcomes.end(),
+            [](const JobOutcome& a, const JobOutcome& b) {
+              return a.job.id < b.job.id;
+            });
+  return report;
+}
+
+}  // namespace qrgrid::sched

@@ -1,0 +1,135 @@
+// Grid job service: queued multi-job scheduling over the DES engine.
+//
+// The service co-executes a stream of TSQR factorization jobs on one
+// shared grid in virtual time. Placement goes through the paper's
+// QCG-OMPI contract: for each job a JobProfile (g groups confined to
+// single clusters by their latency bound) is handed to a MetaScheduler
+// built over the *residual* topology of currently-free nodes; the job's
+// runtime on the granted nodes is the exact des_tsqr replay of its
+// schedule (cached per shape x placement, which is what lets a 1000-job
+// bench finish in seconds). Nodes are held exclusively for the job's
+// duration and returned at completion — space sharing, the way Grid'5000's
+// OAR batch scheduler actually hands out the paper's testbed.
+//
+// Three policies: FCFS (head blocks), shortest-predicted-job-first
+// (Section-IV Equation (1) as the sort key), and EASY backfilling (FCFS
+// head keeps a reservation at the earliest time enough nodes free up;
+// later jobs may jump ahead only if they provably finish before it).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/roofline.hpp"
+#include "sched/job.hpp"
+#include "simgrid/topology.hpp"
+
+namespace qrgrid::sched {
+
+struct ServiceOptions {
+  Policy policy = Policy::kFcfs;
+  /// Domains per cluster for each job's TSQR replay; 0 = auto (one domain
+  /// per process for N <= 128, at most 16 for wider panels — the Fig. 6/7
+  /// trade-off).
+  int domains_per_cluster = 0;
+  /// Largest number of process groups a job may be split into when the
+  /// meta-scheduler cannot place it on fewer clusters.
+  int max_groups = 8;
+};
+
+/// Grid-wide accounting of one service run.
+struct ServiceReport {
+  Policy policy = Policy::kFcfs;
+  std::vector<JobOutcome> outcomes;  ///< all jobs, sorted by job id
+
+  double makespan_s = 0.0;           ///< last completion time
+  double mean_wait_s = 0.0;
+  double max_wait_s = 0.0;
+  double mean_turnaround_s = 0.0;
+  double throughput_jobs_per_hour = 0.0;
+  double aggregate_gflops = 0.0;     ///< sum of useful flops / makespan
+  double utilization = 0.0;          ///< held node-seconds / capacity
+  long long backfilled_jobs = 0;
+
+  /// Per-master-cluster WAN byte totals summed over every job's replay
+  /// (the DesEngine per-cluster counters, mapped back to grid sites).
+  std::vector<long long> wan_egress_bytes;
+  std::vector<long long> wan_ingress_bytes;
+};
+
+/// WAN bytes the run pushed across site uplinks (egress summed over
+/// clusters; equals the ingress sum — every byte leaves one site and
+/// enters another).
+long long total_wan_bytes(const ServiceReport& report);
+
+/// Canonical policy-comparison table columns, shared by the CLI `serve`
+/// subcommand and bench_job_service so the two never drift apart.
+std::vector<std::string> summary_header();
+std::vector<std::string> summary_row(const ServiceReport& report);
+
+class GridJobService {
+ public:
+  GridJobService(simgrid::GridTopology topology, model::Roofline roofline,
+                 ServiceOptions options = {});
+
+  /// Runs the whole workload to completion and reports. Throws
+  /// qrgrid::Error if some job cannot fit even an empty grid.
+  ServiceReport run(std::vector<Job> jobs);
+
+  /// Section-IV Equation (1) estimate used by SPJF ordering (and reported
+  /// alongside the exact replay times).
+  double predicted_seconds(const Job& job) const;
+
+  const simgrid::GridTopology& topology() const { return topology_; }
+
+ private:
+  /// Nodes granted to one job, parallel arrays over the clusters used
+  /// (ascending master cluster id).
+  struct Placement {
+    std::vector<int> clusters;
+    std::vector<int> nodes;
+    int total_nodes = 0;
+  };
+
+  /// Cached DES replay of one (shape, placement) combination.
+  struct Replay {
+    double seconds = 0.0;
+    double gflops = 0.0;
+    double compute_utilization = 0.0;
+    std::vector<long long> egress_bytes;   ///< per placement cluster
+    std::vector<long long> ingress_bytes;  ///< per placement cluster
+  };
+
+  struct Running {
+    double finish_s = 0.0;
+    int seq = 0;  ///< start order, tie-break for simultaneous finishes
+    Job job;
+    Placement placement;
+    double start_s = 0.0;
+    const Replay* replay = nullptr;
+    bool backfilled = false;
+  };
+
+  /// Builds the residual topology of `free_nodes` and asks a
+  /// MetaScheduler to place the job as 1, 2, ... max_groups single-cluster
+  /// groups (fewest groups first: WAN crossings cost the most).
+  std::optional<Placement> try_place(const Job& job,
+                                     const std::vector<int>& free_nodes) const;
+
+  /// DES replay of the job on its granted nodes (memoized).
+  const Replay& replay_for(const Job& job, const Placement& placement);
+
+  /// EASY reservation: earliest virtual time at which accumulated
+  /// completions free enough nodes for `head`.
+  double shadow_time(const Job& head, const std::vector<Running>& running,
+                     const std::vector<int>& free_nodes) const;
+
+  simgrid::GridTopology topology_;
+  model::Roofline roofline_;
+  ServiceOptions options_;
+  std::unordered_map<std::string, Replay> replay_cache_;
+};
+
+}  // namespace qrgrid::sched

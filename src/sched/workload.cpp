@@ -1,0 +1,47 @@
+#include "sched/workload.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace qrgrid::sched {
+
+std::vector<Job> generate_workload(const WorkloadSpec& spec) {
+  QRGRID_CHECK(spec.jobs >= 0);
+  QRGRID_CHECK(spec.mean_interarrival_s > 0.0);
+  QRGRID_CHECK(!spec.m_choices.empty());
+  QRGRID_CHECK(!spec.n_choices.empty());
+  QRGRID_CHECK(!spec.procs_choices.empty());
+  QRGRID_CHECK(!spec.tree_choices.empty());
+  QRGRID_CHECK(spec.priority_levels >= 1);
+
+  Rng rng(spec.seed);
+  auto pick = [&rng](const auto& choices) {
+    return choices[static_cast<std::size_t>(
+        rng.uniform_index(choices.size()))];
+  };
+
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(spec.jobs));
+  double arrival = 0.0;
+  for (int id = 0; id < spec.jobs; ++id) {
+    // Exponential inter-arrival: -mean * ln(1 - U), U in [0, 1).
+    arrival += -spec.mean_interarrival_s * std::log1p(-rng.uniform01());
+    Job job;
+    job.id = id;
+    job.arrival_s = arrival;
+    job.m = pick(spec.m_choices);
+    job.n = pick(spec.n_choices);
+    job.procs = pick(spec.procs_choices);
+    job.tree = pick(spec.tree_choices);
+    job.priority = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(spec.priority_levels)));
+    QRGRID_CHECK_MSG(job.m >= job.n, "workload job is not tall-skinny: m="
+                                         << job.m << " n=" << job.n);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace qrgrid::sched

@@ -16,6 +16,10 @@ DesEngine::DesEngine(const GridTopology* topology, model::Roofline roofline)
                       0.0);
   ingress_free_.assign(static_cast<std::size_t>(topology->num_clusters()),
                        0.0);
+  wan_egress_bytes_.assign(static_cast<std::size_t>(topology->num_clusters()),
+                           0);
+  wan_ingress_bytes_.assign(
+      static_cast<std::size_t>(topology->num_clusters()), 0);
 }
 
 void DesEngine::compute(int rank, double flops, int ncols) {
@@ -59,6 +63,8 @@ double DesEngine::transfer(int src, int dst, std::size_t bytes) {
         start + static_cast<double>(bytes) / wan_aggregate_Bps_;
     egress_free_[sc] = channel_done;
     ingress_free_[dc] = channel_done;
+    wan_egress_bytes_[sc] += static_cast<long long>(bytes);
+    wan_ingress_bytes_[dc] += static_cast<long long>(bytes);
   }
   messages_ += 1;
   messages_by_class_[static_cast<std::size_t>(cls)] += 1;

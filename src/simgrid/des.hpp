@@ -78,6 +78,17 @@ class DesEngine {
   long long bytes_of(msg::LinkClass c) const {
     return bytes_by_class_[static_cast<std::size_t>(c)];
   }
+
+  /// Bytes this cluster pushed onto (pulled off) its wide-area uplink
+  /// (downlink). Intra-cluster traffic never touches these counters; the
+  /// two sums over clusters are equal — every WAN byte leaves one site and
+  /// enters another. The job service uses them for per-site accounting.
+  long long wan_egress_bytes(int cluster) const {
+    return wan_egress_bytes_[static_cast<std::size_t>(cluster)];
+  }
+  long long wan_ingress_bytes(int cluster) const {
+    return wan_ingress_bytes_[static_cast<std::size_t>(cluster)];
+  }
   double total_flops() const { return total_flops_; }
 
   const GridTopology& topology() const { return *topology_; }
@@ -107,6 +118,8 @@ class DesEngine {
   TraceLog* trace_ = nullptr;
   std::vector<double> egress_free_;   ///< per-cluster WAN uplink horizon
   std::vector<double> ingress_free_;  ///< per-cluster WAN downlink horizon
+  std::vector<long long> wan_egress_bytes_;   ///< per-cluster WAN bytes out
+  std::vector<long long> wan_ingress_bytes_;  ///< per-cluster WAN bytes in
   double wan_aggregate_Bps_ = 10e9 / 8.0;  ///< Grid'5000 dark fiber
   long long messages_ = 0;
   long long messages_by_class_[msg::kNumLinkClasses] = {0, 0, 0, 0};

@@ -1,0 +1,274 @@
+#include "sched/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sched/workload.hpp"
+#include "simgrid/des.hpp"
+
+namespace qrgrid::sched {
+namespace {
+
+simgrid::GridTopology small_grid() {
+  // 2 sites x 2 nodes x 2 procs = 8 processes, 4 nodes.
+  return simgrid::GridTopology::grid5000(2, 2, 2);
+}
+
+Job make_job(int id, double arrival_s, double m, int n, int procs) {
+  Job job;
+  job.id = id;
+  job.arrival_s = arrival_s;
+  job.m = m;
+  job.n = n;
+  job.procs = procs;
+  return job;
+}
+
+TEST(Workload, DeterministicAndOrdered) {
+  WorkloadSpec spec;
+  spec.jobs = 64;
+  spec.seed = 99;
+  const std::vector<Job> a = generate_workload(spec);
+  const std::vector<Job> b = generate_workload(spec);
+  ASSERT_EQ(a.size(), 64u);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<int>(i));
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].m, b[i].m);
+    EXPECT_EQ(a[i].n, b[i].n);
+    EXPECT_EQ(a[i].procs, b[i].procs);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+    EXPECT_GE(a[i].arrival_s, prev);
+    prev = a[i].arrival_s;
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadSpec spec;
+  spec.jobs = 32;
+  spec.seed = 1;
+  WorkloadSpec other = spec;
+  other.seed = 2;
+  const std::vector<Job> a = generate_workload(spec);
+  const std::vector<Job> b = generate_workload(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference |= a[i].arrival_s != b[i].arrival_s ||
+                      a[i].m != b[i].m || a[i].procs != b[i].procs;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(JobQueue, FcfsOrdersByPriorityThenArrival) {
+  JobQueue queue(Policy::kFcfs);
+  Job late = make_job(2, 5.0, 1 << 17, 64, 4);
+  Job early = make_job(1, 1.0, 1 << 17, 64, 4);
+  Job urgent = make_job(3, 9.0, 1 << 17, 64, 4);
+  urgent.priority = 1;
+  queue.push(late, 10.0);
+  queue.push(early, 10.0);
+  queue.push(urgent, 10.0);
+  EXPECT_EQ(queue.pop_front().id, 3);  // higher priority wins
+  EXPECT_EQ(queue.pop_front().id, 1);  // then earlier arrival
+  EXPECT_EQ(queue.pop_front().id, 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(JobQueue, SpjfOrdersByPredictedRuntime) {
+  JobQueue queue(Policy::kSpjf);
+  queue.push(make_job(1, 0.0, 1 << 20, 64, 4), 30.0);
+  queue.push(make_job(2, 1.0, 1 << 17, 64, 4), 3.0);
+  queue.push(make_job(3, 2.0, 1 << 18, 64, 4), 7.0);
+  EXPECT_EQ(queue.pop_front().id, 2);
+  EXPECT_EQ(queue.pop_front().id, 3);
+  EXPECT_EQ(queue.pop_front().id, 1);
+}
+
+TEST(DesEngine, PerClusterWanByteCounters) {
+  simgrid::GridTopology topo = small_grid();
+  simgrid::DesEngine engine(&topo, model::paper_calibration());
+  const int remote = topo.cluster_rank_base(1);
+  engine.p2p(0, remote, 1000);   // cluster 0 -> cluster 1
+  engine.p2p(remote, 0, 250);    // cluster 1 -> cluster 0
+  engine.p2p(0, 1, 4096);        // intra-node: must not touch WAN counters
+  EXPECT_EQ(engine.wan_egress_bytes(0), 1000);
+  EXPECT_EQ(engine.wan_ingress_bytes(1), 1000);
+  EXPECT_EQ(engine.wan_egress_bytes(1), 250);
+  EXPECT_EQ(engine.wan_ingress_bytes(0), 250);
+  // Every WAN byte leaves one site and enters another.
+  EXPECT_EQ(engine.wan_egress_bytes(0) + engine.wan_egress_bytes(1),
+            engine.wan_ingress_bytes(0) + engine.wan_ingress_bytes(1));
+  EXPECT_EQ(engine.bytes_of(msg::LinkClass::kInterCluster), 1250);
+}
+
+TEST(GridJobService, RunsEveryJobExactlyOnce) {
+  WorkloadSpec spec;
+  spec.jobs = 40;
+  spec.procs_choices = {2, 4, 8};
+  spec.seed = 7;
+  GridJobService service(small_grid(), model::paper_calibration());
+  const ServiceReport report = service.run(generate_workload(spec));
+  ASSERT_EQ(report.outcomes.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    const JobOutcome& o = report.outcomes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(o.job.id, i);
+    EXPECT_GE(o.start_s, o.job.arrival_s);
+    EXPECT_DOUBLE_EQ(o.finish_s, o.start_s + o.service_s);
+    EXPECT_GT(o.service_s, 0.0);
+    EXPECT_GT(o.nodes, 0);
+    EXPECT_FALSE(o.clusters.empty());
+  }
+  EXPECT_GT(report.makespan_s, 0.0);
+  EXPECT_GT(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0);
+  EXPECT_GT(report.throughput_jobs_per_hour, 0.0);
+}
+
+TEST(GridJobService, DeterministicAcrossRuns) {
+  WorkloadSpec spec;
+  spec.jobs = 60;
+  spec.procs_choices = {2, 4, 8};
+  spec.seed = 11;
+  ServiceOptions options;
+  options.policy = Policy::kEasyBackfill;
+  GridJobService first(small_grid(), model::paper_calibration(), options);
+  GridJobService second(small_grid(), model::paper_calibration(), options);
+  const ServiceReport a = first.run(generate_workload(spec));
+  const ServiceReport b = second.run(generate_workload(spec));
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].start_s, b.outcomes[i].start_s);
+    EXPECT_EQ(a.outcomes[i].finish_s, b.outcomes[i].finish_s);
+    EXPECT_EQ(a.outcomes[i].clusters, b.outcomes[i].clusters);
+    EXPECT_EQ(a.outcomes[i].backfilled, b.outcomes[i].backfilled);
+  }
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.mean_wait_s, b.mean_wait_s);
+  EXPECT_EQ(a.wan_egress_bytes, b.wan_egress_bytes);
+}
+
+TEST(GridJobService, FcfsStartsInArrivalOrder) {
+  WorkloadSpec spec;
+  spec.jobs = 30;
+  spec.procs_choices = {4, 8};
+  spec.seed = 13;
+  GridJobService service(small_grid(), model::paper_calibration());
+  const ServiceReport report = service.run(generate_workload(spec));
+  for (std::size_t i = 1; i < report.outcomes.size(); ++i) {
+    // Same priority everywhere: a later arrival must not start earlier.
+    EXPECT_LE(report.outcomes[i - 1].start_s, report.outcomes[i].start_s);
+  }
+  EXPECT_EQ(report.backfilled_jobs, 0);
+}
+
+TEST(GridJobService, SpjfRunsShortJobFirstUnderContention) {
+  // Occupy the whole grid, then queue a long and a short job; SPJF must
+  // start the short one first even though it arrived later.
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 1 << 20, 64, 8));   // fills the grid
+  jobs.push_back(make_job(1, 1.0, 1 << 21, 128, 8));  // long, earlier
+  jobs.push_back(make_job(2, 2.0, 1 << 17, 64, 8));   // short, later
+  ServiceOptions options;
+  options.policy = Policy::kSpjf;
+  GridJobService service(small_grid(), model::paper_calibration(), options);
+  const ServiceReport report = service.run(jobs);
+  EXPECT_LT(report.outcomes[2].start_s, report.outcomes[1].start_s);
+}
+
+TEST(GridJobService, EasyBackfillsWithoutDelayingTheHead) {
+  // A long job holds cluster 0, a whole-grid job blocks at the head, and
+  // a small short job sits behind it: EASY slides the small job into the
+  // free cluster-1 hole the head cannot use.
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 1 << 21, 64, 4));   // fills cluster 0
+  jobs.push_back(make_job(1, 1.0, 1 << 21, 64, 8));   // head, needs all
+  jobs.push_back(make_job(2, 2.0, 1 << 17, 64, 2));   // backfill candidate
+  model::Roofline roof = model::paper_calibration();
+
+  ServiceOptions fcfs;
+  fcfs.policy = Policy::kFcfs;
+  const ServiceReport serial =
+      GridJobService(small_grid(), roof, fcfs).run(jobs);
+
+  ServiceOptions easy;
+  easy.policy = Policy::kEasyBackfill;
+  const ServiceReport filled =
+      GridJobService(small_grid(), roof, easy).run(jobs);
+
+  EXPECT_EQ(filled.backfilled_jobs, 1);
+  EXPECT_TRUE(filled.outcomes[2].backfilled);
+  // The reservation guarantee: the blocked head starts at the same time it
+  // would under plain FCFS.
+  EXPECT_DOUBLE_EQ(filled.outcomes[1].start_s, serial.outcomes[1].start_s);
+  // And the backfilled job finishes strictly earlier than it did queued.
+  EXPECT_LT(filled.outcomes[2].finish_s, serial.outcomes[2].finish_s);
+  EXPECT_LT(filled.makespan_s, serial.makespan_s);
+}
+
+TEST(GridJobService, EasyBeatsFcfsOnMixedWorkloadMakespan) {
+  WorkloadSpec spec;
+  spec.jobs = 120;
+  spec.mean_interarrival_s = 0.05;
+  spec.procs_choices = {2, 4, 8};  // mixes partial- and whole-grid jobs
+  spec.seed = 17;
+  const std::vector<Job> jobs = generate_workload(spec);
+  model::Roofline roof = model::paper_calibration();
+
+  ServiceOptions fcfs;
+  fcfs.policy = Policy::kFcfs;
+  ServiceOptions easy;
+  easy.policy = Policy::kEasyBackfill;
+  const ServiceReport a = GridJobService(small_grid(), roof, fcfs).run(jobs);
+  const ServiceReport b = GridJobService(small_grid(), roof, easy).run(jobs);
+  EXPECT_GT(b.backfilled_jobs, 0);
+  EXPECT_LT(b.makespan_s, a.makespan_s);
+  EXPECT_LT(b.mean_wait_s, a.mean_wait_s);
+}
+
+TEST(GridJobService, WanAccountingBalancesAcrossSites) {
+  WorkloadSpec spec;
+  spec.jobs = 25;
+  spec.procs_choices = {8};  // forces 2-site placements -> WAN traffic
+  spec.n_choices = {64};
+  spec.seed = 23;
+  GridJobService service(small_grid(), model::paper_calibration());
+  const ServiceReport report = service.run(generate_workload(spec));
+  const long long egress = std::accumulate(report.wan_egress_bytes.begin(),
+                                           report.wan_egress_bytes.end(),
+                                           0LL);
+  const long long ingress = std::accumulate(
+      report.wan_ingress_bytes.begin(), report.wan_ingress_bytes.end(), 0LL);
+  EXPECT_EQ(egress, ingress);
+  EXPECT_GT(egress, 0);
+}
+
+TEST(GridJobService, RejectsJobLargerThanTheGrid) {
+  GridJobService service(small_grid(), model::paper_calibration());
+  std::vector<Job> jobs = {make_job(0, 0.0, 1 << 20, 64, 512)};
+  EXPECT_THROW(service.run(jobs), Error);
+}
+
+TEST(GridJobService, ReplayCacheDistinguishesNearbyShapes) {
+  // m values that agree to 6 significant digits must not share a cached
+  // replay (the cache key streams doubles at full round-trip precision).
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 4000000, 64, 4));
+  jobs.push_back(make_job(1, 1000.0, 4000001, 64, 4));  // no queueing
+  GridJobService service(small_grid(), model::paper_calibration());
+  const ServiceReport report = service.run(jobs);
+  EXPECT_NE(report.outcomes[0].service_s, report.outcomes[1].service_s);
+}
+
+TEST(GridJobService, PredictedSecondsGrowWithWork) {
+  GridJobService service(small_grid(), model::paper_calibration());
+  const Job small_job = make_job(0, 0.0, 1 << 17, 64, 8);
+  const Job large_job = make_job(1, 0.0, 1 << 22, 64, 8);
+  EXPECT_LT(service.predicted_seconds(small_job),
+            service.predicted_seconds(large_job));
+}
+
+}  // namespace
+}  // namespace qrgrid::sched

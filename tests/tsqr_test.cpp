@@ -201,6 +201,40 @@ TEST(Tsqr, PackUnpackRoundTrips) {
   EXPECT_EQ(max_abs_diff(r.view(), back.view()), 0.0);
 }
 
+TEST(Tsqr, PackUnpackEmptyTriangle) {
+  Matrix r(0, 0);
+  std::vector<double> packed = pack_upper_triangle(r.view());
+  EXPECT_EQ(packed.size(), 0u);
+  Matrix back(0, 0);
+  unpack_upper_triangle(packed, back.view());  // must accept the empty wire
+}
+
+TEST(Tsqr, PackUnpackSingleElement) {
+  Matrix r(1, 1);
+  r(0, 0) = 42.0;
+  std::vector<double> packed = pack_upper_triangle(r.view());
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 42.0);
+  Matrix back(1, 1);
+  back(0, 0) = -1.0;
+  unpack_upper_triangle(packed, back.view());
+  EXPECT_EQ(back(0, 0), 42.0);
+}
+
+TEST(Tsqr, PackUnpackLargeTriangleWireSize) {
+  // The R-factor wire format carries exactly n(n+1)/2 doubles — the volume
+  // the Section-IV cost model charges per reduction message.
+  const Index n = 97;
+  Matrix r = random_gaussian(n, n, 4040);
+  zero_below_diagonal(r.view());
+  std::vector<double> packed = pack_upper_triangle(r.view());
+  EXPECT_EQ(packed.size(), static_cast<std::size_t>(n * (n + 1) / 2));
+  Matrix back(n, n);
+  fill_gaussian_rows(back.view(), 0, 5050);  // stale below-diagonal junk
+  unpack_upper_triangle(packed, back.view());
+  EXPECT_EQ(max_abs_diff(r.view(), back.view()), 0.0);
+}
+
 TEST(Tsqr, IllConditionedInputStaysStable) {
   // TSQR must track Householder stability (paper §II-C: "numerically as
   // stable as the Householder QR factorization").

@@ -17,7 +17,16 @@
 //                        [--tree grid|binary|flat] [--seed X]
 //       Run the real threaded TSQR on random data, verify the
 //       factorization, and report accuracy plus the simulated grid time.
+//
+//   qrgrid_cli serve     [--jobs J] [--policy fcfs|spjf|easy|all]
+//                        [--sites S] [--nodes N] [--procs-per-node P]
+//                        [--arrival-s T] [--seed X] [--csv path]
+//       Run the grid job service on a seeded Poisson workload of queued
+//       TSQR factorizations and report per-policy makespan, waits,
+//       throughput, and utilization. --csv writes one machine-readable
+//       row per (policy, job) for bench sweeps.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -30,6 +39,8 @@
 #include "linalg/norms.hpp"
 #include "model/costs.hpp"
 #include "model/roofline.hpp"
+#include "sched/service.hpp"
+#include "sched/workload.hpp"
 #include "simgrid/cost.hpp"
 
 using namespace qrgrid;
@@ -251,6 +262,73 @@ int cmd_factor(const Args& args) {
   return (resid < 1e-10 && ortho < 1e-10) ? 0 : 2;
 }
 
+int cmd_serve(const Args& args) {
+  simgrid::GridTopology topo = topo_of(args);
+  const model::Roofline roof = model::paper_calibration();
+
+  sched::WorkloadSpec spec;
+  spec.jobs = static_cast<int>(args.num("jobs", 200));
+  spec.mean_interarrival_s = args.num("arrival-s", 0.25);
+  spec.seed = static_cast<std::uint64_t>(args.num("seed", 2026));
+  // Process counts scaled to the grid: quarter-cluster up to whole-grid
+  // (degenerates to {total} on grids too small to halve).
+  const int total = topo.total_procs();
+  spec.procs_choices.clear();
+  for (int p = std::min(total, std::max(2, total / 16)); p <= total;
+       p *= 2) {
+    spec.procs_choices.push_back(p);
+  }
+  const std::vector<sched::Job> jobs = sched::generate_workload(spec);
+
+  std::vector<sched::Policy> policies;
+  const std::string which = args.get("policy", "all");
+  if (which == "all") {
+    policies = {sched::Policy::kFcfs, sched::Policy::kSpjf,
+                sched::Policy::kEasyBackfill};
+  } else {
+    policies = {sched::policy_of(which)};
+  }
+
+  std::ofstream csv;
+  const std::string csv_path = args.get("csv", "");
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    QRGRID_CHECK_MSG(csv.is_open(), "cannot open --csv " << csv_path);
+    csv.precision(17);  // round-trip doubles; sweeps join rows on m/times
+    csv << "policy,job_id,arrival_s,start_s,finish_s,wait_s,service_s,"
+           "m,n,procs,nodes,sites,backfilled,gflops\n";
+  }
+
+  std::cout << "Serving " << spec.jobs << " queued TSQR jobs on "
+            << topo.num_clusters() << " site(s), " << total
+            << " processes (seed " << spec.seed << ", mean inter-arrival "
+            << format_number(spec.mean_interarrival_s, 3) << " s)\n\n";
+  TextTable table;
+  table.set_header(sched::summary_header());
+  for (sched::Policy policy : policies) {
+    sched::ServiceOptions options;
+    options.policy = policy;
+    sched::GridJobService service(topo, roof, options);
+    const sched::ServiceReport report = service.run(jobs);
+    table.add_row(sched::summary_row(report));
+    if (csv.is_open()) {
+      for (const sched::JobOutcome& o : report.outcomes) {
+        csv << policy_name(policy) << ',' << o.job.id << ','
+            << o.job.arrival_s << ',' << o.start_s << ',' << o.finish_s
+            << ',' << o.wait_s() << ',' << o.service_s << ','
+            << static_cast<long long>(o.job.m) << ',' << o.job.n << ','
+            << o.job.procs << ',' << o.nodes << ',' << o.clusters.size()
+            << ',' << (o.backfilled ? 1 : 0) << ',' << o.gflops << '\n';
+      }
+    }
+  }
+  table.print(std::cout);
+  if (csv.is_open()) {
+    std::cout << "\nper-job rows written to " << csv_path << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,7 +338,8 @@ int main(int argc, char** argv) {
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "factor") return cmd_factor(args);
-    std::cerr << "usage: qrgrid_cli topology|simulate|sweep|factor "
+    if (args.command == "serve") return cmd_serve(args);
+    std::cerr << "usage: qrgrid_cli topology|simulate|sweep|factor|serve "
                  "[--option value ...]\n"
                  "see the header of tools/qrgrid_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;

@@ -22,6 +22,15 @@ std::string policy_name(Policy policy) {
   return "?";
 }
 
+std::string fate_name(JobFate fate) {
+  switch (fate) {
+    case JobFate::kCompleted: return "completed";
+    case JobFate::kWalltimeKilled: return "walltime";
+    case JobFate::kOutageFailed: return "outage";
+  }
+  return "?";
+}
+
 bool JobQueue::before(const Entry& a, const Entry& b) const {
   if (policy_ == Policy::kSpjf) {
     if (a.predicted_s != b.predicted_s) return a.predicted_s < b.predicted_s;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -35,19 +36,43 @@ struct Job {
   int procs = 0;           ///< processes requested (rounded up to nodes)
   int priority = 0;        ///< larger runs earlier among FCFS/EASY equals
   core::TreeKind tree = core::TreeKind::kGridHierarchical;
+  /// User-supplied walltime estimate (the batch system's -l walltime=…).
+  /// 0 = unlimited. When set, EASY's reservation and backfill decisions
+  /// use THIS number while execution uses the exact replay — and the job
+  /// is killed (finally, no requeue) if an attempt runs past it.
+  double walltime_s = 0.0;
 };
 
-/// What the service records when a job finishes.
+/// How a job left the service.
+enum class JobFate {
+  kCompleted,       ///< factorization finished
+  kWalltimeKilled,  ///< attempt exceeded the user walltime (final)
+  kOutageFailed,    ///< outage-killed with no retries left (final)
+};
+std::string fate_name(JobFate fate);
+
+/// What the service records when a job leaves it — by completing or by
+/// being killed for the last time. Exactly one outcome per submitted job.
 struct JobOutcome {
   Job job;
-  double start_s = 0.0;
-  double finish_s = 0.0;
-  double service_s = 0.0;      ///< DES-replayed factorization time
+  double start_s = 0.0;        ///< start of the final attempt
+  double finish_s = 0.0;       ///< completion or final kill instant
+  double service_s = 0.0;      ///< virtual seconds held by the final attempt
   double gflops = 0.0;         ///< useful rate inside the allocation
   std::vector<int> clusters;   ///< master cluster ids the job ran on
+  std::vector<int> nodes_per_cluster;  ///< parallel to `clusters`
   int nodes = 0;               ///< total nodes held for service_s
   bool backfilled = false;     ///< started ahead of an EASY reservation
+  JobFate fate = JobFate::kCompleted;
+  int attempts = 1;            ///< 1 + number of outage requeues
+  double wasted_node_s = 0.0;  ///< node-seconds burnt by killed attempts
+  double credited_s = 0.0;     ///< replay seconds banked by restart credit
+  /// Tightest shadow time EASY ever promised while this job was the
+  /// blocked head (+inf when it never was); the service guarantees
+  /// start_s <= reserved_start_s in fault-free runs.
+  double reserved_start_s = std::numeric_limits<double>::infinity();
 
+  bool completed() const { return fate == JobFate::kCompleted; }
   double wait_s() const { return start_s - job.arrival_s; }
   double turnaround_s() const { return finish_s - job.arrival_s; }
 };

@@ -1,6 +1,7 @@
 #include "sched/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -71,7 +72,8 @@ long long total_wan_bytes(const ServiceReport& report) {
 std::vector<std::string> summary_header() {
   return {"policy",    "makespan (s)",   "mean wait (s)",
           "max wait (s)", "jobs/hour",   "useful Gflop/s",
-          "utilization %", "backfilled", "WAN GB"};
+          "utilization %", "backfilled", "killed", "requeued",
+          "wasted node-s", "WAN GB"};
 }
 
 std::vector<std::string> summary_row(const ServiceReport& report) {
@@ -83,6 +85,9 @@ std::vector<std::string> summary_row(const ServiceReport& report) {
           format_number(report.aggregate_gflops, 4),
           format_number(100.0 * report.utilization, 3),
           std::to_string(report.backfilled_jobs),
+          std::to_string(report.killed_jobs),
+          std::to_string(report.requeued_jobs),
+          format_number(report.wasted_node_seconds, 4),
           format_number(static_cast<double>(total_wan_bytes(report)) / 1e9,
                         3)};
 }
@@ -209,13 +214,16 @@ const GridJobService::Replay& GridJobService::replay_for(
 double GridJobService::shadow_time(const Job& head,
                                    const std::vector<Running>& running,
                                    const std::vector<int>& free_nodes) const {
+  // Sort by ESTIMATED finish: the scheduler plans with walltimes, not with
+  // the exact replays it could not know on a real machine.
   std::vector<const Running*> by_finish;
   by_finish.reserve(running.size());
   for (const Running& r : running) by_finish.push_back(&r);
   std::sort(by_finish.begin(), by_finish.end(),
             [](const Running* a, const Running* b) {
-              return a->finish_s != b->finish_s ? a->finish_s < b->finish_s
-                                                : a->seq < b->seq;
+              return a->est_finish_s != b->est_finish_s
+                         ? a->est_finish_s < b->est_finish_s
+                         : a->seq < b->seq;
             });
   std::vector<int> free = free_nodes;
   for (const Running* r : by_finish) {
@@ -223,9 +231,11 @@ double GridJobService::shadow_time(const Job& head,
       free[static_cast<std::size_t>(r->placement.clusters[i])] +=
           r->placement.nodes[i];
     }
-    if (try_place(head, free).has_value()) return r->finish_s;
+    if (try_place(head, free).has_value()) return r->est_finish_s;
   }
-  return kInf;  // unreachable once jobs are validated against the full grid
+  // Reachable only when a cluster the head needs is down: the reservation
+  // waits on a recovery, not on nodes.
+  return kInf;
 }
 
 ServiceReport GridJobService::run(std::vector<Job> jobs) {
@@ -242,7 +252,8 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     grid_nodes += topology_.cluster(c).nodes;
   }
   for (const Job& job : jobs) {
-    QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1,
+    QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1 &&
+                         job.walltime_s >= 0.0,
                      "malformed job " << job.id);
     QRGRID_CHECK_MSG(try_place(job, total_nodes).has_value(),
                      "job " << job.id << " (" << job.procs
@@ -254,32 +265,102 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   report.wan_egress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
   report.wan_ingress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
 
+  // Replayed copy of the trace: run() never consumes options_' original,
+  // so the same service can serve several workloads identically.
+  OutageTrace trace = options_.outages;
   std::vector<int> free_nodes = total_nodes;
+  std::vector<int> down_depth(static_cast<std::size_t>(nclusters), 0);
   JobQueue pending(options_.policy);
-  std::vector<Running> running;
+  std::vector<Running> running;  // kept in start (seq) order
+  std::unordered_map<int, Progress> progress;
   double clock = 0.0;
-  double busy_node_seconds = 0.0;
+  double useful_node_seconds = 0.0;
   double useful_flops_total = 0.0;
   std::size_t next_arrival = 0;
   int seq = 0;
 
+  // Free nodes the scheduler may hand out NOW: down clusters masked out.
+  auto placeable_nodes = [&]() {
+    std::vector<int> nodes = free_nodes;
+    for (int c = 0; c < nclusters; ++c) {
+      if (down_depth[static_cast<std::size_t>(c)] > 0) {
+        nodes[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+    return nodes;
+  };
+
+  // Charge one attempt's WAN bytes pro-rata to the fraction of the FULL
+  // replay it actually covered, so a restart-credited job never pays for
+  // its banked prefix twice (an uncredited full attempt charges exactly
+  // the replay counters).
+  auto charge_wan = [&](const Running& r, double fraction) {
+    for (std::size_t i = 0; i < r.placement.clusters.size(); ++i) {
+      const auto c = static_cast<std::size_t>(r.placement.clusters[i]);
+      report.wan_egress_bytes[c] += static_cast<long long>(
+          static_cast<double>(r.replay->egress_bytes[i]) * fraction);
+      report.wan_ingress_bytes[c] += static_cast<long long>(
+          static_cast<double>(r.replay->ingress_bytes[i]) * fraction);
+    }
+  };
+
+  auto record_outcome = [&](Running& r, double end_s, JobFate fate) {
+    const Progress& p = progress[r.job.id];
+    JobOutcome outcome;
+    outcome.start_s = r.start_s;
+    outcome.finish_s = end_s;
+    outcome.service_s = end_s - r.start_s;
+    outcome.gflops = fate == JobFate::kCompleted ? r.replay->gflops : 0.0;
+    outcome.clusters = r.placement.clusters;
+    outcome.nodes_per_cluster = r.placement.nodes;
+    outcome.nodes = r.placement.total_nodes;
+    outcome.backfilled = r.backfilled;
+    outcome.fate = fate;
+    outcome.attempts = p.attempts;
+    outcome.wasted_node_s = p.wasted_node_s;
+    outcome.credited_s = p.credited_fraction * r.replay->seconds;
+    outcome.reserved_start_s = p.reserved_start_s;
+    outcome.job = std::move(r.job);
+    report.makespan_s = std::max(report.makespan_s, end_s);
+    report.outcomes.push_back(std::move(outcome));
+  };
+
   auto start_job = [&](Job job, const Placement& placement,
                        bool backfilled) {
     const Replay& replay = replay_for(job, placement);
+    Progress& p = progress[job.id];
+    ++p.attempts;
+    // Restart credit: only the unfinished tail of the factorization
+    // re-runs (at THIS placement's rate — the fraction is what carries).
+    const double remaining = replay.seconds * (1.0 - p.credited_fraction);
+    QRGRID_CHECK(remaining > 0.0);
     for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
       free_nodes[static_cast<std::size_t>(placement.clusters[i])] -=
           placement.nodes[i];
       QRGRID_CHECK(
           free_nodes[static_cast<std::size_t>(placement.clusters[i])] >= 0);
     }
-    running.push_back(Running{clock + replay.seconds, seq++, std::move(job),
-                              placement, clock, &replay, backfilled});
+    Running r;
+    r.finish_s = clock + remaining;
+    r.kill_s = job.walltime_s > 0.0 ? clock + job.walltime_s : kInf;
+    // The scheduler's belief: walltimes are per-attempt and enforced, so
+    // the attempt is over by start + walltime no matter what.
+    r.est_finish_s =
+        clock + (job.walltime_s > 0.0 ? job.walltime_s : remaining);
+    r.seq = seq++;
+    r.job = std::move(job);
+    r.placement = placement;
+    r.start_s = clock;
+    r.start_fraction = p.credited_fraction;
+    r.replay = &replay;
+    r.backfilled = backfilled;
+    running.push_back(std::move(r));
   };
 
   auto dispatch = [&]() {
-    // Policy order: start from the head while it fits.
+    // Policy order: start from the head while it fits the up clusters.
     while (!pending.empty()) {
-      const auto placement = try_place(pending.front(), free_nodes);
+      const auto placement = try_place(pending.front(), placeable_nodes());
       if (!placement.has_value()) break;
       start_job(pending.pop_front(), *placement, /*backfilled=*/false);
     }
@@ -288,16 +369,30 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       return;
     }
     // EASY: the blocked head holds a reservation at its shadow time; any
-    // later job may start now iff its exact replayed finish time does not
-    // outlast the reservation (completions are exact in virtual time, so
-    // the head is provably never delayed).
-    const double shadow = shadow_time(pending.front(), running, free_nodes);
+    // later job may start now iff its ESTIMATED completion (walltime when
+    // set, exact replay when not) does not outlast the reservation.
+    // Actual completions only ever come earlier than the estimates, so
+    // the head is provably never delayed past the promise.
+    const double shadow =
+        shadow_time(pending.front(), running, placeable_nodes());
+    // No computable reservation (the head waits on an outage recovery,
+    // not on nodes): backfilling would have no bound and could starve
+    // the head indefinitely, so don't.
+    if (shadow == kInf) return;
+    Progress& head_progress = progress[pending.front().id];
+    head_progress.reserved_start_s =
+        std::min(head_progress.reserved_start_s, shadow);
     std::size_t i = 1;
     while (i < pending.size()) {
-      const auto placement = try_place(pending.at(i), free_nodes);
+      const auto placement = try_place(pending.at(i), placeable_nodes());
       if (placement.has_value()) {
         const Replay& replay = replay_for(pending.at(i), *placement);
-        if (clock + replay.seconds <= shadow) {
+        const Job& candidate = pending.at(i);
+        const double remaining =
+            replay.seconds * (1.0 - progress[candidate.id].credited_fraction);
+        const double estimate =
+            candidate.walltime_s > 0.0 ? candidate.walltime_s : remaining;
+        if (clock + estimate <= shadow) {
           start_job(pending.remove(i), *placement, /*backfilled=*/true);
           ++report.backfilled_jobs;
           continue;  // the entry at i is now the next candidate
@@ -307,23 +402,97 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     }
   };
 
+  // Outage start: every job holding nodes on the failed cluster dies.
+  // Lost node-seconds are charged as waste (minus any banked panels) and
+  // the job is requeued until its retries run out.
+  auto apply_outage = [&](const OutageEvent& ev) {
+    if (!ev.down) {
+      QRGRID_CHECK(ev.cluster < nclusters &&
+                   down_depth[static_cast<std::size_t>(ev.cluster)] > 0);
+      --down_depth[static_cast<std::size_t>(ev.cluster)];
+      return;
+    }
+    QRGRID_CHECK_MSG(ev.cluster < nclusters,
+                     "outage on unknown cluster " << ev.cluster);
+    ++down_depth[static_cast<std::size_t>(ev.cluster)];
+    // Victims in start order (the vector's order) for determinism.
+    for (std::size_t i = 0; i < running.size();) {
+      Running& r = running[i];
+      const bool hit =
+          std::find(r.placement.clusters.begin(), r.placement.clusters.end(),
+                    ev.cluster) != r.placement.clusters.end();
+      if (!hit) {
+        ++i;
+        continue;
+      }
+      Running victim = std::move(r);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      for (std::size_t k = 0; k < victim.placement.clusters.size(); ++k) {
+        free_nodes[static_cast<std::size_t>(victim.placement.clusters[k])] +=
+            victim.placement.nodes[k];
+      }
+      const double elapsed = ev.time_s - victim.start_s;
+      Progress& p = progress[victim.job.id];
+      double banked = 0.0;
+      if (options_.restart_credit && options_.checkpoint_panels > 0) {
+        // Bank whole panels: this attempt covered the factorization's
+        // [credited_fraction, credited_fraction + elapsed/replay] span;
+        // round the reached point down to a panel boundary.
+        const double panels =
+            static_cast<double>(options_.checkpoint_panels);
+        const double through =
+            p.credited_fraction + elapsed / victim.replay->seconds;
+        const double reached = std::floor(through * panels) / panels;
+        const double gained =
+            std::clamp(reached - p.credited_fraction, 0.0,
+                       elapsed / victim.replay->seconds);
+        banked = gained * victim.replay->seconds;
+        p.credited_fraction += gained;
+      }
+      const double nodes =
+          static_cast<double>(victim.placement.total_nodes);
+      p.wasted_node_s += nodes * (elapsed - banked);
+      report.wasted_node_seconds += nodes * (elapsed - banked);
+      useful_node_seconds += nodes * banked;
+      // The attempt ran elapsed seconds of the full replay timeline.
+      charge_wan(victim, elapsed / victim.replay->seconds);
+      ++report.killed_jobs;
+      ++report.outage_kills;
+      if (p.attempts <= options_.max_retries) {
+        ++report.requeued_jobs;
+        Job job = std::move(victim.job);
+        // SPJF sort key: only the uncredited remainder still costs time.
+        const double predicted =
+            predicted_seconds(job) * (1.0 - p.credited_fraction);
+        pending.push(std::move(job), predicted);
+      } else {
+        ++report.failed_jobs;
+        record_outcome(victim, ev.time_s, JobFate::kOutageFailed);
+      }
+    }
+  };
+
   while (next_arrival < jobs.size() || !pending.empty() ||
          !running.empty()) {
     double t = kInf;
     if (next_arrival < jobs.size()) t = jobs[next_arrival].arrival_s;
-    for (const Running& r : running) t = std::min(t, r.finish_s);
+    for (const Running& r : running) t = std::min(t, r.event_s());
+    t = std::min(t, trace.peek_s());
     QRGRID_CHECK_MSG(t < kInf, "service deadlock: pending jobs but no "
-                               "running work or future arrivals");
+                               "running work, outage recoveries, or future "
+                               "arrivals");
     clock = std::max(clock, t);
 
-    // Completions first so arrivals at the same instant see freed nodes.
+    // Event precedence at one instant: completions (and walltime kills)
+    // first, then outage boundaries, then arrivals — a job that finishes
+    // exactly when its cluster fails has finished.
     for (bool found = true; found;) {
       found = false;
       std::size_t best = 0;
       for (std::size_t i = 0; i < running.size(); ++i) {
-        if (running[i].finish_s > clock) continue;
-        if (!found || running[i].finish_s < running[best].finish_s ||
-            (running[i].finish_s == running[best].finish_s &&
+        if (running[i].event_s() > clock) continue;
+        if (!found || running[i].event_s() < running[best].event_s() ||
+            (running[i].event_s() == running[best].event_s() &&
              running[i].seq < running[best].seq)) {
           best = i;
           found = true;
@@ -333,28 +502,32 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       Running done = std::move(running[best]);
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(best));
       for (std::size_t i = 0; i < done.placement.clusters.size(); ++i) {
-        const auto c =
-            static_cast<std::size_t>(done.placement.clusters[i]);
-        free_nodes[c] += done.placement.nodes[i];
-        report.wan_egress_bytes[c] += done.replay->egress_bytes[i];
-        report.wan_ingress_bytes[c] += done.replay->ingress_bytes[i];
+        free_nodes[static_cast<std::size_t>(done.placement.clusters[i])] +=
+            done.placement.nodes[i];
       }
-      busy_node_seconds +=
-          static_cast<double>(done.placement.total_nodes) *
-          done.replay->seconds;
-      useful_flops_total += model::useful_flops(done.job.m, done.job.n);
-      JobOutcome outcome;
-      outcome.job = std::move(done.job);
-      outcome.start_s = done.start_s;
-      outcome.finish_s = done.finish_s;
-      outcome.service_s = done.replay->seconds;
-      outcome.gflops = done.replay->gflops;
-      outcome.clusters = done.placement.clusters;
-      outcome.nodes = done.placement.total_nodes;
-      outcome.backfilled = done.backfilled;
-      report.makespan_s = std::max(report.makespan_s, outcome.finish_s);
-      report.outcomes.push_back(std::move(outcome));
+      const double nodes = static_cast<double>(done.placement.total_nodes);
+      if (done.completes()) {
+        const double held = done.finish_s - done.start_s;
+        useful_node_seconds += nodes * held;
+        useful_flops_total += model::useful_flops(done.job.m, done.job.n);
+        charge_wan(done, 1.0 - done.start_fraction);
+        ++report.completed_jobs;
+        record_outcome(done, done.finish_s, JobFate::kCompleted);
+      } else {
+        // Ran past its user walltime: killed for good, everything wasted.
+        const double held = done.kill_s - done.start_s;
+        Progress& p = progress[done.job.id];
+        p.wasted_node_s += nodes * held;
+        report.wasted_node_seconds += nodes * held;
+        charge_wan(done, held / done.replay->seconds);
+        ++report.killed_jobs;
+        ++report.walltime_kills;
+        ++report.failed_jobs;
+        record_outcome(done, done.kill_s, JobFate::kWalltimeKilled);
+      }
     }
+
+    while (trace.peek_s() <= clock) apply_outage(trace.pop());
 
     while (next_arrival < jobs.size() &&
            jobs[next_arrival].arrival_s <= clock) {
@@ -366,6 +539,12 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     dispatch();
   }
 
+  QRGRID_CHECK_MSG(report.completed_jobs + report.failed_jobs ==
+                       static_cast<long long>(jobs.size()),
+                   "job conservation violated: " << report.completed_jobs
+                       << " completed + " << report.failed_jobs
+                       << " failed != " << jobs.size() << " submitted");
+  report.useful_node_seconds = useful_node_seconds;
   if (!report.outcomes.empty() && report.makespan_s > 0.0) {
     double wait_sum = 0.0, turnaround_sum = 0.0;
     for (const JobOutcome& o : report.outcomes) {
@@ -376,10 +555,12 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     const auto count = static_cast<double>(report.outcomes.size());
     report.mean_wait_s = wait_sum / count;
     report.mean_turnaround_s = turnaround_sum / count;
-    report.throughput_jobs_per_hour = count / report.makespan_s * 3600.0;
+    report.throughput_jobs_per_hour =
+        static_cast<double>(report.completed_jobs) / report.makespan_s *
+        3600.0;
     report.aggregate_gflops = useful_flops_total / report.makespan_s / 1e9;
     report.utilization =
-        busy_node_seconds /
+        useful_node_seconds /
         (static_cast<double>(grid_nodes) * report.makespan_s);
   }
   std::sort(report.outcomes.begin(), report.outcomes.end(),

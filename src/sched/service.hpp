@@ -15,8 +15,19 @@
 // (Section-IV Equation (1) as the sort key), and EASY backfilling (FCFS
 // head keeps a reservation at the earliest time enough nodes free up;
 // later jobs may jump ahead only if they provably finish before it).
+//
+// Fault model: ServiceOptions carries an OutageTrace of whole-cluster
+// down/up boundaries. A failing cluster kills every job holding nodes on
+// it; the lost node-seconds are charged as waste and the job is requeued
+// (up to max_retries times; optionally with restart credit for completed
+// row-block panels of its replay). Jobs carry user walltime estimates:
+// EASY plans with the ESTIMATES, execution uses exact replay seconds, and
+// an attempt running past its walltime is killed for good. Event
+// precedence at one virtual instant: completions (and walltime kills),
+// then outage boundaries (recoveries before failures), then arrivals.
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,6 +35,7 @@
 
 #include "model/roofline.hpp"
 #include "sched/job.hpp"
+#include "sched/outage.hpp"
 #include "simgrid/topology.hpp"
 
 namespace qrgrid::sched {
@@ -37,21 +49,48 @@ struct ServiceOptions {
   /// Largest number of process groups a job may be split into when the
   /// meta-scheduler cannot place it on fewer clusters.
   int max_groups = 8;
+  /// Whole-cluster failure/recovery boundaries (default: no faults).
+  OutageTrace outages;
+  /// Outage-killed jobs are requeued at most this many times; the next
+  /// kill is final. Walltime kills are always final.
+  int max_retries = 3;
+  /// When true, an outage-killed job restarts from its last completed
+  /// row-block panel instead of from scratch: the kept prefix of the
+  /// replay is banked as useful work and only the remainder re-runs.
+  bool restart_credit = false;
+  /// Restart-credit granularity: the replay is checkpointable at
+  /// `checkpoint_panels` equally-spaced points (domains are equal-sized,
+  /// so panels are uniform in replay time).
+  int checkpoint_panels = 8;
 };
 
 /// Grid-wide accounting of one service run.
+///
+/// Conservation invariants (checked by the fault test suite):
+///   completed_jobs + failed_jobs == submitted jobs == outcomes.size()
+///   killed_jobs == walltime_kills + outage_kills
+///   useful_node_seconds + wasted_node_seconds <= capacity x makespan
 struct ServiceReport {
   Policy policy = Policy::kFcfs;
-  std::vector<JobOutcome> outcomes;  ///< all jobs, sorted by job id
+  std::vector<JobOutcome> outcomes;  ///< ALL jobs, sorted by job id
 
-  double makespan_s = 0.0;           ///< last completion time
+  double makespan_s = 0.0;           ///< last completion-or-final-kill time
   double mean_wait_s = 0.0;
   double max_wait_s = 0.0;
   double mean_turnaround_s = 0.0;
   double throughput_jobs_per_hour = 0.0;
   double aggregate_gflops = 0.0;     ///< sum of useful flops / makespan
-  double utilization = 0.0;          ///< held node-seconds / capacity
+  double utilization = 0.0;          ///< useful node-seconds / capacity
   long long backfilled_jobs = 0;
+
+  long long completed_jobs = 0;
+  long long failed_jobs = 0;      ///< walltime-killed or out of retries
+  long long killed_jobs = 0;      ///< kill EVENTS (one job may die twice)
+  long long walltime_kills = 0;
+  long long outage_kills = 0;
+  long long requeued_jobs = 0;    ///< requeue events after outage kills
+  double useful_node_seconds = 0.0;  ///< completed attempts + banked panels
+  double wasted_node_seconds = 0.0;  ///< held but thrown away by kills
 
   /// Per-master-cluster WAN byte totals summed over every job's replay
   /// (the DesEngine per-cluster counters, mapped back to grid sites).
@@ -74,8 +113,9 @@ class GridJobService {
   GridJobService(simgrid::GridTopology topology, model::Roofline roofline,
                  ServiceOptions options = {});
 
-  /// Runs the whole workload to completion and reports. Throws
-  /// qrgrid::Error if some job cannot fit even an empty grid.
+  /// Runs the whole workload until every job has completed or been killed
+  /// for the last time, and reports. Throws qrgrid::Error if some job
+  /// cannot fit even an empty, fully-up grid.
   ServiceReport run(std::vector<Job> jobs);
 
   /// Section-IV Equation (1) estimate used by SPJF ordering (and reported
@@ -103,13 +143,40 @@ class GridJobService {
   };
 
   struct Running {
-    double finish_s = 0.0;
-    int seq = 0;  ///< start order, tie-break for simultaneous finishes
+    double finish_s = 0.0;     ///< natural completion (exact replay)
+    double kill_s = 0.0;       ///< walltime bound; +inf when unlimited
+    double est_finish_s = 0.0; ///< what EASY believes: start + walltime
+                               ///  (or the exact finish when unlimited)
+    int seq = 0;  ///< start order, tie-break for simultaneous events
     Job job;
     Placement placement;
     double start_s = 0.0;
+    /// Credited fraction banked BEFORE this attempt: the attempt covers
+    /// [start_fraction, 1] of the factorization, which is what WAN bytes
+    /// are pro-rated against.
+    double start_fraction = 0.0;
     const Replay* replay = nullptr;
     bool backfilled = false;
+
+    /// Next completion-class event: the earlier of finishing and being
+    /// walltime-killed. Ties resolve to "finished" (<=), so a job whose
+    /// replay ends exactly on its walltime completes.
+    double event_s() const { return finish_s < kill_s ? finish_s : kill_s; }
+    bool completes() const { return finish_s <= kill_s; }
+  };
+
+  /// Per-job state carried across outage kills and requeues.
+  struct Progress {
+    int attempts = 0;            ///< attempts started so far
+    /// Fraction of the factorization banked by restart credit, in whole
+    /// panels (k / checkpoint_panels). A FRACTION, not seconds: panels
+    /// are row blocks of the matrix, so the credit survives a retry that
+    /// lands on a different placement with a different replay time.
+    double credited_fraction = 0.0;
+    double wasted_node_s = 0.0;  ///< node-seconds lost to kills
+    /// Tightest EASY reservation promised while this job was the blocked
+    /// head; +inf until it first blocks as head.
+    double reserved_start_s = std::numeric_limits<double>::infinity();
   };
 
   /// Builds the residual topology of `free_nodes` and asks a
@@ -122,7 +189,9 @@ class GridJobService {
   const Replay& replay_for(const Job& job, const Placement& placement);
 
   /// EASY reservation: earliest virtual time at which accumulated
-  /// completions free enough nodes for `head`.
+  /// ESTIMATED completions (walltime bounds when set, exact replays when
+  /// not) free enough nodes for `head`. Actual events never come later
+  /// than the estimates, so the reservation is safe either way.
   double shadow_time(const Job& head, const std::vector<Running>& running,
                      const std::vector<int>& free_nodes) const;
 

@@ -44,4 +44,25 @@ std::vector<Job> generate_workload(const WorkloadSpec& spec) {
   return jobs;
 }
 
+void assign_walltimes(std::vector<Job>& jobs, double max_overask_factor,
+                      std::uint64_t seed,
+                      const std::function<double(const Job&)>& predicted_s) {
+  QRGRID_CHECK(predicted_s != nullptr);
+  for (Job& job : jobs) {
+    const double predicted = predicted_s(job);
+    QRGRID_CHECK_MSG(predicted > 0.0,
+                     "non-positive prediction for job " << job.id);
+    double factor = 1.0;
+    if (max_overask_factor > 1.0) {
+      // Per-job stream: splitmix64 seeding inside Rng decorrelates the
+      // additively-derived (seed, id) pairs, so walltimes are stable under
+      // workload reordering or truncation.
+      Rng rng(seed +
+              0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(job.id + 1));
+      factor = rng.uniform(1.0, max_overask_factor);
+    }
+    job.walltime_s = predicted * factor;
+  }
+}
+
 }  // namespace qrgrid::sched

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sched/job.hpp"
@@ -33,5 +34,18 @@ struct WorkloadSpec {
 /// Generates `spec.jobs` jobs with ids 0..jobs-1 in arrival order.
 /// Deterministic in the spec (same spec, same stream).
 std::vector<Job> generate_workload(const WorkloadSpec& spec);
+
+/// The classic walltime-inaccuracy model: users over-ask, so each job's
+/// requested walltime is its predicted runtime times a multiplier drawn
+/// uniformly from [1, max_overask_factor). `predicted_s` is the cost-model
+/// estimate (usually GridJobService::predicted_seconds); multipliers are
+/// seeded PER JOB ID, so the walltime of job k does not depend on how many
+/// jobs precede it in the vector. max_overask_factor <= 1 pins every
+/// walltime to exactly the prediction (perfectly honest users — and,
+/// where the model under-predicts WAN placements, a source of walltime
+/// kills, which is precisely the churn EASY must survive).
+void assign_walltimes(std::vector<Job>& jobs, double max_overask_factor,
+                      std::uint64_t seed,
+                      const std::function<double(const Job&)>& predicted_s);
 
 }  // namespace qrgrid::sched

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
 #include <numeric>
+#include <vector>
 
 #include "sched/workload.hpp"
 #include "simgrid/des.hpp"
@@ -260,6 +264,116 @@ TEST(GridJobService, ReplayCacheDistinguishesNearbyShapes) {
   GridJobService service(small_grid(), model::paper_calibration());
   const ServiceReport report = service.run(jobs);
   EXPECT_NE(report.outcomes[0].service_s, report.outcomes[1].service_s);
+}
+
+// Property-style invariants that must hold for EVERY policy on seeded
+// workloads: exclusive nodes (per-cluster usage never exceeds capacity at
+// any instant), EASY's head never starting after its promised shadow
+// time, and FCFS starting the head chain in queue order.
+TEST(GridJobService, SchedulingInvariantsAcrossPoliciesAndSeeds) {
+  for (const sched::Policy policy :
+       {Policy::kFcfs, Policy::kSpjf, Policy::kEasyBackfill}) {
+    for (const std::uint64_t seed : {3u, 29u, 71u}) {
+      WorkloadSpec spec;
+      spec.jobs = 40;
+      spec.mean_interarrival_s = 0.1;  // contended: queues actually form
+      spec.procs_choices = {2, 4, 8};
+      spec.seed = seed;
+      ServiceOptions options;
+      options.policy = policy;
+      GridJobService service(small_grid(), model::paper_calibration(),
+                             options);
+      const ServiceReport report = service.run(generate_workload(spec));
+      ASSERT_EQ(report.outcomes.size(), 40u);
+
+      // --- Exclusive nodes: sweep each cluster's (time, +/-nodes) events.
+      // Completions free nodes before same-instant starts reuse them, so
+      // releases sort first at equal times.
+      const simgrid::GridTopology& topo = service.topology();
+      std::vector<std::multimap<std::pair<double, int>, int>> events(
+          static_cast<std::size_t>(topo.num_clusters()));
+      for (const JobOutcome& o : report.outcomes) {
+        ASSERT_EQ(o.clusters.size(), o.nodes_per_cluster.size());
+        int total = 0;
+        for (std::size_t i = 0; i < o.clusters.size(); ++i) {
+          auto& lane = events[static_cast<std::size_t>(o.clusters[i])];
+          lane.emplace(std::make_pair(o.finish_s, 0), -o.nodes_per_cluster[i]);
+          lane.emplace(std::make_pair(o.start_s, 1), o.nodes_per_cluster[i]);
+          total += o.nodes_per_cluster[i];
+        }
+        EXPECT_EQ(total, o.nodes);
+      }
+      for (int c = 0; c < topo.num_clusters(); ++c) {
+        int held = 0;
+        for (const auto& [key, delta] : events[static_cast<std::size_t>(c)]) {
+          held += delta;
+          EXPECT_GE(held, 0) << policy_name(policy) << " seed " << seed;
+          EXPECT_LE(held, topo.cluster(c).nodes)
+              << policy_name(policy) << " seed " << seed << " cluster " << c
+              << " oversubscribed at t=" << key.first;
+        }
+        EXPECT_EQ(held, 0);
+      }
+
+      // --- EASY reservation: a job that ever blocked as head must start
+      // no later than the shadow time promised to it.
+      if (policy == Policy::kEasyBackfill) {
+        for (const JobOutcome& o : report.outcomes) {
+          if (std::isinf(o.reserved_start_s)) continue;
+          EXPECT_LE(o.start_s, o.reserved_start_s + 1e-9)
+              << "job " << o.job.id << " delayed past its reservation";
+        }
+      }
+
+      // --- FCFS head chain: uniform priority, so starts are monotone in
+      // (arrival, id) order — the order outcomes are already sorted in.
+      if (policy == Policy::kFcfs) {
+        for (std::size_t i = 1; i < report.outcomes.size(); ++i) {
+          EXPECT_LE(report.outcomes[i - 1].start_s,
+                    report.outcomes[i].start_s)
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+// Guards the replay cache and the event-queue tie-breaks: one workload
+// seed plus one outage seed must give byte-identical summary rows on two
+// independent services, policies and faults included.
+TEST(GridJobService, SummaryRowByteIdenticalAcrossRuns) {
+  WorkloadSpec spec;
+  spec.jobs = 50;
+  spec.mean_interarrival_s = 0.1;
+  spec.procs_choices = {2, 4, 8};
+  spec.seed = 31;
+  std::vector<Job> jobs = generate_workload(spec);
+  OutageSpec outage_spec;
+  outage_spec.mtbf_s = 15.0;
+  outage_spec.mean_outage_s = 2.0;
+  outage_spec.seed = 77;
+  {
+    GridJobService predictor(small_grid(), model::paper_calibration());
+    assign_walltimes(jobs, 4.0, spec.seed, [&](const Job& j) {
+      return predictor.predicted_seconds(j);
+    });
+  }
+  for (const sched::Policy policy :
+       {Policy::kFcfs, Policy::kSpjf, Policy::kEasyBackfill}) {
+    ServiceOptions options;
+    options.policy = policy;
+    options.outages = OutageTrace(outage_spec, small_grid().num_clusters());
+    options.restart_credit = true;
+    GridJobService first(small_grid(), model::paper_calibration(), options);
+    GridJobService second(small_grid(), model::paper_calibration(), options);
+    const std::vector<std::string> a = summary_row(first.run(jobs));
+    const std::vector<std::string> b = summary_row(second.run(jobs));
+    EXPECT_EQ(a, b) << policy_name(policy);
+    // And the SAME service replaying the workload must not drift either
+    // (the options' outage trace is copied per run, never consumed).
+    const std::vector<std::string> c = summary_row(first.run(jobs));
+    EXPECT_EQ(a, c) << policy_name(policy) << " (service reuse)";
+  }
 }
 
 TEST(GridJobService, PredictedSecondsGrowWithWork) {

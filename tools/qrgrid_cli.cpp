@@ -21,10 +21,20 @@
 //   qrgrid_cli serve     [--jobs J] [--policy fcfs|spjf|easy|all]
 //                        [--sites S] [--nodes N] [--procs-per-node P]
 //                        [--arrival-s T] [--seed X] [--csv path]
+//                        [--mtbf S] [--repair S] [--outage-seed X]
+//                        [--walltime-factor F] [--retries K]
+//                        [--restart-credit] [--panels K]
 //       Run the grid job service on a seeded Poisson workload of queued
 //       TSQR factorizations and report per-policy makespan, waits,
-//       throughput, and utilization. --csv writes one machine-readable
-//       row per (policy, job) for bench sweeps.
+//       throughput, utilization, and fault accounting. --mtbf turns on
+//       seeded whole-cluster outages (mean up-time per site; --repair is
+//       the mean down-time, default mtbf/10); killed jobs are requeued up
+//       to --retries times, optionally restarting from their last
+//       completed panel (--restart-credit, --panels). --walltime-factor F
+//       gives every job a user walltime = predicted x U[1, F) — the
+//       classic over-ask — which EASY plans with and the service
+//       enforces. --csv writes one machine-readable row per
+//       (policy, job) for bench sweeps.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -278,7 +288,22 @@ int cmd_serve(const Args& args) {
        p *= 2) {
     spec.procs_choices.push_back(p);
   }
-  const std::vector<sched::Job> jobs = sched::generate_workload(spec);
+  std::vector<sched::Job> jobs = sched::generate_workload(spec);
+
+  // Fault and walltime knobs, shared by every policy below.
+  const double mtbf_s = args.num("mtbf", 0.0);
+  const double walltime_factor = args.num("walltime-factor", 0.0);
+  sched::OutageSpec outage_spec;
+  outage_spec.mtbf_s = mtbf_s;
+  outage_spec.mean_outage_s = args.num("repair", mtbf_s / 10.0);
+  outage_spec.seed =
+      static_cast<std::uint64_t>(args.num("outage-seed", 1 + spec.seed));
+  if (walltime_factor > 0.0) {
+    const sched::GridJobService predictor(topo, roof);
+    sched::assign_walltimes(
+        jobs, walltime_factor, spec.seed,
+        [&](const sched::Job& job) { return predictor.predicted_seconds(job); });
+  }
 
   std::vector<sched::Policy> policies;
   const std::string which = args.get("policy", "all");
@@ -296,18 +321,40 @@ int cmd_serve(const Args& args) {
     QRGRID_CHECK_MSG(csv.is_open(), "cannot open --csv " << csv_path);
     csv.precision(17);  // round-trip doubles; sweeps join rows on m/times
     csv << "policy,job_id,arrival_s,start_s,finish_s,wait_s,service_s,"
-           "m,n,procs,nodes,sites,backfilled,gflops\n";
+           "m,n,procs,nodes,sites,backfilled,gflops,fate,attempts,"
+           "wasted_node_s\n";
   }
 
   std::cout << "Serving " << spec.jobs << " queued TSQR jobs on "
             << topo.num_clusters() << " site(s), " << total
             << " processes (seed " << spec.seed << ", mean inter-arrival "
-            << format_number(spec.mean_interarrival_s, 3) << " s)\n\n";
+            << format_number(spec.mean_interarrival_s, 3) << " s)\n";
+  if (mtbf_s > 0.0) {
+    std::cout << "Outages: per-site MTBF "
+              << format_number(outage_spec.mtbf_s, 4) << " s, mean repair "
+              << format_number(outage_spec.mean_outage_s, 4) << " s (seed "
+              << outage_spec.seed << "), "
+              << static_cast<int>(args.num("retries", 3)) << " retries"
+              << (args.flag("restart-credit") ? ", restart credit" : "")
+              << '\n';
+  }
+  if (walltime_factor > 0.0) {
+    std::cout << "Walltimes: predicted x U[1, "
+              << format_number(walltime_factor, 3)
+              << ") per job, enforced\n";
+  }
+  std::cout << '\n';
   TextTable table;
   table.set_header(sched::summary_header());
   for (sched::Policy policy : policies) {
     sched::ServiceOptions options;
     options.policy = policy;
+    if (mtbf_s > 0.0) {
+      options.outages = sched::OutageTrace(outage_spec, topo.num_clusters());
+    }
+    options.max_retries = static_cast<int>(args.num("retries", 3));
+    options.restart_credit = args.flag("restart-credit");
+    options.checkpoint_panels = static_cast<int>(args.num("panels", 8));
     sched::GridJobService service(topo, roof, options);
     const sched::ServiceReport report = service.run(jobs);
     table.add_row(sched::summary_row(report));
@@ -318,7 +365,9 @@ int cmd_serve(const Args& args) {
             << ',' << o.wait_s() << ',' << o.service_s << ','
             << static_cast<long long>(o.job.m) << ',' << o.job.n << ','
             << o.job.procs << ',' << o.nodes << ',' << o.clusters.size()
-            << ',' << (o.backfilled ? 1 : 0) << ',' << o.gflops << '\n';
+            << ',' << (o.backfilled ? 1 : 0) << ',' << o.gflops << ','
+            << sched::fate_name(o.fate) << ',' << o.attempts << ','
+            << o.wasted_node_s << '\n';
       }
     }
   }

@@ -69,8 +69,14 @@ struct JobOutcome {
   double credited_s = 0.0;     ///< replay seconds banked by restart credit
   /// Tightest shadow time EASY ever promised while this job was the
   /// blocked head (+inf when it never was); the service guarantees
-  /// start_s <= reserved_start_s in fault-free runs.
+  /// start_s <= reserved_start_s in fault-free, contention-free runs.
   double reserved_start_s = std::numeric_limits<double>::infinity();
+  /// Shared-WAN stretch of the final attempt: service_s over what the
+  /// attempt would have taken on an idle grid (its cached replay
+  /// remainder plus checkpoint overhead). Exactly 1 when contention
+  /// modeling is off; >= 1 for completed jobs when it is on (< 1 can
+  /// only appear on killed attempts, whose service_s was truncated).
+  double wan_slowdown = 1.0;
 
   bool completed() const { return fate == JobFate::kCompleted; }
   double wait_s() const { return start_s - job.arrival_s; }

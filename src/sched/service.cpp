@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "core/des_algos.hpp"
 #include "model/costs.hpp"
+#include "sched/wan.hpp"
 #include "simgrid/des.hpp"
 #include "simgrid/jobprofile.hpp"
 
@@ -27,16 +28,20 @@ constexpr double kGroupMinBandwidthBps = 100e6 / 8.0;
 /// Topology over a per-cluster node subset of `master`, plus the mapping
 /// from its cluster indices back to master cluster ids. Shared by the
 /// placement path (free nodes) and the replay path (granted nodes).
+/// `order` lists master cluster ids in the sequence the MetaScheduler's
+/// first-fit should consider them (identity = the PR-2 behavior; the
+/// wan-aware path passes idlest-uplink-first).
 struct SubTopology {
   simgrid::GridTopology topology;
   std::vector<int> to_master;
 };
 
 SubTopology make_sub_topology(const simgrid::GridTopology& master,
-                              const std::vector<int>& nodes_per_cluster) {
+                              const std::vector<int>& nodes_per_cluster,
+                              const std::vector<int>& order) {
   std::vector<simgrid::ClusterSpec> clusters;
   std::vector<int> to_master;
-  for (int c = 0; c < master.num_clusters(); ++c) {
+  for (const int c : order) {
     const int nodes = nodes_per_cluster[static_cast<std::size_t>(c)];
     if (nodes <= 0) continue;
     simgrid::ClusterSpec spec = master.cluster(c);
@@ -61,6 +66,14 @@ SubTopology make_sub_topology(const simgrid::GridTopology& master,
       std::move(to_master)};
 }
 
+std::vector<int> identity_order(int num_clusters) {
+  std::vector<int> order(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    order[static_cast<std::size_t>(c)] = c;
+  }
+  return order;
+}
+
 }  // namespace
 
 long long total_wan_bytes(const ServiceReport& report) {
@@ -73,7 +86,14 @@ std::vector<std::string> summary_header() {
   return {"policy",    "makespan (s)",   "mean wait (s)",
           "max wait (s)", "jobs/hour",   "useful Gflop/s",
           "utilization %", "backfilled", "killed", "requeued",
-          "wasted node-s", "WAN GB"};
+          "wasted node-s", "WAN GB", "wan slow x", "wan busy %"};
+}
+
+double max_wan_busy_fraction(const ServiceReport& report) {
+  double busy = report.wan_backbone_busy;
+  for (double b : report.wan_uplink_busy) busy = std::max(busy, b);
+  for (double b : report.wan_downlink_busy) busy = std::max(busy, b);
+  return busy;
 }
 
 std::vector<std::string> summary_row(const ServiceReport& report) {
@@ -89,7 +109,9 @@ std::vector<std::string> summary_row(const ServiceReport& report) {
           std::to_string(report.requeued_jobs),
           format_number(report.wasted_node_seconds, 4),
           format_number(static_cast<double>(total_wan_bytes(report)) / 1e9,
-                        3)};
+                        3),
+          format_number(report.mean_wan_slowdown, 4),
+          format_number(100.0 * max_wan_busy_fraction(report), 3)};
 }
 
 GridJobService::GridJobService(simgrid::GridTopology topology,
@@ -100,6 +122,14 @@ GridJobService::GridJobService(simgrid::GridTopology topology,
       options_(options) {
   QRGRID_CHECK(options_.max_groups >= 1);
   QRGRID_CHECK(options_.domains_per_cluster >= 0);
+  // The uplink capacity feeds every replay's WAN horizon (and, when
+  // contention is on, the shared model's fair shares): zero would turn
+  // transfer times infinite and deadlock the event loop.
+  QRGRID_CHECK_MSG(options_.wan_link_Bps > 0.0,
+                   "wan_link_Bps must be positive (got "
+                       << options_.wan_link_Bps << ")");
+  QRGRID_CHECK_MSG(options_.wan_backbone_Bps >= 0.0,
+                   "wan_backbone_Bps must be >= 0 (0 = auto)");
 }
 
 double GridJobService::predicted_seconds(const Job& job) const {
@@ -114,12 +144,28 @@ double GridJobService::predicted_seconds(const Job& job) const {
 }
 
 std::optional<GridJobService::Placement> GridJobService::try_place(
-    const Job& job, const std::vector<int>& free_nodes) const {
+    const Job& job, const std::vector<int>& free_nodes,
+    const GridWanModel* wan) const {
   bool any_free = false;
   for (int f : free_nodes) any_free |= f > 0;
   if (!any_free) return std::nullopt;
 
-  SubTopology residual = make_sub_topology(topology_, free_nodes);
+  // Network-aware dispatch: present the clusters idlest-WAN-first so the
+  // meta-scheduler's first-fit lands equally feasible groups away from
+  // in-flight flows. Stable sort keeps master-id order among ties, which
+  // makes the naive path (wan == nullptr) exactly the PR-2 behavior.
+  std::vector<int> order = identity_order(topology_.num_clusters());
+  if (wan != nullptr) {
+    std::vector<int> score(order.size());
+    for (int c = 0; c < topology_.num_clusters(); ++c) {
+      score[static_cast<std::size_t>(c)] = wan->load_score(c);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return score[static_cast<std::size_t>(a)] <
+             score[static_cast<std::size_t>(b)];
+    });
+  }
+  SubTopology residual = make_sub_topology(topology_, free_nodes, order);
   const simgrid::MetaScheduler scheduler(residual.topology);
 
   // Fewest groups first: every extra group is another cluster boundary the
@@ -144,14 +190,22 @@ std::optional<GridJobService::Placement> GridJobService::try_place(
       ++procs_used[static_cast<std::size_t>(
           residual.topology.location_of(rank).cluster)];
     }
-    Placement placement;
+    // Canonical form: ascending master cluster ids, whatever order the
+    // (possibly wan-reordered) residual presented them in — the replay
+    // cache key and the report's parallel arrays rely on it.
+    std::vector<std::pair<int, int>> grants;
     for (int c = 0; c < residual.topology.num_clusters(); ++c) {
       const int procs = procs_used[static_cast<std::size_t>(c)];
       if (procs == 0) continue;
       const int ppn = residual.topology.cluster(c).procs_per_node;
       const int nodes = (procs + ppn - 1) / ppn;  // node-exclusive grant
-      placement.clusters.push_back(
-          residual.to_master[static_cast<std::size_t>(c)]);
+      grants.emplace_back(residual.to_master[static_cast<std::size_t>(c)],
+                          nodes);
+    }
+    std::sort(grants.begin(), grants.end());
+    Placement placement;
+    for (const auto& [cluster, nodes] : grants) {
+      placement.clusters.push_back(cluster);
       placement.nodes.push_back(nodes);
       placement.total_nodes += nodes;
     }
@@ -165,7 +219,7 @@ const GridJobService::Replay& GridJobService::replay_for(
   std::ostringstream key;
   key.precision(17);  // round-trip doubles: distinct m must not collide
   key << job.m << ':' << job.n << ':' << static_cast<int>(job.tree) << ':'
-      << options_.domains_per_cluster;
+      << options_.domains_per_cluster << ':' << options_.wan_link_Bps;
   for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
     key << (i == 0 ? ';' : ',') << placement.clusters[i] << 'x'
         << placement.nodes[i];
@@ -179,7 +233,8 @@ const GridJobService::Replay& GridJobService::replay_for(
     nodes_per_cluster[static_cast<std::size_t>(placement.clusters[i])] =
         placement.nodes[i];
   }
-  SubTopology sub = make_sub_topology(topology_, nodes_per_cluster);
+  SubTopology sub = make_sub_topology(
+      topology_, nodes_per_cluster, identity_order(topology_.num_clusters()));
 
   int domains = options_.domains_per_cluster;
   if (domains == 0) {
@@ -193,7 +248,13 @@ const GridJobService::Replay& GridJobService::replay_for(
     domains = std::min(min_procs, job.n <= 128 ? 64 : 16);
   }
 
+  // Transfer recording feeds the contention model's activation windows;
+  // contention-free services skip it (and the first-fraction pass below)
+  // so figure-scale replays never grow event vectors nothing reads.
+  const bool wan_on = options_.wan_contention || options_.wan_aware;
   simgrid::DesEngine engine(&sub.topology, roofline_);
+  engine.set_wan_aggregate_Bps(options_.wan_link_Bps);
+  engine.record_wan_transfers(wan_on);
   const core::DomainLayout layout =
       core::make_domain_layout(sub.topology, domains);
   core::des_tsqr(engine, layout.groups, layout.domain_cluster, job.m, job.n,
@@ -204,11 +265,49 @@ const GridJobService::Replay& GridJobService::replay_for(
   replay.gflops =
       model::useful_flops(job.m, job.n) / replay.seconds / 1e9;
   replay.compute_utilization = engine.compute_utilization();
+  const auto k = static_cast<std::size_t>(sub.topology.num_clusters());
+  replay.egress_first_fraction.assign(k, 1.0);
+  replay.ingress_first_fraction.assign(k, 1.0);
   for (int c = 0; c < sub.topology.num_clusters(); ++c) {
     replay.egress_bytes.push_back(engine.wan_egress_bytes(c));
     replay.ingress_bytes.push_back(engine.wan_ingress_bytes(c));
   }
+  // Per-phase WAN demand: the first instant each cluster's uplink or
+  // downlink carries a byte, as a fraction of the replay — the compute
+  // prefix the shared-WAN model lets pass contention-free. Transfers
+  // start strictly before the makespan, so the clamp only guards
+  // degenerate zero-length replays.
+  for (const simgrid::DesEngine::WanTransfer& t : engine.wan_transfers()) {
+    const double frac =
+        replay.seconds > 0.0
+            ? std::min(t.start_s / replay.seconds, 1.0 - 1e-12)
+            : 0.0;
+    auto& first_out =
+        replay.egress_first_fraction[static_cast<std::size_t>(t.src_cluster)];
+    auto& first_in =
+        replay.ingress_first_fraction[static_cast<std::size_t>(t.dst_cluster)];
+    first_out = std::min(first_out, frac);
+    first_in = std::min(first_in, frac);
+  }
   return replay_cache_.emplace(key.str(), std::move(replay)).first->second;
+}
+
+double GridJobService::attempt_seconds(const Replay& replay,
+                                       double credited_fraction) const {
+  const double remaining = replay.seconds * (1.0 - credited_fraction);
+  if (!options_.restart_credit || options_.checkpoint_cost_s <= 0.0 ||
+      options_.checkpoint_panels <= 0) {
+    return remaining;
+  }
+  // Every interior panel boundary still ahead of the attempt writes a
+  // checkpoint over the intra-cluster link (the last panel completes the
+  // job — nothing left to protect). Banked panels were written by the
+  // killed attempt that earned them.
+  const int panels = options_.checkpoint_panels;
+  const int banked = static_cast<int>(
+      std::floor(credited_fraction * panels + 1e-9));
+  const int to_write = std::max(0, panels - 1 - banked);
+  return remaining + to_write * options_.checkpoint_cost_s;
 }
 
 double GridJobService::shadow_time(const Job& head,
@@ -264,6 +363,25 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   report.policy = options_.policy;
   report.wan_egress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
   report.wan_ingress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
+  report.wan_uplink_busy.assign(static_cast<std::size_t>(nclusters), 0.0);
+  report.wan_downlink_busy.assign(static_cast<std::size_t>(nclusters), 0.0);
+
+  // Shared-WAN contention: one grid-wide model every in-flight attempt
+  // registers its inter-site byte demand with. Per run, like the outage
+  // trace, so serving several workloads from one service stays pure —
+  // and only built when contention is on, so its capacity invariants
+  // cannot reject runs that never consult it.
+  const bool wan_on = options_.wan_contention || options_.wan_aware;
+  std::optional<GridWanModel> wan_model;
+  if (wan_on) {
+    const double backbone_Bps =
+        options_.wan_backbone_Bps > 0.0
+            ? options_.wan_backbone_Bps
+            : options_.wan_link_Bps * std::max(1, nclusters / 2);
+    wan_model.emplace(nclusters, options_.wan_link_Bps, backbone_Bps);
+  }
+  GridWanModel* const wan = wan_model ? &*wan_model : nullptr;
+  double wan_clock = 0.0;  ///< how far the WAN horizons have been drained
 
   // Replayed copy of the trace: run() never consumes options_' original,
   // so the same service can serve several workloads identically.
@@ -290,10 +408,30 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     return nodes;
   };
 
+  // Completion-class event geometry. finish_s is the ISOLATED replay
+  // end; with contention on, the attempt additionally cannot complete
+  // before its shared-WAN demand has drained — +inf while it has not,
+  // which correctly keeps undrained jobs out of the completion scan
+  // (their next state change is a WAN event, already a candidate).
+  auto wan_finish = [&](const Running& r) -> double {
+    if (!wan_on) return r.finish_s;
+    if (!wan->drained(r.flow)) return kInf;
+    return std::max(r.finish_s, wan->drained_at_s(r.flow));
+  };
+  // The earlier of completing and being walltime-killed; ties resolve to
+  // "finished" (<=), so a job whose last byte drains exactly on its
+  // walltime completes.
+  auto event_of = [&](const Running& r) {
+    const double finish = wan_finish(r);
+    return finish < r.kill_s ? finish : r.kill_s;
+  };
+  auto completes = [&](const Running& r) { return wan_finish(r) <= r.kill_s; };
+
   // Charge one attempt's WAN bytes pro-rata to the fraction of the FULL
   // replay it actually covered, so a restart-credited job never pays for
   // its banked prefix twice (an uncredited full attempt charges exactly
-  // the replay counters).
+  // the replay counters). With contention on, the WAN model knows the
+  // bytes each flow really moved, so attempts retire their flow instead.
   auto charge_wan = [&](const Running& r, double fraction) {
     for (std::size_t i = 0; i < r.placement.clusters.size(); ++i) {
       const auto c = static_cast<std::size_t>(r.placement.clusters[i]);
@@ -310,6 +448,10 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     outcome.start_s = r.start_s;
     outcome.finish_s = end_s;
     outcome.service_s = end_s - r.start_s;
+    const double isolated_s = r.finish_s - r.start_s;
+    outcome.wan_slowdown = wan_on && isolated_s > 0.0
+                               ? outcome.service_s / isolated_s
+                               : 1.0;
     outcome.gflops = fate == JobFate::kCompleted ? r.replay->gflops : 0.0;
     outcome.clusters = r.placement.clusters;
     outcome.nodes_per_cluster = r.placement.nodes;
@@ -331,9 +473,10 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     Progress& p = progress[job.id];
     ++p.attempts;
     // Restart credit: only the unfinished tail of the factorization
-    // re-runs (at THIS placement's rate — the fraction is what carries).
-    const double remaining = replay.seconds * (1.0 - p.credited_fraction);
-    QRGRID_CHECK(remaining > 0.0);
+    // re-runs (at THIS placement's rate — the fraction is what carries),
+    // plus checkpoint I/O for the panels this attempt will protect.
+    const double attempt_s = attempt_seconds(replay, p.credited_fraction);
+    QRGRID_CHECK(attempt_s > 0.0);
     for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
       free_nodes[static_cast<std::size_t>(placement.clusters[i])] -=
           placement.nodes[i];
@@ -341,12 +484,12 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
           free_nodes[static_cast<std::size_t>(placement.clusters[i])] >= 0);
     }
     Running r;
-    r.finish_s = clock + remaining;
+    r.finish_s = clock + attempt_s;
     r.kill_s = job.walltime_s > 0.0 ? clock + job.walltime_s : kInf;
     // The scheduler's belief: walltimes are per-attempt and enforced, so
     // the attempt is over by start + walltime no matter what.
     r.est_finish_s =
-        clock + (job.walltime_s > 0.0 ? job.walltime_s : remaining);
+        clock + (job.walltime_s > 0.0 ? job.walltime_s : attempt_s);
     r.seq = seq++;
     r.job = std::move(job);
     r.placement = placement;
@@ -354,13 +497,59 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     r.start_fraction = p.credited_fraction;
     r.replay = &replay;
     r.backfilled = backfilled;
+    if (wan_on) {
+      // Register the attempt's WAN demand: per granted cluster one
+      // uplink and one downlink pool (bytes pro-rated to the uncovered
+      // [start_fraction, 1] tail, assuming the link's demand spreads
+      // over its [first_fraction, 1] activity window), plus one backbone
+      // pool carrying every byte once. Each pool activates where the
+      // replay timeline first touches its link, mapped onto the
+      // attempt's wall-clock span.
+      const double f0 = p.credited_fraction;
+      std::vector<GridWanModel::Pool> pools;
+      double backbone_bytes = 0.0;
+      double backbone_activation = kInf;
+      auto add_pool = [&](GridWanModel::Pool::Link link, int cluster,
+                          long long full_bytes, double first_fraction) {
+        if (full_bytes <= 0) return;
+        const double from = std::max(first_fraction, f0);
+        const double window = 1.0 - first_fraction;
+        if (window <= 0.0 || from >= 1.0) return;
+        const double bytes =
+            static_cast<double>(full_bytes) * (1.0 - from) / window;
+        const double activation_s =
+            clock + (from - f0) / (1.0 - f0) * attempt_s;
+        pools.push_back({link, cluster, bytes, activation_s});
+        if (link == GridWanModel::Pool::Link::kUplink) {
+          backbone_bytes += bytes;
+          backbone_activation = std::min(backbone_activation, activation_s);
+        }
+      };
+      for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+        add_pool(GridWanModel::Pool::Link::kUplink, placement.clusters[i],
+                 replay.egress_bytes[i], replay.egress_first_fraction[i]);
+        add_pool(GridWanModel::Pool::Link::kDownlink, placement.clusters[i],
+                 replay.ingress_bytes[i], replay.ingress_first_fraction[i]);
+      }
+      if (backbone_bytes > 0.0) {
+        pools.push_back({GridWanModel::Pool::Link::kBackbone, -1,
+                         backbone_bytes, backbone_activation});
+      }
+      r.flow = wan->admit(clock, std::move(pools));
+    }
     running.push_back(std::move(r));
   };
+
+  // Placement preference: only wan_aware dispatch consults the WAN
+  // model; feasibility checks and shadow estimates stay naive so the
+  // two modes agree on WHAT fits, and differ only on WHERE.
+  const GridWanModel* placement_wan = options_.wan_aware ? wan : nullptr;
 
   auto dispatch = [&]() {
     // Policy order: start from the head while it fits the up clusters.
     while (!pending.empty()) {
-      const auto placement = try_place(pending.front(), placeable_nodes());
+      const auto placement =
+          try_place(pending.front(), placeable_nodes(), placement_wan);
       if (!placement.has_value()) break;
       start_job(pending.pop_front(), *placement, /*backfilled=*/false);
     }
@@ -384,12 +573,13 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         std::min(head_progress.reserved_start_s, shadow);
     std::size_t i = 1;
     while (i < pending.size()) {
-      const auto placement = try_place(pending.at(i), placeable_nodes());
+      const auto placement =
+          try_place(pending.at(i), placeable_nodes(), placement_wan);
       if (placement.has_value()) {
         const Replay& replay = replay_for(pending.at(i), *placement);
         const Job& candidate = pending.at(i);
-        const double remaining =
-            replay.seconds * (1.0 - progress[candidate.id].credited_fraction);
+        const double remaining = attempt_seconds(
+            replay, progress[candidate.id].credited_fraction);
         const double estimate =
             candidate.walltime_s > 0.0 ? candidate.walltime_s : remaining;
         if (clock + estimate <= shadow) {
@@ -433,19 +623,27 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       }
       const double elapsed = ev.time_s - victim.start_s;
       Progress& p = progress[victim.job.id];
+      // Fraction of the FULL factorization this attempt covered before
+      // dying. Checkpoint overhead smears uniformly over the attempt,
+      // and a WAN-stretched attempt can outlive its isolated span while
+      // waiting on drains with all panels done — hence the cap at the
+      // attempt's own share.
+      const double attempt_span = victim.finish_s - victim.start_s;
+      const double covered =
+          std::min(elapsed / attempt_span, 1.0) *
+          (1.0 - p.credited_fraction);
       double banked = 0.0;
       if (options_.restart_credit && options_.checkpoint_panels > 0) {
-        // Bank whole panels: this attempt covered the factorization's
-        // [credited_fraction, credited_fraction + elapsed/replay] span;
-        // round the reached point down to a panel boundary.
+        // Bank whole panels: round the reached point down to a panel
+        // boundary. The last panel is never banked — completing it IS
+        // completing the job.
         const double panels =
             static_cast<double>(options_.checkpoint_panels);
-        const double through =
-            p.credited_fraction + elapsed / victim.replay->seconds;
-        const double reached = std::floor(through * panels) / panels;
+        const double through = p.credited_fraction + covered;
+        const double reached = std::min(std::floor(through * panels) / panels,
+                                        (panels - 1.0) / panels);
         const double gained =
-            std::clamp(reached - p.credited_fraction, 0.0,
-                       elapsed / victim.replay->seconds);
+            std::clamp(reached - p.credited_fraction, 0.0, covered);
         banked = gained * victim.replay->seconds;
         p.credited_fraction += gained;
       }
@@ -454,8 +652,13 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       p.wasted_node_s += nodes * (elapsed - banked);
       report.wasted_node_seconds += nodes * (elapsed - banked);
       useful_node_seconds += nodes * banked;
-      // The attempt ran elapsed seconds of the full replay timeline.
-      charge_wan(victim, elapsed / victim.replay->seconds);
+      if (wan_on) {
+        wan->retire(victim.flow, report.wan_egress_bytes,
+                   report.wan_ingress_bytes);
+      } else {
+        // The attempt covered this share of the full replay timeline.
+        charge_wan(victim, covered);
+      }
       ++report.killed_jobs;
       ++report.outage_kills;
       if (p.attempts <= options_.max_retries) {
@@ -476,11 +679,20 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
          !running.empty()) {
     double t = kInf;
     if (next_arrival < jobs.size()) t = jobs[next_arrival].arrival_s;
-    for (const Running& r : running) t = std::min(t, r.event_s());
+    for (const Running& r : running) t = std::min(t, event_of(r));
     t = std::min(t, trace.peek_s());
+    // WAN horizon events (a pool activating or running dry) change the
+    // fair shares — and may BE a job's completion when the last drain
+    // lands past its replay end. Rates are constant up to this bound, so
+    // advancing the model to t is exact.
+    if (wan_on) t = std::min(t, wan->next_event_s(wan_clock));
     QRGRID_CHECK_MSG(t < kInf, "service deadlock: pending jobs but no "
-                               "running work, outage recoveries, or future "
-                               "arrivals");
+                               "running work, WAN drains, outage "
+                               "recoveries, or future arrivals");
+    if (wan_on) {
+      wan->advance(wan_clock, t);
+      wan_clock = std::max(wan_clock, t);
+    }
     clock = std::max(clock, t);
 
     // Event precedence at one instant: completions (and walltime kills)
@@ -490,9 +702,9 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       found = false;
       std::size_t best = 0;
       for (std::size_t i = 0; i < running.size(); ++i) {
-        if (running[i].event_s() > clock) continue;
-        if (!found || running[i].event_s() < running[best].event_s() ||
-            (running[i].event_s() == running[best].event_s() &&
+        if (event_of(running[i]) > clock) continue;
+        if (!found || event_of(running[i]) < event_of(running[best]) ||
+            (event_of(running[i]) == event_of(running[best]) &&
              running[i].seq < running[best].seq)) {
           best = i;
           found = true;
@@ -506,20 +718,37 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
             done.placement.nodes[i];
       }
       const double nodes = static_cast<double>(done.placement.total_nodes);
-      if (done.completes()) {
-        const double held = done.finish_s - done.start_s;
+      if (completes(done)) {
+        const double finish = wan_finish(done);
+        const double held = finish - done.start_s;
         useful_node_seconds += nodes * held;
         useful_flops_total += model::useful_flops(done.job.m, done.job.n);
-        charge_wan(done, 1.0 - done.start_fraction);
+        if (wan_on) {
+          wan->retire(done.flow, report.wan_egress_bytes,
+                     report.wan_ingress_bytes);
+        } else {
+          charge_wan(done, 1.0 - done.start_fraction);
+        }
         ++report.completed_jobs;
-        record_outcome(done, done.finish_s, JobFate::kCompleted);
+        record_outcome(done, finish, JobFate::kCompleted);
       } else {
         // Ran past its user walltime: killed for good, everything wasted.
         const double held = done.kill_s - done.start_s;
         Progress& p = progress[done.job.id];
         p.wasted_node_s += nodes * held;
         report.wasted_node_seconds += nodes * held;
-        charge_wan(done, held / done.replay->seconds);
+        if (wan_on) {
+          wan->retire(done.flow, report.wan_egress_bytes,
+                     report.wan_ingress_bytes);
+        } else {
+          // Same capped coverage as the outage path: the checkpoint tail
+          // stretches the attempt beyond its replay share, and the share
+          // is all the WAN bytes it can ever owe.
+          const double covered =
+              std::min(held / (done.finish_s - done.start_s), 1.0) *
+              (1.0 - done.start_fraction);
+          charge_wan(done, covered);
+        }
         ++report.killed_jobs;
         ++report.walltime_kills;
         ++report.failed_jobs;
@@ -545,6 +774,28 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
                        << " completed + " << report.failed_jobs
                        << " failed != " << jobs.size() << " submitted");
   report.useful_node_seconds = useful_node_seconds;
+  if (wan_on && report.makespan_s > 0.0) {
+    for (int c = 0; c < nclusters; ++c) {
+      report.wan_uplink_busy[static_cast<std::size_t>(c)] =
+          wan->uplink_busy_s(c) / report.makespan_s;
+      report.wan_downlink_busy[static_cast<std::size_t>(c)] =
+          wan->downlink_busy_s(c) / report.makespan_s;
+    }
+    report.wan_backbone_busy = wan->backbone_busy_s() / report.makespan_s;
+  }
+  double slowdown_sum = 0.0;
+  long long slowdown_count = 0;
+  for (const JobOutcome& o : report.outcomes) {
+    if (!o.completed()) continue;
+    slowdown_sum += o.wan_slowdown;
+    report.max_wan_slowdown = std::max(report.max_wan_slowdown,
+                                       o.wan_slowdown);
+    ++slowdown_count;
+  }
+  if (slowdown_count > 0) {
+    report.mean_wan_slowdown =
+        slowdown_sum / static_cast<double>(slowdown_count);
+  }
   if (!report.outcomes.empty() && report.makespan_s > 0.0) {
     double wait_sum = 0.0, turnaround_sum = 0.0;
     for (const JobOutcome& o : report.outcomes) {

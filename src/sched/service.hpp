@@ -25,6 +25,18 @@
 // an attempt running past its walltime is killed for good. Event
 // precedence at one virtual instant: completions (and walltime kills),
 // then outage boundaries (recoveries before failures), then arrivals.
+//
+// Shared WAN (sched/wan.hpp): with wan_contention on, the replays stop
+// being private — every in-flight attempt's inter-site byte demand
+// drains against grid-wide per-cluster uplink/downlink horizons and one
+// aggregate backbone at fair share, and the attempt cannot complete
+// before its demand has drained. Finish times become load-dependent:
+// max(cached replay end, WAN drain end), which is >= the isolated replay
+// always and == it when nothing overlaps. wan_aware additionally biases
+// placement toward clusters whose WAN links carry the fewest in-flight
+// flows. Note EASY's no-delay guarantee is proved against replay-exact
+// (or walltime-bounded) completions; under contention running jobs can
+// outlast their estimates, so the reservation becomes best-effort.
 #pragma once
 
 #include <limits>
@@ -39,6 +51,8 @@
 #include "simgrid/topology.hpp"
 
 namespace qrgrid::sched {
+
+class GridWanModel;
 
 struct ServiceOptions {
   Policy policy = Policy::kFcfs;
@@ -62,6 +76,33 @@ struct ServiceOptions {
   /// `checkpoint_panels` equally-spaced points (domains are equal-sized,
   /// so panels are uniform in replay time).
   int checkpoint_panels = 8;
+  /// Checkpoints are not free: with restart_credit on, every interior
+  /// panel boundary an attempt crosses writes its state over the
+  /// intra-cluster link, charged as this many seconds appended to the
+  /// attempt (and to EASY's estimate of it). 0 keeps PR-2's free credit;
+  /// large values flip the credit/overhead trade-off against
+  /// checkpointing.
+  double checkpoint_cost_s = 0.0;
+
+  /// --- Shared-WAN contention (sched/wan.hpp) ---
+  /// Thread one grid-wide WAN model through the run: concurrent jobs'
+  /// inter-site byte demands share per-cluster uplink/downlink horizons
+  /// and an aggregate backbone at fair share, and job finish times
+  /// stretch accordingly. Off (default) reproduces PR-2 exactly.
+  bool wan_contention = false;
+  /// Network-aware placement: order candidate clusters by how many
+  /// in-flight flows currently touch their WAN links, so new placements
+  /// land on idle uplinks when the meta-scheduler has a choice. Implies
+  /// wan_contention.
+  bool wan_aware = false;
+  /// Aggregate capacity of each site's WAN uplink (and downlink), in
+  /// bytes/second. Also forwarded to every replay's DesEngine
+  /// (set_wan_aggregate_Bps), so one knob governs both the intra-replay
+  /// horizon and the cross-job contention model.
+  double wan_link_Bps = 10e9 / 8.0;
+  /// Shared backbone capacity; 0 = auto, wan_link_Bps x max(1, sites/2)
+  /// — a trunk that can carry about half the sites at full tilt.
+  double wan_backbone_Bps = 0.0;
 };
 
 /// Grid-wide accounting of one service run.
@@ -96,12 +137,27 @@ struct ServiceReport {
   /// (the DesEngine per-cluster counters, mapped back to grid sites).
   std::vector<long long> wan_egress_bytes;
   std::vector<long long> wan_ingress_bytes;
+
+  /// Shared-WAN accounting (all neutral when wan_contention is off).
+  /// Slowdowns are over COMPLETED jobs: contended service time over the
+  /// isolated replay remainder of the final attempt.
+  double mean_wan_slowdown = 1.0;
+  double max_wan_slowdown = 1.0;
+  /// Fraction of the makespan each link carried at least one in-flight
+  /// job's undrained WAN demand.
+  std::vector<double> wan_uplink_busy;
+  std::vector<double> wan_downlink_busy;
+  double wan_backbone_busy = 0.0;
 };
 
 /// WAN bytes the run pushed across site uplinks (egress summed over
 /// clusters; equals the ingress sum — every byte leaves one site and
 /// enters another).
 long long total_wan_bytes(const ServiceReport& report);
+
+/// Busiest WAN link of the run: max busy fraction over every uplink,
+/// downlink, and the backbone (0 when contention modeling is off).
+double max_wan_busy_fraction(const ServiceReport& report);
 
 /// Canonical policy-comparison table columns, shared by the CLI `serve`
 /// subcommand and bench_job_service so the two never drift apart.
@@ -140,6 +196,12 @@ class GridJobService {
     double compute_utilization = 0.0;
     std::vector<long long> egress_bytes;   ///< per placement cluster
     std::vector<long long> ingress_bytes;  ///< per placement cluster
+    /// Fraction of the replay timeline before the first byte leaves
+    /// (reaches) each placement cluster's WAN link — TSQR's compute
+    /// prefix, during which the job does not contend. 1.0 when the
+    /// cluster moves no WAN bytes at all.
+    std::vector<double> egress_first_fraction;
+    std::vector<double> ingress_first_fraction;
   };
 
   struct Running {
@@ -157,12 +219,10 @@ class GridJobService {
     double start_fraction = 0.0;
     const Replay* replay = nullptr;
     bool backfilled = false;
-
-    /// Next completion-class event: the earlier of finishing and being
-    /// walltime-killed. Ties resolve to "finished" (<=), so a job whose
-    /// replay ends exactly on its walltime completes.
-    double event_s() const { return finish_s < kill_s ? finish_s : kill_s; }
-    bool completes() const { return finish_s <= kill_s; }
+    /// Flow id in the shared-WAN model; -1 when contention is off.
+    /// finish_s stays the ISOLATED replay end — the actual completion is
+    /// max(finish_s, drain end), resolved inside run()'s event loop.
+    int flow = -1;
   };
 
   /// Per-job state carried across outage kills and requeues.
@@ -181,12 +241,22 @@ class GridJobService {
 
   /// Builds the residual topology of `free_nodes` and asks a
   /// MetaScheduler to place the job as 1, 2, ... max_groups single-cluster
-  /// groups (fewest groups first: WAN crossings cost the most).
+  /// groups (fewest groups first: WAN crossings cost the most). With a
+  /// WAN model (wan_aware dispatch), candidate clusters are presented to
+  /// the scheduler idlest-uplink-first, so equally feasible placements
+  /// land away from in-flight WAN traffic; feasibility is unaffected.
   std::optional<Placement> try_place(const Job& job,
-                                     const std::vector<int>& free_nodes) const;
+                                     const std::vector<int>& free_nodes,
+                                     const GridWanModel* wan = nullptr) const;
 
   /// DES replay of the job on its granted nodes (memoized).
   const Replay& replay_for(const Job& job, const Placement& placement);
+
+  /// Seconds one attempt holds its nodes on an idle grid: the uncredited
+  /// replay remainder plus checkpoint I/O for every interior panel
+  /// boundary the attempt will cross (checkpoint_cost_s).
+  double attempt_seconds(const Replay& replay,
+                         double credited_fraction) const;
 
   /// EASY reservation: earliest virtual time at which accumulated
   /// ESTIMATED completions (walltime bounds when set, exact replays when

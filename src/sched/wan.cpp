@@ -1,0 +1,200 @@
+#include "sched/wan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace qrgrid::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Does an interval that moves `moved` bytes empty a pool holding
+/// `bytes`? Slack is half a BYTE, deliberately byte- not time-scale:
+/// (a) when the caller's advance target is this pool's own drain event
+/// the two sides differ only by rounding of the same bytes/rate
+/// division; (b) an unrelated event landing a hair earlier over-credits
+/// at most half a byte rather than rate x clock-epsilon; and (c) no
+/// sub-half-byte remainder can survive and stall the event loop with a
+/// drain step too small to advance a large virtual clock.
+bool covers(double moved, double bytes) {
+  return moved >= bytes - 0.5;
+}
+
+}  // namespace
+
+GridWanModel::GridWanModel(int num_clusters, double link_Bps,
+                           double backbone_Bps)
+    : num_clusters_(num_clusters),
+      link_Bps_(link_Bps),
+      backbone_Bps_(backbone_Bps),
+      up_busy_s_(static_cast<std::size_t>(num_clusters), 0.0),
+      down_busy_s_(static_cast<std::size_t>(num_clusters), 0.0) {
+  QRGRID_CHECK(num_clusters >= 1 && link_Bps > 0.0 && backbone_Bps > 0.0);
+}
+
+double GridWanModel::capacity_of(const Pool& pool) const {
+  return pool.link == Pool::Link::kBackbone ? backbone_Bps_ : link_Bps_;
+}
+
+int GridWanModel::users_for(const Pool& pool, int backbone_users) const {
+  switch (pool.link) {
+    case Pool::Link::kUplink:
+      return up_users_[static_cast<std::size_t>(pool.cluster)];
+    case Pool::Link::kDownlink:
+      return down_users_[static_cast<std::size_t>(pool.cluster)];
+    case Pool::Link::kBackbone:
+      break;
+  }
+  return backbone_users;
+}
+
+int GridWanModel::count_users(double now_s) const {
+  up_users_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  down_users_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  int backbone = 0;
+  for (const Flow& flow : flows_) {
+    if (!flow.alive) continue;
+    for (const Pool& pool : flow.pools) {
+      if (pool.bytes <= 0.0 || pool.activation_s > now_s) continue;
+      switch (pool.link) {
+        case Pool::Link::kUplink:
+          ++up_users_[static_cast<std::size_t>(pool.cluster)];
+          break;
+        case Pool::Link::kDownlink:
+          ++down_users_[static_cast<std::size_t>(pool.cluster)];
+          break;
+        case Pool::Link::kBackbone:
+          ++backbone;
+          break;
+      }
+    }
+  }
+  return backbone;
+}
+
+int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
+  Flow flow;
+  flow.alive = true;
+  for (const Pool& pool : pools) {
+    QRGRID_CHECK(pool.bytes >= 0.0);
+    QRGRID_CHECK(pool.link == Pool::Link::kBackbone ||
+                 (pool.cluster >= 0 && pool.cluster < num_clusters_));
+    if (pool.bytes > 0.0) ++flow.undrained;
+  }
+  flow.pools = std::move(pools);
+  flow.moved_bytes.assign(flow.pools.size(), 0.0);
+  flow.drained_at_s = now_s;  // stands until a pool actually drains later
+  flows_.push_back(std::move(flow));
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+void GridWanModel::advance(double from_s, double to_s) {
+  const double dt = to_s - from_s;
+  if (dt <= 0.0) return;
+
+  const int backbone_users = count_users(from_s);
+  for (int c = 0; c < num_clusters_; ++c) {
+    if (up_users_[static_cast<std::size_t>(c)] > 0) {
+      up_busy_s_[static_cast<std::size_t>(c)] += dt;
+    }
+    if (down_users_[static_cast<std::size_t>(c)] > 0) {
+      down_busy_s_[static_cast<std::size_t>(c)] += dt;
+    }
+  }
+  if (backbone_users > 0) backbone_busy_s_ += dt;
+
+  for (Flow& flow : flows_) {
+    if (!flow.alive || flow.undrained == 0) continue;
+    for (std::size_t i = 0; i < flow.pools.size(); ++i) {
+      Pool& pool = flow.pools[i];
+      if (pool.bytes <= 0.0 || pool.activation_s > from_s) continue;
+      const double rate = capacity_of(pool) /
+                          static_cast<double>(users_for(pool, backbone_users));
+      const double moved = rate * dt;
+      if (covers(moved, pool.bytes)) {
+        flow.moved_bytes[i] += pool.bytes;
+        pool.bytes = 0.0;
+        if (--flow.undrained == 0) flow.drained_at_s = to_s;
+      } else {
+        flow.moved_bytes[i] += moved;
+        pool.bytes -= moved;
+      }
+    }
+  }
+}
+
+double GridWanModel::next_event_s(double now_s) const {
+  const int backbone_users = count_users(now_s);
+  double next = kInf;
+  for (const Flow& flow : flows_) {
+    if (!flow.alive || flow.undrained == 0) continue;
+    for (const Pool& pool : flow.pools) {
+      if (pool.bytes <= 0.0) continue;
+      if (pool.activation_s > now_s) {
+        next = std::min(next, pool.activation_s);
+        continue;
+      }
+      const double rate = capacity_of(pool) /
+                          static_cast<double>(users_for(pool, backbone_users));
+      next = std::min(next, now_s + pool.bytes / rate);
+    }
+  }
+  return next;
+}
+
+bool GridWanModel::drained(int flow) const {
+  const Flow& f = flows_[static_cast<std::size_t>(flow)];
+  QRGRID_CHECK(f.alive);
+  return f.undrained == 0;
+}
+
+double GridWanModel::drained_at_s(int flow) const {
+  const Flow& f = flows_[static_cast<std::size_t>(flow)];
+  QRGRID_CHECK(f.alive && f.undrained == 0);
+  return f.drained_at_s;
+}
+
+void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
+                          std::vector<long long>& ingress_bytes) {
+  Flow& f = flows_[static_cast<std::size_t>(flow)];
+  QRGRID_CHECK(f.alive);
+  for (std::size_t i = 0; i < f.pools.size(); ++i) {
+    const Pool& pool = f.pools[i];
+    const auto moved = static_cast<long long>(f.moved_bytes[i] + 0.5);
+    switch (pool.link) {
+      case Pool::Link::kUplink:
+        egress_bytes[static_cast<std::size_t>(pool.cluster)] += moved;
+        break;
+      case Pool::Link::kDownlink:
+        ingress_bytes[static_cast<std::size_t>(pool.cluster)] += moved;
+        break;
+      case Pool::Link::kBackbone:
+        break;  // the trunk is shared accounting, not a byte sink
+    }
+  }
+  f.alive = false;
+  f.pools.clear();
+  f.moved_bytes.clear();
+}
+
+int GridWanModel::load_score(int cluster) const {
+  int score = 0;
+  for (const Flow& flow : flows_) {
+    if (!flow.alive || flow.undrained == 0) continue;
+    bool touches = false;
+    for (const Pool& pool : flow.pools) {
+      if (pool.bytes > 0.0 && pool.link != Pool::Link::kBackbone &&
+          pool.cluster == cluster) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) ++score;
+  }
+  return score;
+}
+
+}  // namespace qrgrid::sched

@@ -65,6 +65,11 @@ double DesEngine::transfer(int src, int dst, std::size_t bytes) {
     ingress_free_[dc] = channel_done;
     wan_egress_bytes_[sc] += static_cast<long long>(bytes);
     wan_ingress_bytes_[dc] += static_cast<long long>(bytes);
+    if (record_wan_) {
+      wan_transfers_.push_back({start, static_cast<int>(sc),
+                                static_cast<int>(dc),
+                                static_cast<long long>(bytes)});
+    }
   }
   messages_ += 1;
   messages_by_class_[static_cast<std::size_t>(cls)] += 1;

@@ -158,6 +158,35 @@ TEST(DesEngine, UtilizationRisesWithM) {
   }
 }
 
+TEST(DesEngine, RecordsWanTransfersOnlyWhenAsked) {
+  GridTopology topo = toy_topology();
+  const int remote = topo.cluster_rank_base(1);
+  {
+    // Off by default: figure-scale sweeps must not grow event vectors.
+    DesEngine engine(&topo, flat_roofline());
+    engine.p2p(0, remote, 512);
+    EXPECT_TRUE(engine.wan_transfers().empty());
+  }
+  DesEngine engine(&topo, flat_roofline());
+  engine.record_wan_transfers(true);
+  engine.p2p(0, 1, 4096);       // intra-node: never a WAN transfer
+  engine.p2p(0, remote, 512);   // cluster 0 -> 1
+  engine.p2p(remote, 0, 128);   // cluster 1 -> 0
+  ASSERT_EQ(engine.wan_transfers().size(), 2u);
+  const DesEngine::WanTransfer& first = engine.wan_transfers()[0];
+  EXPECT_EQ(first.src_cluster, 0);
+  EXPECT_EQ(first.dst_cluster, 1);
+  EXPECT_EQ(first.bytes, 512);
+  EXPECT_GE(first.start_s, 0.0);
+  const DesEngine::WanTransfer& second = engine.wan_transfers()[1];
+  EXPECT_EQ(second.src_cluster, 1);
+  EXPECT_EQ(second.dst_cluster, 0);
+  EXPECT_EQ(second.bytes, 128);
+  // The recorded events decompose the WAN byte counters exactly.
+  EXPECT_EQ(first.bytes, engine.wan_egress_bytes(0));
+  EXPECT_EQ(second.bytes, engine.wan_egress_bytes(1));
+}
+
 TEST(DesEngine, FasterClusterComputesFaster) {
   std::vector<ClusterSpec> clusters = {
       ClusterSpec{"slow", 1, 1, 4.0},

@@ -279,6 +279,49 @@ TEST(FaultService, RestartCreditDoesNotDoubleChargeWan) {
   EXPECT_LE(faulty_wan, 1.11 * clean_wan);
 }
 
+TEST(FaultService, CheckpointCostFlipsTheCreditTradeOff) {
+  // Restart credit stops being free: every interior panel boundary an
+  // attempt crosses writes checkpoint I/O over the intra-cluster link
+  // (checkpoint_cost_s seconds). At zero cost, resuming from the last
+  // panel beats restarting from scratch; at an absurd cost, the I/O tax
+  // on every attempt swamps the credit and NOT checkpointing wins.
+  std::vector<Job> jobs = {make_job(0, 0.0, 1 << 21, 64, 4)};
+  const model::Roofline roof = model::paper_calibration();
+  const ServiceReport clean = GridJobService(one_site(), roof).run(jobs);
+  const double full_s = clean.outcomes[0].service_s;
+  const std::vector<Outage> outage = {{0, 0.6 * full_s, 0.6 * full_s + 1.0}};
+
+  ServiceOptions scratch;  // no checkpointing at all
+  scratch.outages = OutageTrace(outage);
+  const double no_credit_finish =
+      GridJobService(one_site(), roof, scratch).run(jobs).makespan_s;
+
+  ServiceOptions free_credit = scratch;
+  free_credit.restart_credit = true;
+  free_credit.checkpoint_panels = 8;
+  const double free_finish =
+      GridJobService(one_site(), roof, free_credit).run(jobs).makespan_s;
+
+  ServiceOptions costly = free_credit;
+  costly.checkpoint_cost_s = full_s;  // each checkpoint costs a whole run
+  const ServiceReport costly_report =
+      GridJobService(one_site(), roof, costly).run(jobs);
+  expect_conserved(costly_report, 1, one_site());
+
+  // The trade-off flips: free credit < no credit < prohibitively costly.
+  EXPECT_LT(free_finish, no_credit_finish);
+  EXPECT_GT(costly_report.makespan_s, no_credit_finish);
+
+  // At a realistic cost the overhead is visible but the credit still
+  // pays: monotone between the two extremes.
+  ServiceOptions mild = free_credit;
+  mild.checkpoint_cost_s = 0.01 * full_s;
+  const double mild_finish =
+      GridJobService(one_site(), roof, mild).run(jobs).makespan_s;
+  EXPECT_GT(mild_finish, free_finish);
+  EXPECT_LT(mild_finish, no_credit_finish);
+}
+
 TEST(FaultService, RetriesAreBoundedThenTheJobFails) {
   // Kill every attempt halfway; with max_retries = 2 the third kill is
   // final and the job leaves as kOutageFailed.

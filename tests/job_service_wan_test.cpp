@@ -1,0 +1,281 @@
+// Shared-WAN contention engine: fair-share draining of the GridWanModel
+// horizons, conservation of WAN bytes under concurrency, monotonicity of
+// contended runtimes against the isolated replays, byte-identical
+// reproduction of the contention-free service when nothing overlaps, and
+// the network-aware placement preference for idle uplinks.
+#include "sched/wan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sched/service.hpp"
+#include "sched/workload.hpp"
+
+namespace qrgrid::sched {
+namespace {
+
+using Pool = GridWanModel::Pool;
+using Link = GridWanModel::Pool::Link;
+
+simgrid::GridTopology small_grid() {
+  // 2 sites x 2 nodes x 2 procs = 8 processes, 4 nodes.
+  return simgrid::GridTopology::grid5000(2, 2, 2);
+}
+
+Job make_job(int id, double arrival_s, double m, int n, int procs) {
+  Job job;
+  job.id = id;
+  job.arrival_s = arrival_s;
+  job.m = m;
+  job.n = n;
+  job.procs = procs;
+  return job;
+}
+
+long long sum(const std::vector<long long>& v) {
+  return std::accumulate(v.begin(), v.end(), 0LL);
+}
+
+// --- GridWanModel unit level -------------------------------------------
+
+TEST(WanModel, SingleFlowDrainsAtFullCapacity) {
+  // 100 B/s uplink: 1000 bytes activating at t=2 drain at t=12 exactly.
+  GridWanModel wan(2, 100.0, 200.0);
+  const int flow = wan.admit(0.0, {Pool{Link::kUplink, 0, 1000.0, 2.0}});
+  EXPECT_FALSE(wan.drained(flow));
+  EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 2.0);  // the activation
+  wan.advance(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(wan.next_event_s(2.0), 12.0);  // the drain
+  wan.advance(2.0, 12.0);
+  ASSERT_TRUE(wan.drained(flow));
+  EXPECT_DOUBLE_EQ(wan.drained_at_s(flow), 12.0);
+  // Busy time covers exactly the active interval, not the idle prefix.
+  EXPECT_DOUBLE_EQ(wan.uplink_busy_s(0), 10.0);
+  EXPECT_DOUBLE_EQ(wan.uplink_busy_s(1), 0.0);
+  std::vector<long long> egress(2, 0), ingress(2, 0);
+  wan.retire(flow, egress, ingress);
+  EXPECT_EQ(egress[0], 1000);
+  EXPECT_EQ(sum(ingress), 0);
+}
+
+TEST(WanModel, FairShareHalvesRateAndRecoversOnRetire) {
+  // Two flows on the same uplink from t=0: each gets 50 B/s. Flow A's
+  // 500 bytes would alone take 5 s; shared, its first event is at 10 s —
+  // but flow B retires at t=4, after which A drains at full rate.
+  GridWanModel wan(1, 100.0, 100.0);
+  const int a = wan.admit(0.0, {Pool{Link::kUplink, 0, 500.0, 0.0}});
+  const int b = wan.admit(0.0, {Pool{Link::kUplink, 0, 900.0, 0.0}});
+  EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 10.0);
+  wan.advance(0.0, 4.0);  // a: 500-200=300 left, b: 900-200=700 left
+  std::vector<long long> egress(1, 0), ingress(1, 0);
+  wan.retire(b, egress, ingress);
+  EXPECT_EQ(egress[0], 200);  // what b actually moved before dying
+  // Alone now: 300 bytes at 100 B/s -> drained at t=7.
+  EXPECT_DOUBLE_EQ(wan.next_event_s(4.0), 7.0);
+  wan.advance(4.0, 7.0);
+  ASSERT_TRUE(wan.drained(a));
+  EXPECT_DOUBLE_EQ(wan.drained_at_s(a), 7.0);
+  wan.retire(a, egress, ingress);
+  EXPECT_EQ(egress[0], 700);  // 200 from b + 500 from a
+}
+
+TEST(WanModel, BackboneCouplesDisjointUplinks) {
+  // Two flows on DIFFERENT uplinks but one shared backbone sized below
+  // their sum: the backbone pools halve, the uplink pools do not.
+  GridWanModel wan(2, 100.0, 100.0);
+  const int a = wan.admit(0.0, {Pool{Link::kUplink, 0, 400.0, 0.0},
+                                Pool{Link::kBackbone, -1, 400.0, 0.0}});
+  const int b = wan.admit(0.0, {Pool{Link::kUplink, 1, 400.0, 0.0},
+                                Pool{Link::kBackbone, -1, 400.0, 0.0}});
+  // Uplinks drain in 4 s; backbones shared at 50 B/s need 8 s.
+  EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 4.0);
+  wan.advance(0.0, 4.0);
+  EXPECT_FALSE(wan.drained(a));
+  EXPECT_DOUBLE_EQ(wan.next_event_s(4.0), 8.0);
+  wan.advance(4.0, 8.0);
+  EXPECT_TRUE(wan.drained(a));
+  EXPECT_TRUE(wan.drained(b));
+  EXPECT_DOUBLE_EQ(wan.backbone_busy_s(), 8.0);
+  EXPECT_DOUBLE_EQ(wan.uplink_busy_s(0), 4.0);
+}
+
+TEST(WanModel, LoadScoreCountsPendingAndActiveFlows) {
+  GridWanModel wan(2, 100.0, 100.0);
+  // Pending activation still counts: it will contend before a job placed
+  // now reaches its own WAN phase.
+  const int flow = wan.admit(0.0, {Pool{Link::kUplink, 0, 100.0, 50.0}});
+  EXPECT_EQ(wan.load_score(0), 1);
+  EXPECT_EQ(wan.load_score(1), 0);
+  std::vector<long long> egress(2, 0), ingress(2, 0);
+  wan.retire(flow, egress, ingress);
+  EXPECT_EQ(wan.load_score(0), 0);
+}
+
+// --- Service level ------------------------------------------------------
+
+/// Mixed wide/filler workload on the 4-site grid: 68- and 132-proc jobs
+/// span 2-3 clusters (flat trees, so every remote domain ships its R
+/// factor across the WAN), while single-cluster fillers fragment the
+/// node pool — the state in which concurrent WAN phases genuinely
+/// overlap on shared uplinks. Nodes-exclusive majorities make that
+/// impossible on a 2-site grid, which is exactly why the contention
+/// engine needs wide grids to bite.
+simgrid::GridTopology wide_grid() {
+  return simgrid::GridTopology::grid5000(4, 32, 2);
+}
+
+std::vector<Job> overlapping_wide_jobs() {
+  WorkloadSpec spec;
+  spec.jobs = 24;
+  spec.mean_interarrival_s = 0.4;
+  spec.m_choices = {1 << 17, 1 << 18};
+  spec.n_choices = {256, 512};
+  spec.procs_choices = {24, 48, 68, 132};
+  spec.tree_choices = {core::TreeKind::kFlat};
+  spec.seed = 53;
+  return generate_workload(spec);
+}
+
+ServiceOptions thin_wan_options(bool contention) {
+  ServiceOptions options;
+  options.wan_contention = contention;
+  options.wan_link_Bps = 0.02e9 / 8.0;  // 20 Mb/s: the WAN phase matters
+  return options;
+}
+
+TEST(WanService, ConservationUnderConcurrency) {
+  GridJobService service(wide_grid(), model::paper_calibration(),
+                         thin_wan_options(true));
+  const ServiceReport report = service.run(overlapping_wide_jobs());
+  ASSERT_EQ(report.completed_jobs, 24);
+  EXPECT_GT(sum(report.wan_egress_bytes), 0);
+  EXPECT_EQ(sum(report.wan_egress_bytes), sum(report.wan_ingress_bytes));
+
+  // The contention-free service conserves too. (Cross-run byte identity
+  // is NOT expected here: stretched finish times shift later dispatch
+  // decisions, so the two runs legitimately choose different placements
+  // with different WAN footprints — the serial-workload test below pins
+  // the case where the schedules must coincide.)
+  GridJobService isolated(wide_grid(), model::paper_calibration(),
+                          thin_wan_options(false));
+  const ServiceReport off = isolated.run(overlapping_wide_jobs());
+  EXPECT_EQ(sum(off.wan_egress_bytes), sum(off.wan_ingress_bytes));
+  EXPECT_GT(sum(off.wan_egress_bytes), 0);
+}
+
+TEST(WanService, ContendedRuntimesAreMonotoneAndStretchUnderLoad) {
+  GridJobService service(wide_grid(), model::paper_calibration(),
+                         thin_wan_options(true));
+  const ServiceReport contended = service.run(overlapping_wide_jobs());
+  GridJobService isolated(wide_grid(), model::paper_calibration(),
+                          thin_wan_options(false));
+  const ServiceReport alone = isolated.run(overlapping_wide_jobs());
+
+  // The acceptance gate: a shared WAN can only ever stretch a job.
+  for (const JobOutcome& o : contended.outcomes) {
+    ASSERT_TRUE(o.completed());
+    EXPECT_GE(o.wan_slowdown, 1.0 - 1e-9) << "job " << o.job.id;
+  }
+  EXPECT_GT(contended.max_wan_slowdown, 1.0);  // overlap really happened
+  EXPECT_GE(contended.makespan_s, alone.makespan_s * (1.0 - 1e-12));
+  EXPECT_GT(max_wan_busy_fraction(contended), 0.0);
+  // The contention-free run reports neutral WAN columns.
+  EXPECT_EQ(alone.mean_wan_slowdown, 1.0);
+  EXPECT_EQ(max_wan_busy_fraction(alone), 0.0);
+}
+
+TEST(WanService, ZeroContentionReproducesCachedReplayTimes) {
+  // Serial workload (gaps dwarf every runtime): with nothing overlapping,
+  // the contention engine must reproduce the PR-2 service exactly — an
+  // isolated flow drains no later than its replay end by construction.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(i, 1e5 * i, 1 << 18, 128, 8));
+  }
+  for (const Policy policy :
+       {Policy::kFcfs, Policy::kSpjf, Policy::kEasyBackfill}) {
+    ServiceOptions on;
+    on.policy = policy;
+    on.wan_contention = true;
+    ServiceOptions off = on;
+    off.wan_contention = false;
+    const ServiceReport a =
+        GridJobService(small_grid(), model::paper_calibration(), on)
+            .run(jobs);
+    const ServiceReport b =
+        GridJobService(small_grid(), model::paper_calibration(), off)
+            .run(jobs);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].start_s, b.outcomes[i].start_s);
+      EXPECT_EQ(a.outcomes[i].finish_s, b.outcomes[i].finish_s);
+      EXPECT_EQ(a.outcomes[i].wan_slowdown, 1.0);
+    }
+    EXPECT_EQ(a.wan_egress_bytes, b.wan_egress_bytes);
+    // Summary rows agree on every column except the busy fractions (the
+    // links WERE occupied by the serial flows, one at a time).
+    std::vector<std::string> row_on = summary_row(a);
+    std::vector<std::string> row_off = summary_row(b);
+    ASSERT_FALSE(row_on.empty());
+    row_on.pop_back();
+    row_off.pop_back();
+    EXPECT_EQ(row_on, row_off) << policy_name(policy);
+  }
+}
+
+TEST(WanService, DeterministicUnderContention) {
+  WorkloadSpec spec;
+  spec.jobs = 40;
+  spec.procs_choices = {4, 8};
+  spec.mean_interarrival_s = 0.1;
+  spec.seed = 47;
+  ServiceOptions options = thin_wan_options(true);
+  options.policy = Policy::kEasyBackfill;
+  options.wan_aware = true;
+  GridJobService first(small_grid(), model::paper_calibration(), options);
+  GridJobService second(small_grid(), model::paper_calibration(), options);
+  const std::vector<std::string> a = summary_row(first.run(generate_workload(spec)));
+  const std::vector<std::string> b =
+      summary_row(second.run(generate_workload(spec)));
+  EXPECT_EQ(a, b);
+  // And the same service replaying the workload must not drift (the WAN
+  // model is rebuilt per run, like the outage trace).
+  const std::vector<std::string> c =
+      summary_row(first.run(generate_workload(spec)));
+  EXPECT_EQ(a, c);
+}
+
+TEST(WanService, NetworkAwarePlacementPrefersIdleUplinks) {
+  // 4 sites x 16 nodes x 2 procs. A wide job pins WAN flows on sites
+  // {0,1}; two single-cluster fillers occupy sites 2 and 3 but move no
+  // WAN bytes; a second wide job then fits either {0,1} (naive first-fit
+  // from site 0) or {2,3} (idle uplinks). Network-aware dispatch must
+  // pick the idle pair.
+  simgrid::GridTopology topo = simgrid::GridTopology::grid5000(4, 16, 2);
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 1 << 22, 64, 34));   // wide, long: {0,1}
+  jobs.push_back(make_job(1, 0.1, 1 << 20, 64, 18));   // filler: site 2
+  jobs.push_back(make_job(2, 0.2, 1 << 20, 64, 18));   // filler: site 3
+  jobs.push_back(make_job(3, 0.3, 1 << 17, 64, 26));   // wide: the choice
+
+  ServiceOptions naive;
+  naive.wan_contention = true;
+  const ServiceReport plain =
+      GridJobService(topo, model::paper_calibration(), naive).run(jobs);
+  ServiceOptions aware = naive;
+  aware.wan_aware = true;
+  const ServiceReport steered =
+      GridJobService(topo, model::paper_calibration(), aware).run(jobs);
+
+  ASSERT_EQ(plain.outcomes[3].clusters, (std::vector<int>{0, 1}));
+  ASSERT_EQ(steered.outcomes[3].clusters, (std::vector<int>{2, 3}));
+  // Same feasibility, same grid: steering away from busy uplinks can
+  // only help the makespan.
+  EXPECT_LE(steered.makespan_s, plain.makespan_s * (1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace qrgrid::sched

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Turn `qrgrid_cli serve --csv` sweeps into policy-vs-load curves.
+
+Each input CSV is one load point: a single `serve` run with per-(policy,
+job) rows. The script infers the offered load of each file from the job
+arrival times (jobs per second over the submission window), aggregates
+mean/max wait and the completed-job fraction per policy, and emits the
+mean-wait-vs-load curve for every policy.
+
+Output is a gnuplot/np-friendly .dat table (always) plus a PNG when
+matplotlib is importable — the CI container does not ship it, so the
+plot is strictly optional.
+
+Usage:
+    plot_sweep.py --out curves sweep_a.csv sweep_b.csv ...
+      -> curves.dat (always), curves.png (if matplotlib is present)
+
+Generate the inputs with, e.g.:
+    for t in 0.1 0.2 0.4 0.8; do
+        ./build/qrgrid_cli serve --jobs 500 --arrival-s $t \
+            --csv sweep_$t.csv
+    done
+"""
+import argparse
+import collections
+import csv
+import sys
+
+
+def read_points(paths):
+    """-> {policy: [(load_jobs_per_s, mean_wait, max_wait, done_frac)]}"""
+    series = collections.defaultdict(list)
+    for path in paths:
+        per_policy = collections.defaultdict(list)
+        with open(path, newline="") as f:
+            for row in csv.DictReader(f):
+                per_policy[row["policy"]].append(row)
+        if not per_policy:
+            raise SystemExit(f"{path}: no rows")
+        for policy, rows in sorted(per_policy.items()):
+            arrivals = [float(r["arrival_s"]) for r in rows]
+            span = max(arrivals) - min(arrivals)
+            if span <= 0:
+                print(f"{path}: {policy} has no arrival spread "
+                      f"({len(rows)} row(s)) — skipping this load point",
+                      file=sys.stderr)
+                continue
+            load = (len(rows) - 1) / span
+            waits = [float(r["wait_s"]) for r in rows]
+            done = sum(r["fate"] == "completed" for r in rows)
+            series[policy].append(
+                (load, sum(waits) / len(waits), max(waits),
+                 done / len(rows)))
+    for policy in series:
+        series[policy].sort()
+    return dict(series)
+
+
+def write_dat(series, path):
+    with open(path, "w") as f:
+        f.write("# policy load_jobs_per_s mean_wait_s max_wait_s "
+                "completed_frac\n")
+        for policy, points in sorted(series.items()):
+            for load, mean_wait, max_wait, done in points:
+                f.write(f"{policy} {load:.6g} {mean_wait:.6g} "
+                        f"{max_wait:.6g} {done:.6g}\n")
+            f.write("\n\n")  # gnuplot dataset separator
+
+
+def write_png(series, path):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; wrote .dat only", file=sys.stderr)
+        return False
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for policy, points in sorted(series.items()):
+        loads = [p[0] for p in points]
+        waits = [p[1] for p in points]
+        ax.plot(loads, waits, marker="o", label=policy)
+    ax.set_xlabel("offered load (jobs/s)")
+    ax.set_ylabel("mean wait (s)")
+    ax.set_title("Grid job service: mean wait vs load")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="policy-vs-load curves from serve --csv sweeps")
+    parser.add_argument("--out", default="sweep",
+                        help="output basename (default: sweep)")
+    parser.add_argument("csvs", nargs="+", help="serve --csv outputs, "
+                        "one per load point")
+    args = parser.parse_args()
+
+    series = read_points(args.csvs)
+    dat = args.out + ".dat"
+    write_dat(series, dat)
+    made_png = write_png(series, args.out + ".png")
+    print(f"wrote {dat}" + (f" and {args.out}.png" if made_png else ""))
+    for policy, points in sorted(series.items()):
+        tail = ", ".join(f"{load:.3g}/s -> {wait:.4g}s"
+                         for load, wait, _, _ in points)
+        print(f"  {policy:6s} mean wait by load: {tail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,17 +24,28 @@
 //                        [--mtbf S] [--repair S] [--outage-seed X]
 //                        [--walltime-factor F] [--retries K]
 //                        [--restart-credit] [--panels K]
+//                        [--checkpoint-cost S] [--wan-gbps G]
+//                        [--backbone-gbps G] [--wan-contention]
+//                        [--wan-aware] [--tree grid|binary|flat]
 //       Run the grid job service on a seeded Poisson workload of queued
 //       TSQR factorizations and report per-policy makespan, waits,
 //       throughput, utilization, and fault accounting. --mtbf turns on
 //       seeded whole-cluster outages (mean up-time per site; --repair is
 //       the mean down-time, default mtbf/10); killed jobs are requeued up
 //       to --retries times, optionally restarting from their last
-//       completed panel (--restart-credit, --panels). --walltime-factor F
-//       gives every job a user walltime = predicted x U[1, F) — the
-//       classic over-ask — which EASY plans with and the service
-//       enforces. --csv writes one machine-readable row per
-//       (policy, job) for bench sweeps.
+//       completed panel (--restart-credit, --panels; --checkpoint-cost
+//       charges that many seconds of I/O per panel checkpoint instead of
+//       granting the credit for free). --walltime-factor F gives every
+//       job a user walltime = predicted x U[1, F) — the classic
+//       over-ask — which EASY plans with and the service enforces.
+//       --wan-gbps sets each site's aggregate WAN uplink (wired through
+//       to DesEngine::set_wan_aggregate_Bps for every replay);
+//       --wan-contention makes concurrent jobs SHARE those uplinks plus
+//       a backbone (--backbone-gbps, default sites/2 x uplink) at fair
+//       share, stretching finish times under load; --wan-aware
+//       additionally steers placements toward currently-idle uplinks.
+//       --csv writes one machine-readable row per (policy, job) for
+//       bench sweeps (see tools/plot_sweep.py).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -288,6 +299,7 @@ int cmd_serve(const Args& args) {
        p *= 2) {
     spec.procs_choices.push_back(p);
   }
+  spec.tree_choices = {tree_of(args.get("tree", "grid"))};
   std::vector<sched::Job> jobs = sched::generate_workload(spec);
 
   // Fault and walltime knobs, shared by every policy below.
@@ -322,7 +334,7 @@ int cmd_serve(const Args& args) {
     csv.precision(17);  // round-trip doubles; sweeps join rows on m/times
     csv << "policy,job_id,arrival_s,start_s,finish_s,wait_s,service_s,"
            "m,n,procs,nodes,sites,backfilled,gflops,fate,attempts,"
-           "wasted_node_s\n";
+           "wasted_node_s,wan_slowdown\n";
   }
 
   std::cout << "Serving " << spec.jobs << " queued TSQR jobs on "
@@ -343,6 +355,14 @@ int cmd_serve(const Args& args) {
               << format_number(walltime_factor, 3)
               << ") per job, enforced\n";
   }
+  const bool wan_aware = args.flag("wan-aware");
+  const bool wan_contention = args.flag("wan-contention") || wan_aware;
+  const double wan_gbps = args.num("wan-gbps", 10.0);
+  if (wan_contention) {
+    std::cout << "Shared WAN: " << format_number(wan_gbps, 4)
+              << " Gb/s per site uplink, fair-share contention on"
+              << (wan_aware ? ", network-aware placement" : "") << '\n';
+  }
   std::cout << '\n';
   TextTable table;
   table.set_header(sched::summary_header());
@@ -355,6 +375,11 @@ int cmd_serve(const Args& args) {
     options.max_retries = static_cast<int>(args.num("retries", 3));
     options.restart_credit = args.flag("restart-credit");
     options.checkpoint_panels = static_cast<int>(args.num("panels", 8));
+    options.checkpoint_cost_s = args.num("checkpoint-cost", 0.0);
+    options.wan_link_Bps = wan_gbps * 1e9 / 8.0;
+    options.wan_backbone_Bps = args.num("backbone-gbps", 0.0) * 1e9 / 8.0;
+    options.wan_contention = wan_contention;
+    options.wan_aware = wan_aware;
     sched::GridJobService service(topo, roof, options);
     const sched::ServiceReport report = service.run(jobs);
     table.add_row(sched::summary_row(report));
@@ -367,7 +392,7 @@ int cmd_serve(const Args& args) {
             << o.job.procs << ',' << o.nodes << ',' << o.clusters.size()
             << ',' << (o.backfilled ? 1 : 0) << ',' << o.gflops << ','
             << sched::fate_name(o.fate) << ',' << o.attempts << ','
-            << o.wasted_node_s << '\n';
+            << o.wasted_node_s << ',' << o.wan_slowdown << '\n';
       }
     }
   }

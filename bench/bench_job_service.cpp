@@ -16,14 +16,19 @@
 // placement against --wan-aware placement: steering wide jobs onto
 // currently-idle uplinks must win on makespan, and every completed job's
 // contended runtime must be >= its isolated replay (the monotonicity
-// gate). Usage: bench_job_service [jobs] (default 1000; CI smoke-runs
+// gate). A fourth scenario drives one small workload through BOTH
+// execution backends — cached DES replay vs real threaded msg::Runtime —
+// and gates identical scheduling, <= 2% finish-time drift, and per-job
+// numerics. Usage: bench_job_service [jobs] (default 1000; CI smoke-runs
 // 60).
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
+#include "core/des_algos.hpp"
 #include "sched/service.hpp"
 #include "sched/workload.hpp"
 
@@ -203,10 +208,86 @@ int main(int argc, char** argv) {
                    100.0 * (1.0 - aware_makespan / naive_makespan), 3)
             << " % vs naive under shared-WAN contention\n";
 
+  // Backend equivalence: a small EASY workload through the cached-DES
+  // replay and through REAL threaded execution (msg::Runtime, one domain
+  // per process). The replay is a validated predictor only if the two
+  // agree — identical scheduling decisions, measured finish times within
+  // tolerance, and every executed factorization numerically correct.
+  sched::WorkloadSpec eq_spec;
+  eq_spec.jobs = 24;
+  eq_spec.mean_interarrival_s = 0.004;
+  eq_spec.m_choices = {512, 1024, 2048};
+  eq_spec.n_choices = {16, 32};
+  eq_spec.procs_choices = {2, 4, 8};
+  eq_spec.seed = spec.seed + 3;
+  const std::vector<sched::Job> eq_jobs = sched::generate_workload(eq_spec);
+  const simgrid::GridTopology eq_topo =
+      simgrid::GridTopology::grid5000(2, 2, 2);
+
+  std::cout << "\nBackend equivalence (" << eq_spec.jobs
+            << " small jobs, 2 sites x 4 procs, EASY, one domain per "
+               "process):\n";
+  TextTable eq_table;
+  eq_table.set_header(sched::summary_header());
+  bool eq_ok = true;
+  sched::ServiceReport eq_reports[2];
+  for (const bool real : {false, true}) {
+    sched::ServiceOptions options;
+    options.policy = sched::Policy::kEasyBackfill;
+    options.domains_per_cluster = core::kOneDomainPerProcess;
+    options.backend = real ? sched::BackendKind::kMsgRuntime
+                           : sched::BackendKind::kDesReplay;
+    sched::GridJobService service(eq_topo, roof, options);
+    Stopwatch watch;
+    eq_reports[real ? 1 : 0] = service.run(eq_jobs);
+    wall_total += watch.seconds();
+    executions += eq_spec.jobs;
+    std::vector<std::string> row =
+        sched::summary_row(eq_reports[real ? 1 : 0]);
+    row[0] = real ? "easy+msg" : "easy+des";
+    eq_table.add_row(row);
+  }
+  eq_table.print(std::cout);
+  const sched::ServiceReport& des_run = eq_reports[0];
+  const sched::ServiceReport& msg_run = eq_reports[1];
+  double worst_rel = 0.0;
+  for (std::size_t i = 0; i < msg_run.outcomes.size(); ++i) {
+    const sched::JobOutcome& d = des_run.outcomes[i];
+    const sched::JobOutcome& m = msg_run.outcomes[i];
+    if (d.start_s != m.start_s || d.finish_s != m.finish_s ||
+        d.clusters != m.clusters || d.backfilled != m.backfilled) {
+      std::cerr << "REGRESSION: backends disagree on the scheduling of "
+                << "job " << m.job.id << '\n';
+      eq_ok = false;
+    }
+    if (m.completed() && m.service_s > 0.0) {
+      worst_rel = std::max(
+          worst_rel, std::abs(m.measured_s - m.service_s) / m.service_s);
+    }
+  }
+  if (worst_rel > 0.02) {
+    std::cerr << "REGRESSION: measured msg-runtime finish times drifted "
+              << worst_rel << " relative from the DES replay (> 2%)\n";
+    eq_ok = false;
+  }
+  if (msg_run.executed_attempts != msg_run.completed_jobs ||
+      msg_run.max_residual <= 0.0 || msg_run.max_residual > 1e-10 ||
+      msg_run.max_orthogonality > 1e-10) {
+    std::cerr << "REGRESSION: msg-backend numerics gate failed (executed "
+              << msg_run.executed_attempts << ", max resid "
+              << msg_run.max_residual << ", max ortho "
+              << msg_run.max_orthogonality << ")\n";
+    eq_ok = false;
+  }
+  std::cout << "msg-runtime vs DES-replay: identical scheduling, worst "
+               "finish-time drift "
+            << format_number(100.0 * worst_rel, 3) << " %, max residual "
+            << msg_run.max_residual << '\n';
+
   std::cout << "\nsimulated " << executions
             << " job executions (requeued restarts included) in "
             << format_number(wall_total, 3) << " s of wall time\n";
-  if (!churn_ok || !wan_ok) return 1;
+  if (!churn_ok || !wan_ok || !eq_ok) return 1;
   // The WAN-placement ordering, like the EASY-vs-FCFS gate below, is
   // only asserted at full scale; tiny smoke runs barely overlap.
   if (spec.jobs >= 500 && aware_makespan >= naive_makespan) {

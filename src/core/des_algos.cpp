@@ -169,14 +169,19 @@ void des_tsqr(simgrid::DesEngine& engine,
 
 DomainLayout make_domain_layout(const simgrid::GridTopology& topology,
                                 int domains_per_cluster) {
-  QRGRID_CHECK(domains_per_cluster >= 1);
+  QRGRID_CHECK(domains_per_cluster >= 1 ||
+               domains_per_cluster == kOneDomainPerProcess);
   DomainLayout layout;
   for (int c = 0; c < topology.num_clusters(); ++c) {
     const int base = topology.cluster_rank_base(c);
     const int procs = topology.cluster(c).procs();
-    QRGRID_CHECK_MSG(domains_per_cluster <= procs,
+    // One singleton domain per rank: clusters keep their own proc counts.
+    const int domains =
+        domains_per_cluster == kOneDomainPerProcess ? procs
+                                                    : domains_per_cluster;
+    QRGRID_CHECK_MSG(domains <= procs,
                      "more domains than processes in cluster " << c);
-    const auto blocks = partition_rows(procs, domains_per_cluster);
+    const auto blocks = partition_rows(procs, domains);
     for (const auto& blk : blocks) {
       std::vector<int> group;
       for (std::int64_t i = 0; i < blk.count; ++i) {

@@ -38,7 +38,12 @@ void des_tsqr(simgrid::DesEngine& engine,
               TreeKind tree_kind, bool form_q);
 
 /// Splits each cluster's contiguous ranks into `domains_per_cluster`
-/// groups of (nearly) equal size.
+/// groups of (nearly) equal size. Pass kOneDomainPerProcess for exactly
+/// one single-rank domain per process regardless of per-cluster process
+/// counts — the layout under which the replayed schedule is structurally
+/// identical to a threaded tsqr_factor run (every msg rank IS a domain),
+/// which is what the service-layer engine-equivalence suite pins.
+inline constexpr int kOneDomainPerProcess = -1;
 struct DomainLayout {
   std::vector<std::vector<int>> groups;  ///< ranks per domain
   std::vector<int> domain_cluster;       ///< cluster of each domain

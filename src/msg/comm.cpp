@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
+#include <sstream>
 #include <thread>
 #include <tuple>
 
@@ -55,6 +57,25 @@ struct RuntimeState {
   std::vector<PerRank> per_rank;
   std::atomic<std::uint64_t> next_context{1};
   std::atomic<bool> aborted{false};
+  /// Virtual-walltime bound; constant while rank threads run (set before
+  /// spawn, read-only after — the thread launch is the synchronization).
+  double vtime_limit = std::numeric_limits<double>::infinity();
+
+  /// Call after advancing `rank`'s clock: an injected kill fires the
+  /// moment the simulated timeline crosses the limit. The clock is
+  /// clamped AT the limit — a SIGKILL interrupts the operation in
+  /// progress, it does not let it finish — so the aborted run's
+  /// max_vtime reports exactly how far the simulated execution got.
+  void enforce_vtime_limit(int rank) {
+    double& clock = per_rank[static_cast<std::size_t>(rank)].clock;
+    if (clock > vtime_limit) {
+      clock = vtime_limit;
+      std::ostringstream oss;
+      oss << "rank " << rank << " exceeded the virtual walltime limit of "
+          << vtime_limit << " s";
+      throw VtimeLimitError(oss.str());
+    }
+  }
 
   explicit RuntimeState(int p, std::shared_ptr<const CostModel> c)
       : nprocs(p), cost(std::move(c)), mailboxes(p), per_rank(p) {
@@ -142,6 +163,7 @@ std::vector<double> Comm::recv(int src, int tag) {
   pr.clock = std::max(pr.clock, mail.arrival_vtime) +
              state_->cost->serialization_seconds(
                  src_g, me_g, mail.payload.size() * sizeof(double));
+  state_->enforce_vtime_limit(me_g);
   return std::move(mail.payload);
 }
 
@@ -149,6 +171,7 @@ void Comm::compute(double flops, int ncols) {
   auto& pr = state_->per_rank[static_cast<std::size_t>(global_rank())];
   pr.clock += state_->cost->flop_seconds(global_rank(), flops, ncols);
   pr.flops += flops;
+  state_->enforce_vtime_limit(global_rank());
 }
 
 double Comm::vtime() const {
@@ -157,6 +180,7 @@ double Comm::vtime() const {
 
 void Comm::advance_vtime(double seconds) {
   state_->per_rank[static_cast<std::size_t>(global_rank())].clock += seconds;
+  state_->enforce_vtime_limit(global_rank());
 }
 
 Comm Comm::split(int color, int key) {
@@ -240,8 +264,10 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
   for (int r = 1; r < nprocs_; ++r) threads.emplace_back(body, r);
   body(0);
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 
+  // Aggregate BEFORE rethrowing: an aborted run's partial clocks and
+  // counters stay readable through last_run_stats() — how the service
+  // layer measures where an injected mid-run kill really landed.
   RunStats stats;
   for (const auto& pr : state_->per_rank) {
     stats.messages += pr.sends;
@@ -254,7 +280,15 @@ RunStats Runtime::run(const std::function<void(Comm&)>& fn) {
     stats.max_rank_flops = std::max(stats.max_rank_flops, pr.flops);
     stats.max_vtime = std::max(stats.max_vtime, pr.clock);
   }
+  last_stats_ = stats;
+  if (first_error) std::rethrow_exception(first_error);
   return stats;
+}
+
+void Runtime::set_vtime_limit(double limit_s) {
+  QRGRID_CHECK_MSG(limit_s >= 0.0, "vtime limit must be >= 0, got "
+                                       << limit_s);
+  state_->vtime_limit = limit_s;
 }
 
 }  // namespace qrgrid::msg

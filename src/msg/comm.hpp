@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "msg/cost_model.hpp"
 
 namespace qrgrid::msg {
@@ -40,6 +41,17 @@ struct RunStats {
 namespace detail {
 struct RuntimeState;
 }
+
+/// Thrown by a rank whose virtual clock crosses the runtime's vtime
+/// limit (Runtime::set_vtime_limit) — the simulated analog of a batch
+/// system's walltime SIGKILL or of a site outage hitting an in-flight
+/// job. Distinct from generic Error so callers can tell an injected
+/// mid-run kill from a real failure; the abort still propagates to every
+/// peer through the same machinery as any other rank death.
+class VtimeLimitError : public qrgrid::Error {
+ public:
+  using qrgrid::Error::Error;
+};
 
 /// Rank-local handle to a communicator (a subgroup of the runtime's ranks
 /// with a private tag space). Cheap to copy; not thread-safe across ranks
@@ -132,9 +144,22 @@ class Runtime {
   /// threads join.
   RunStats run(const std::function<void(Comm&)>& fn);
 
+  /// Virtual-walltime enforcement: any operation that advances a rank's
+  /// clock past `limit_s` throws VtimeLimitError on that rank, aborting
+  /// the whole run (peers blocked in receives or collectives are released
+  /// with an error, whatever phase the kill hits). Infinity (the default)
+  /// disables it. Set between runs, never while one is in flight.
+  void set_vtime_limit(double limit_s);
+
+  /// Statistics of the most recent run, aborted or not — unlike run()'s
+  /// return value these survive a thrown abort, so callers can read how
+  /// far the virtual clocks actually got before a mid-run kill.
+  RunStats last_run_stats() const { return last_stats_; }
+
  private:
   int nprocs_;
   std::unique_ptr<detail::RuntimeState> state_;
+  RunStats last_stats_;
 };
 
 }  // namespace qrgrid::msg

@@ -1,0 +1,286 @@
+#include "sched/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/caqr.hpp"
+#include "core/des_algos.hpp"
+#include "core/tsqr.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/norms.hpp"
+#include "model/costs.hpp"
+#include "msg/comm.hpp"
+#include "simgrid/cost.hpp"
+#include "simgrid/des.hpp"
+
+namespace qrgrid::sched {
+
+BackendKind backend_of(const std::string& name) {
+  if (name == "des") return BackendKind::kDesReplay;
+  if (name == "msg") return BackendKind::kMsgRuntime;
+  throw Error("unknown --backend '" + name + "' (des|msg)");
+}
+
+std::string backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kDesReplay:
+      return "des-replay";
+    case BackendKind::kMsgRuntime:
+      return "msg-runtime";
+  }
+  throw Error("unreachable backend kind");
+}
+
+SubTopology make_sub_topology(const simgrid::GridTopology& master,
+                              const std::vector<int>& nodes_per_cluster,
+                              const std::vector<int>& order) {
+  std::vector<simgrid::ClusterSpec> clusters;
+  std::vector<int> to_master;
+  for (const int c : order) {
+    const int nodes = nodes_per_cluster[static_cast<std::size_t>(c)];
+    if (nodes <= 0) continue;
+    simgrid::ClusterSpec spec = master.cluster(c);
+    spec.nodes = nodes;
+    clusters.push_back(spec);
+    to_master.push_back(c);
+  }
+  QRGRID_CHECK(!clusters.empty());
+  const std::size_t k = clusters.size();
+  std::vector<std::vector<simgrid::LinkParams>> inter(
+      k, std::vector<simgrid::LinkParams>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      inter[i][j] = i == j ? master.intra_cluster_link()
+                           : master.inter_cluster_link(
+                                 to_master[i], to_master[j]);
+    }
+  }
+  return SubTopology{
+      simgrid::GridTopology(std::move(clusters), master.intra_node_link(),
+                            master.intra_cluster_link(), std::move(inter)),
+      std::move(to_master)};
+}
+
+std::vector<int> identity_order(int num_clusters) {
+  std::vector<int> order(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    order[static_cast<std::size_t>(c)] = c;
+  }
+  return order;
+}
+
+namespace {
+
+/// Sub-topology of the granted nodes in canonical (identity) order —
+/// shared by the replay and the real execution so both run the job on the
+/// SAME simulated hardware.
+SubTopology placement_topology(const simgrid::GridTopology& master,
+                               const Placement& placement) {
+  std::vector<int> nodes_per_cluster(
+      static_cast<std::size_t>(master.num_clusters()), 0);
+  for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+    nodes_per_cluster[static_cast<std::size_t>(placement.clusters[i])] =
+        placement.nodes[i];
+  }
+  return make_sub_topology(master, nodes_per_cluster,
+                           identity_order(master.num_clusters()));
+}
+
+}  // namespace
+
+DesReplayBackend::DesReplayBackend(const simgrid::GridTopology* topology,
+                                   model::Roofline roofline,
+                                   BackendOptions options)
+    : topology_(topology), roofline_(roofline), options_(options) {
+  QRGRID_CHECK(topology != nullptr);
+  QRGRID_CHECK(options_.domains_per_cluster >= 0 ||
+               options_.domains_per_cluster == core::kOneDomainPerProcess);
+  QRGRID_CHECK_MSG(options_.wan_link_Bps > 0.0,
+                   "wan_link_Bps must be positive (got "
+                       << options_.wan_link_Bps << ")");
+}
+
+const ExecutionProfile& DesReplayBackend::profile(const Job& job,
+                                                  const Placement& placement) {
+  std::ostringstream key;
+  key.precision(17);  // round-trip doubles: distinct m must not collide
+  key << job.m << ':' << job.n << ':' << static_cast<int>(job.tree) << ':'
+      << options_.domains_per_cluster << ':' << options_.wan_link_Bps;
+  for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+    key << (i == 0 ? ';' : ',') << placement.clusters[i] << 'x'
+        << placement.nodes[i];
+  }
+  const auto cached = profile_cache_.find(key.str());
+  if (cached != profile_cache_.end()) return cached->second;
+
+  SubTopology sub = placement_topology(*topology_, placement);
+
+  int domains = options_.domains_per_cluster;
+  if (domains == 0) {
+    // Auto: one domain per process while panels are narrow (Fig. 6's
+    // regime), at most 16 for N > 128 where the combine flops stop paying
+    // for themselves (Fig. 7b).
+    int min_procs = sub.topology.cluster(0).procs();
+    for (int c = 1; c < sub.topology.num_clusters(); ++c) {
+      min_procs = std::min(min_procs, sub.topology.cluster(c).procs());
+    }
+    domains = std::min(min_procs, job.n <= 128 ? 64 : 16);
+  }
+
+  simgrid::DesEngine engine(&sub.topology, roofline_);
+  engine.set_wan_aggregate_Bps(options_.wan_link_Bps);
+  engine.record_wan_transfers(options_.record_wan_transfers);
+  const core::DomainLayout layout =
+      core::make_domain_layout(sub.topology, domains);
+  core::des_tsqr(engine, layout.groups, layout.domain_cluster, job.m, job.n,
+                 job.tree, /*form_q=*/false);
+
+  ExecutionProfile profile;
+  profile.seconds = engine.makespan();
+  profile.gflops =
+      model::useful_flops(job.m, job.n) / profile.seconds / 1e9;
+  profile.compute_utilization = engine.compute_utilization();
+  const auto k = static_cast<std::size_t>(sub.topology.num_clusters());
+  profile.egress_first_fraction.assign(k, 1.0);
+  profile.ingress_first_fraction.assign(k, 1.0);
+  for (int c = 0; c < sub.topology.num_clusters(); ++c) {
+    profile.egress_bytes.push_back(engine.wan_egress_bytes(c));
+    profile.ingress_bytes.push_back(engine.wan_ingress_bytes(c));
+  }
+  // Per-phase WAN demand: the first instant each cluster's uplink or
+  // downlink carries a byte, as a fraction of the replay — the compute
+  // prefix the shared-WAN model lets pass contention-free. Transfers
+  // start strictly before the makespan, so the clamp only guards
+  // degenerate zero-length replays.
+  for (const simgrid::DesEngine::WanTransfer& t : engine.wan_transfers()) {
+    const double frac =
+        profile.seconds > 0.0
+            ? std::min(t.start_s / profile.seconds, 1.0 - 1e-12)
+            : 0.0;
+    auto& first_out = profile.egress_first_fraction[
+        static_cast<std::size_t>(t.src_cluster)];
+    auto& first_in = profile.ingress_first_fraction[
+        static_cast<std::size_t>(t.dst_cluster)];
+    first_out = std::min(first_out, frac);
+    first_in = std::min(first_in, frac);
+  }
+  return profile_cache_.emplace(key.str(), std::move(profile)).first->second;
+}
+
+ExecutionResult MsgRuntimeBackend::execute(const Job& job,
+                                           const Placement& placement,
+                                           double abort_vtime_s) {
+  const auto m_total = static_cast<std::int64_t>(std::llround(job.m));
+  const auto n = static_cast<Index>(job.n);
+  QRGRID_CHECK_MSG(static_cast<double>(m_total) * job.n <=
+                       options_.max_execute_elements,
+                   "job " << job.id << " (" << job.m << " x " << job.n
+                          << ") is too large for the msg-runtime backend "
+                             "(max_execute_elements = "
+                          << options_.max_execute_elements
+                          << "); run it on the des-replay backend");
+
+  SubTopology sub = placement_topology(*topology_, placement);
+  const int procs = sub.topology.total_procs();
+  QRGRID_CHECK_MSG(m_total / procs >= n,
+                   "job " << job.id << ": " << m_total << " rows over "
+                          << procs
+                          << " granted processes leaves local blocks "
+                             "shorter than n = "
+                          << n);
+  const std::vector<int> rank_cluster = sub.topology.rank_clusters();
+  const auto blocks = core::partition_rows(m_total, procs);
+
+  auto cost = std::make_shared<simgrid::TopologyCostModel>(sub.topology,
+                                                           roofline_);
+  msg::Runtime runtime(procs, std::move(cost));
+  runtime.set_vtime_limit(abort_vtime_s);
+
+  // Every job factors a genuinely distinct matrix: the payload seed is a
+  // per-job-id diffusion of the backend seed (same idiom as the outage
+  // generator's per-cluster streams).
+  const std::uint64_t seed =
+      options_.matrix_seed +
+      0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(job.id + 1);
+  const bool use_caqr =
+      options_.caqr_panel_width > 0 && job.n > options_.caqr_panel_width;
+
+  std::vector<Matrix> q_blocks(static_cast<std::size_t>(procs));
+  std::vector<double> factor_vtime(static_cast<std::size_t>(procs), 0.0);
+  Matrix r;
+
+  ExecutionResult result;
+  result.executed = true;
+  try {
+    runtime.run([&](msg::Comm& comm) {
+      const auto me = static_cast<std::size_t>(comm.rank());
+      Matrix local(static_cast<Index>(blocks[me].count), n);
+      fill_gaussian_rows(local.view(), static_cast<Index>(blocks[me].offset),
+                         seed);
+      if (use_caqr) {
+        core::CaqrOptions opts;
+        opts.panel_width = options_.caqr_panel_width;
+        opts.tsqr.tree = job.tree;
+        opts.tsqr.rank_cluster = rank_cluster;
+        core::CaqrFactors f = core::caqr_factor(
+            comm, local.view(), static_cast<Index>(blocks[me].offset), opts);
+        factor_vtime[me] = comm.vtime();
+        q_blocks[me] = core::caqr_form_explicit_q(comm, f);
+        if (comm.rank() == 0) r = std::move(f.r);
+      } else {
+        core::TsqrOptions opts;
+        opts.tree = job.tree;
+        opts.rank_cluster = rank_cluster;
+        core::TsqrFactors f = core::tsqr_factor(comm, local.view(), opts);
+        factor_vtime[me] = comm.vtime();
+        q_blocks[me] = core::tsqr_form_explicit_q(comm, f);
+        if (comm.rank() == 0) r = std::move(f.r);  // the tree root
+      }
+    });
+  } catch (const msg::VtimeLimitError&) {
+    // The injected kill landed: a genuine partial execution, aborted
+    // through the same propagation machinery as any rank death. How far
+    // the clocks really got is the run's measured truncation point.
+    result.aborted = true;
+  }
+  if (result.aborted) {
+    // run() rethrew before returning stats; the partial clocks survive.
+    result.measured_s = runtime.last_run_stats().max_vtime;
+    return result;
+  }
+
+  // Completed: the measured makespan is the factorization's critical path
+  // (clocks snapshotted before Q formation, matching the form_q=false
+  // replay), and the numerics gate runs on the fully materialized Q.
+  result.measured_s =
+      *std::max_element(factor_vtime.begin(), factor_vtime.end());
+  Matrix a(static_cast<Index>(m_total), n);
+  fill_gaussian_rows(a.view(), 0, seed);
+  Matrix q(static_cast<Index>(m_total), n);
+  for (int rank = 0; rank < procs; ++rank) {
+    const auto& blk = blocks[static_cast<std::size_t>(rank)];
+    copy(q_blocks[static_cast<std::size_t>(rank)].view(),
+         q.block(static_cast<Index>(blk.offset), 0,
+                 static_cast<Index>(blk.count), n));
+  }
+  result.residual = factorization_residual(a.view(), q.view(), r.view());
+  result.orthogonality = orthogonality_error(q.view());
+  return result;
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(
+    BackendKind kind, const simgrid::GridTopology* topology,
+    model::Roofline roofline, const BackendOptions& options) {
+  switch (kind) {
+    case BackendKind::kDesReplay:
+      return std::make_unique<DesReplayBackend>(topology, roofline, options);
+    case BackendKind::kMsgRuntime:
+      return std::make_unique<MsgRuntimeBackend>(topology, roofline, options);
+  }
+  throw Error("unreachable backend kind");
+}
+
+}  // namespace qrgrid::sched

@@ -78,6 +78,18 @@ struct JobOutcome {
   /// only appear on killed attempts, whose service_s was truncated).
   double wan_slowdown = 1.0;
 
+  /// --- Real-execution record of the FINAL attempt (msg-runtime backend
+  /// only; all neutral under the des-replay backend). ---
+  bool executed = false;      ///< the attempt actually ran on msg::Runtime
+  bool exec_aborted = false;  ///< and was killed mid-run (outage/walltime)
+  /// Measured virtual makespan of the real factorization (to the abort
+  /// point for killed attempts); 0 when not executed.
+  double measured_s = 0.0;
+  /// Real numerics of the completed execution; NaN when not executed or
+  /// aborted before the factorization finished.
+  double residual = std::numeric_limits<double>::quiet_NaN();
+  double orthogonality = std::numeric_limits<double>::quiet_NaN();
+
   bool completed() const { return fate == JobFate::kCompleted; }
   double wait_s() const { return start_s - job.arrival_s; }
   double turnaround_s() const { return finish_s - job.arrival_s; }

@@ -11,7 +11,6 @@
 #include "core/des_algos.hpp"
 #include "model/costs.hpp"
 #include "sched/wan.hpp"
-#include "simgrid/des.hpp"
 #include "simgrid/jobprofile.hpp"
 
 namespace qrgrid::sched {
@@ -25,55 +24,6 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kGroupMaxLatencyS = 1e-3;
 constexpr double kGroupMinBandwidthBps = 100e6 / 8.0;
 
-/// Topology over a per-cluster node subset of `master`, plus the mapping
-/// from its cluster indices back to master cluster ids. Shared by the
-/// placement path (free nodes) and the replay path (granted nodes).
-/// `order` lists master cluster ids in the sequence the MetaScheduler's
-/// first-fit should consider them (identity = the PR-2 behavior; the
-/// wan-aware path passes idlest-uplink-first).
-struct SubTopology {
-  simgrid::GridTopology topology;
-  std::vector<int> to_master;
-};
-
-SubTopology make_sub_topology(const simgrid::GridTopology& master,
-                              const std::vector<int>& nodes_per_cluster,
-                              const std::vector<int>& order) {
-  std::vector<simgrid::ClusterSpec> clusters;
-  std::vector<int> to_master;
-  for (const int c : order) {
-    const int nodes = nodes_per_cluster[static_cast<std::size_t>(c)];
-    if (nodes <= 0) continue;
-    simgrid::ClusterSpec spec = master.cluster(c);
-    spec.nodes = nodes;
-    clusters.push_back(spec);
-    to_master.push_back(c);
-  }
-  QRGRID_CHECK(!clusters.empty());
-  const std::size_t k = clusters.size();
-  std::vector<std::vector<simgrid::LinkParams>> inter(
-      k, std::vector<simgrid::LinkParams>(k));
-  for (std::size_t i = 0; i < k; ++i) {
-    for (std::size_t j = 0; j < k; ++j) {
-      inter[i][j] = i == j ? master.intra_cluster_link()
-                           : master.inter_cluster_link(
-                                 to_master[i], to_master[j]);
-    }
-  }
-  return SubTopology{
-      simgrid::GridTopology(std::move(clusters), master.intra_node_link(),
-                            master.intra_cluster_link(), std::move(inter)),
-      std::move(to_master)};
-}
-
-std::vector<int> identity_order(int num_clusters) {
-  std::vector<int> order(static_cast<std::size_t>(num_clusters));
-  for (int c = 0; c < num_clusters; ++c) {
-    order[static_cast<std::size_t>(c)] = c;
-  }
-  return order;
-}
-
 }  // namespace
 
 long long total_wan_bytes(const ServiceReport& report) {
@@ -86,7 +36,8 @@ std::vector<std::string> summary_header() {
   return {"policy",    "makespan (s)",   "mean wait (s)",
           "max wait (s)", "jobs/hour",   "useful Gflop/s",
           "utilization %", "backfilled", "killed", "requeued",
-          "wasted node-s", "WAN GB", "wan slow x", "wan busy %"};
+          "wasted node-s", "WAN GB", "wan slow x", "wan busy %",
+          "executed", "max resid"};
 }
 
 double max_wan_busy_fraction(const ServiceReport& report) {
@@ -97,6 +48,11 @@ double max_wan_busy_fraction(const ServiceReport& report) {
 }
 
 std::vector<std::string> summary_row(const ServiceReport& report) {
+  // Residuals live around 1e-15; fixed-point formatting would flatten
+  // them all to zero, so the numerics column is scientific.
+  std::ostringstream resid;
+  resid.precision(2);
+  resid << std::scientific << report.max_residual;
   return {policy_name(report.policy),
           format_number(report.makespan_s, 5),
           format_number(report.mean_wait_s, 4),
@@ -111,7 +67,9 @@ std::vector<std::string> summary_row(const ServiceReport& report) {
           format_number(static_cast<double>(total_wan_bytes(report)) / 1e9,
                         3),
           format_number(report.mean_wan_slowdown, 4),
-          format_number(100.0 * max_wan_busy_fraction(report), 3)};
+          format_number(100.0 * max_wan_busy_fraction(report), 3),
+          std::to_string(report.executed_attempts),
+          resid.str()};
 }
 
 GridJobService::GridJobService(simgrid::GridTopology topology,
@@ -121,7 +79,8 @@ GridJobService::GridJobService(simgrid::GridTopology topology,
       roofline_(roofline),
       options_(options) {
   QRGRID_CHECK(options_.max_groups >= 1);
-  QRGRID_CHECK(options_.domains_per_cluster >= 0);
+  QRGRID_CHECK(options_.domains_per_cluster >= 0 ||
+               options_.domains_per_cluster == core::kOneDomainPerProcess);
   // The uplink capacity feeds every replay's WAN horizon (and, when
   // contention is on, the shared model's fair shares): zero would turn
   // transfer times infinite and deadlock the event loop.
@@ -130,6 +89,16 @@ GridJobService::GridJobService(simgrid::GridTopology topology,
                        << options_.wan_link_Bps << ")");
   QRGRID_CHECK_MSG(options_.wan_backbone_Bps >= 0.0,
                    "wan_backbone_Bps must be >= 0 (0 = auto)");
+  BackendOptions backend_options;
+  backend_options.domains_per_cluster = options_.domains_per_cluster;
+  backend_options.wan_link_Bps = options_.wan_link_Bps;
+  backend_options.record_wan_transfers =
+      options_.wan_contention || options_.wan_aware;
+  backend_options.matrix_seed = options_.backend_seed;
+  backend_options.max_execute_elements = options_.backend_max_elements;
+  backend_options.caqr_panel_width = options_.backend_caqr_panel_width;
+  backend_ = make_backend(options_.backend, &topology_, roofline_,
+                          backend_options);
 }
 
 double GridJobService::predicted_seconds(const Job& job) const {
@@ -143,7 +112,7 @@ double GridJobService::predicted_seconds(const Job& job) const {
   return model::predict_tsqr_seconds(job.m, job.n, job.procs, mp);
 }
 
-std::optional<GridJobService::Placement> GridJobService::try_place(
+std::optional<Placement> GridJobService::try_place(
     const Job& job, const std::vector<int>& free_nodes,
     const GridWanModel* wan) const {
   bool any_free = false;
@@ -214,85 +183,7 @@ std::optional<GridJobService::Placement> GridJobService::try_place(
   return std::nullopt;
 }
 
-const GridJobService::Replay& GridJobService::replay_for(
-    const Job& job, const Placement& placement) {
-  std::ostringstream key;
-  key.precision(17);  // round-trip doubles: distinct m must not collide
-  key << job.m << ':' << job.n << ':' << static_cast<int>(job.tree) << ':'
-      << options_.domains_per_cluster << ':' << options_.wan_link_Bps;
-  for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
-    key << (i == 0 ? ';' : ',') << placement.clusters[i] << 'x'
-        << placement.nodes[i];
-  }
-  const auto cached = replay_cache_.find(key.str());
-  if (cached != replay_cache_.end()) return cached->second;
-
-  std::vector<int> nodes_per_cluster(
-      static_cast<std::size_t>(topology_.num_clusters()), 0);
-  for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
-    nodes_per_cluster[static_cast<std::size_t>(placement.clusters[i])] =
-        placement.nodes[i];
-  }
-  SubTopology sub = make_sub_topology(
-      topology_, nodes_per_cluster, identity_order(topology_.num_clusters()));
-
-  int domains = options_.domains_per_cluster;
-  if (domains == 0) {
-    // Auto: one domain per process while panels are narrow (Fig. 6's
-    // regime), at most 16 for N > 128 where the combine flops stop paying
-    // for themselves (Fig. 7b).
-    int min_procs = sub.topology.cluster(0).procs();
-    for (int c = 1; c < sub.topology.num_clusters(); ++c) {
-      min_procs = std::min(min_procs, sub.topology.cluster(c).procs());
-    }
-    domains = std::min(min_procs, job.n <= 128 ? 64 : 16);
-  }
-
-  // Transfer recording feeds the contention model's activation windows;
-  // contention-free services skip it (and the first-fraction pass below)
-  // so figure-scale replays never grow event vectors nothing reads.
-  const bool wan_on = options_.wan_contention || options_.wan_aware;
-  simgrid::DesEngine engine(&sub.topology, roofline_);
-  engine.set_wan_aggregate_Bps(options_.wan_link_Bps);
-  engine.record_wan_transfers(wan_on);
-  const core::DomainLayout layout =
-      core::make_domain_layout(sub.topology, domains);
-  core::des_tsqr(engine, layout.groups, layout.domain_cluster, job.m, job.n,
-                 job.tree, /*form_q=*/false);
-
-  Replay replay;
-  replay.seconds = engine.makespan();
-  replay.gflops =
-      model::useful_flops(job.m, job.n) / replay.seconds / 1e9;
-  replay.compute_utilization = engine.compute_utilization();
-  const auto k = static_cast<std::size_t>(sub.topology.num_clusters());
-  replay.egress_first_fraction.assign(k, 1.0);
-  replay.ingress_first_fraction.assign(k, 1.0);
-  for (int c = 0; c < sub.topology.num_clusters(); ++c) {
-    replay.egress_bytes.push_back(engine.wan_egress_bytes(c));
-    replay.ingress_bytes.push_back(engine.wan_ingress_bytes(c));
-  }
-  // Per-phase WAN demand: the first instant each cluster's uplink or
-  // downlink carries a byte, as a fraction of the replay — the compute
-  // prefix the shared-WAN model lets pass contention-free. Transfers
-  // start strictly before the makespan, so the clamp only guards
-  // degenerate zero-length replays.
-  for (const simgrid::DesEngine::WanTransfer& t : engine.wan_transfers()) {
-    const double frac =
-        replay.seconds > 0.0
-            ? std::min(t.start_s / replay.seconds, 1.0 - 1e-12)
-            : 0.0;
-    auto& first_out =
-        replay.egress_first_fraction[static_cast<std::size_t>(t.src_cluster)];
-    auto& first_in =
-        replay.ingress_first_fraction[static_cast<std::size_t>(t.dst_cluster)];
-    first_out = std::min(first_out, frac);
-    first_in = std::min(first_in, frac);
-  }
-  return replay_cache_.emplace(key.str(), std::move(replay)).first->second;
-}
-
-double GridJobService::attempt_seconds(const Replay& replay,
+double GridJobService::attempt_seconds(const ExecutionProfile& replay,
                                        double credited_fraction) const {
   const double remaining = replay.seconds * (1.0 - credited_fraction);
   if (!options_.restart_credit || options_.checkpoint_cost_s <= 0.0 ||
@@ -442,7 +333,46 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     }
   };
 
-  auto record_outcome = [&](Running& r, double end_s, JobFate fate) {
+  // Real execution of one resolved attempt (msg-runtime backend only; a
+  // no-op on the replay backend). `killed` is explicit rather than
+  // inferred from the fraction: a WAN-stretched attempt can be killed
+  // while waiting on drains with its whole replay timeline covered, and
+  // that must still count as a kill, never as a clean verified run.
+  // `through_fraction` is where the attempt ended on the FULL
+  // factorization timeline — mapped to a virtual-walltime limit so the
+  // run genuinely aborts mid-factorization through the communicator.
+  auto execute_attempt = [&](const Running& r, bool killed,
+                             double through_fraction) {
+    ExecutionResult exec;
+    if (!backend_->executes()) return exec;
+    const double abort_vtime_s =
+        killed ? std::clamp(through_fraction, 0.0, 1.0) * r.replay->seconds
+               : kInf;
+    exec = backend_->execute(r.job, r.placement, abort_vtime_s);
+    ++report.executed_attempts;
+    if (exec.aborted) ++report.aborted_attempts;
+    if (killed) {
+      report.injected_abort_vtime_s += abort_vtime_s;
+      report.measured_abort_vtime_s += exec.measured_s;
+      // A kill landing at the very end of the timeline can let the real
+      // factorization finish first; the attempt is dead either way, so
+      // its numerics are never reported.
+      exec.residual = std::numeric_limits<double>::quiet_NaN();
+      exec.orthogonality = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      if (std::isfinite(exec.residual)) {
+        report.max_residual = std::max(report.max_residual, exec.residual);
+      }
+      if (std::isfinite(exec.orthogonality)) {
+        report.max_orthogonality =
+            std::max(report.max_orthogonality, exec.orthogonality);
+      }
+    }
+    return exec;
+  };
+
+  auto record_outcome = [&](Running& r, double end_s, JobFate fate,
+                            const ExecutionResult& exec) {
     const Progress& p = progress[r.job.id];
     JobOutcome outcome;
     outcome.start_s = r.start_s;
@@ -462,6 +392,11 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     outcome.wasted_node_s = p.wasted_node_s;
     outcome.credited_s = p.credited_fraction * r.replay->seconds;
     outcome.reserved_start_s = p.reserved_start_s;
+    outcome.executed = exec.executed;
+    outcome.exec_aborted = exec.aborted;
+    outcome.measured_s = exec.measured_s;
+    outcome.residual = exec.residual;
+    outcome.orthogonality = exec.orthogonality;
     outcome.job = std::move(r.job);
     report.makespan_s = std::max(report.makespan_s, end_s);
     report.outcomes.push_back(std::move(outcome));
@@ -469,7 +404,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
 
   auto start_job = [&](Job job, const Placement& placement,
                        bool backfilled) {
-    const Replay& replay = replay_for(job, placement);
+    const ExecutionProfile& replay = replay_for(job, placement);
     Progress& p = progress[job.id];
     ++p.attempts;
     // Restart credit: only the unfinished tail of the factorization
@@ -576,7 +511,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       const auto placement =
           try_place(pending.at(i), placeable_nodes(), placement_wan);
       if (placement.has_value()) {
-        const Replay& replay = replay_for(pending.at(i), *placement);
+        const ExecutionProfile& replay = replay_for(pending.at(i), *placement);
         const Job& candidate = pending.at(i);
         const double remaining = attempt_seconds(
             replay, progress[candidate.id].credited_fraction);
@@ -659,6 +594,11 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         // The attempt covered this share of the full replay timeline.
         charge_wan(victim, covered);
       }
+      // The outage hits the in-flight attempt for REAL on the msg
+      // backend: the factorization aborts mid-run at the reached point of
+      // the timeline, requeued attempts included.
+      const ExecutionResult exec = execute_attempt(
+          victim, /*killed=*/true, victim.start_fraction + covered);
       ++report.killed_jobs;
       ++report.outage_kills;
       if (p.attempts <= options_.max_retries) {
@@ -670,7 +610,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         pending.push(std::move(job), predicted);
       } else {
         ++report.failed_jobs;
-        record_outcome(victim, ev.time_s, JobFate::kOutageFailed);
+        record_outcome(victim, ev.time_s, JobFate::kOutageFailed, exec);
       }
     }
   };
@@ -729,30 +669,34 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         } else {
           charge_wan(done, 1.0 - done.start_fraction);
         }
+        const ExecutionResult exec =
+            execute_attempt(done, /*killed=*/false, 1.0);
         ++report.completed_jobs;
-        record_outcome(done, finish, JobFate::kCompleted);
+        record_outcome(done, finish, JobFate::kCompleted, exec);
       } else {
         // Ran past its user walltime: killed for good, everything wasted.
         const double held = done.kill_s - done.start_s;
         Progress& p = progress[done.job.id];
         p.wasted_node_s += nodes * held;
         report.wasted_node_seconds += nodes * held;
+        // Capped coverage as in the outage path: the checkpoint tail
+        // stretches the attempt beyond its replay share, and the share is
+        // all the work (and WAN bytes) it can ever have done.
+        const double covered =
+            std::min(held / (done.finish_s - done.start_s), 1.0) *
+            (1.0 - done.start_fraction);
         if (wan_on) {
           wan->retire(done.flow, report.wan_egress_bytes,
                      report.wan_ingress_bytes);
         } else {
-          // Same capped coverage as the outage path: the checkpoint tail
-          // stretches the attempt beyond its replay share, and the share
-          // is all the WAN bytes it can ever owe.
-          const double covered =
-              std::min(held / (done.finish_s - done.start_s), 1.0) *
-              (1.0 - done.start_fraction);
           charge_wan(done, covered);
         }
+        const ExecutionResult exec = execute_attempt(
+            done, /*killed=*/true, done.start_fraction + covered);
         ++report.killed_jobs;
         ++report.walltime_kills;
         ++report.failed_jobs;
-        record_outcome(done, done.kill_s, JobFate::kWalltimeKilled);
+        record_outcome(done, done.kill_s, JobFate::kWalltimeKilled, exec);
       }
     }
 

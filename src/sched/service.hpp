@@ -37,15 +37,26 @@
 // flows. Note EASY's no-delay guarantee is proved against replay-exact
 // (or walltime-bounded) completions; under contention running jobs can
 // outlast their estimates, so the reservation becomes best-effort.
+// Execution backends (sched/backend.hpp): the virtual-time bookkeeping
+// above is always driven by the backend's DES profile, so WHICH backend
+// runs the attempts never changes a scheduling decision. The default
+// DesReplayBackend stops there; the MsgRuntimeBackend additionally
+// executes every attempt for real on a threaded msg::Runtime — completed
+// jobs carry measured makespans and numerics (residual/orthogonality),
+// and injected kills abort the communicator mid-factorization, so the
+// fault accounting is exercised against genuine partial executions. The
+// equivalence suite pins the two backends to identical decisions and to
+// finish-time agreement within a stated tolerance.
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "model/roofline.hpp"
+#include "sched/backend.hpp"
 #include "sched/job.hpp"
 #include "sched/outage.hpp"
 #include "simgrid/topology.hpp"
@@ -103,6 +114,19 @@ struct ServiceOptions {
   /// Shared backbone capacity; 0 = auto, wan_link_Bps x max(1, sites/2)
   /// — a trunk that can carry about half the sites at full tilt.
   double wan_backbone_Bps = 0.0;
+
+  /// --- Execution backend (sched/backend.hpp) ---
+  /// How granted attempts run: kDesReplay (cached replay, the default)
+  /// or kMsgRuntime (real threaded execution per attempt, small
+  /// workloads only). Scheduling decisions are backend-independent.
+  BackendKind backend = BackendKind::kDesReplay;
+  /// Matrix payload seed for real executions (per-job-id diffused).
+  std::uint64_t backend_seed = 2026;
+  /// Real executions refuse jobs with more than this many m x n entries.
+  double backend_max_elements = 8e6;
+  /// When > 0, msg-executed jobs wider than this run full CAQR with
+  /// panels of this width instead of single-panel TSQR.
+  int backend_caqr_panel_width = 0;
 };
 
 /// Grid-wide accounting of one service run.
@@ -148,6 +172,18 @@ struct ServiceReport {
   std::vector<double> wan_uplink_busy;
   std::vector<double> wan_downlink_busy;
   double wan_backbone_busy = 0.0;
+
+  /// Real-execution accounting (all zero on the des-replay backend).
+  long long executed_attempts = 0;  ///< attempts run on the msg runtime
+  long long aborted_attempts = 0;   ///< of those, killed mid-factorization
+  double max_residual = 0.0;        ///< worst ||A-QR||/||A|| over executions
+  double max_orthogonality = 0.0;   ///< worst ||Q^T Q - I|| over executions
+  /// Per killed-and-executed attempt: where on the replay timeline the
+  /// service injected the kill, vs the furthest virtual time the real
+  /// aborted run actually reached — summed, so the suite can pin the
+  /// synthetic truncation against genuine partial executions.
+  double injected_abort_vtime_s = 0.0;
+  double measured_abort_vtime_s = 0.0;
 };
 
 /// WAN bytes the run pushed across site uplinks (egress summed over
@@ -181,29 +217,6 @@ class GridJobService {
   const simgrid::GridTopology& topology() const { return topology_; }
 
  private:
-  /// Nodes granted to one job, parallel arrays over the clusters used
-  /// (ascending master cluster id).
-  struct Placement {
-    std::vector<int> clusters;
-    std::vector<int> nodes;
-    int total_nodes = 0;
-  };
-
-  /// Cached DES replay of one (shape, placement) combination.
-  struct Replay {
-    double seconds = 0.0;
-    double gflops = 0.0;
-    double compute_utilization = 0.0;
-    std::vector<long long> egress_bytes;   ///< per placement cluster
-    std::vector<long long> ingress_bytes;  ///< per placement cluster
-    /// Fraction of the replay timeline before the first byte leaves
-    /// (reaches) each placement cluster's WAN link — TSQR's compute
-    /// prefix, during which the job does not contend. 1.0 when the
-    /// cluster moves no WAN bytes at all.
-    std::vector<double> egress_first_fraction;
-    std::vector<double> ingress_first_fraction;
-  };
-
   struct Running {
     double finish_s = 0.0;     ///< natural completion (exact replay)
     double kill_s = 0.0;       ///< walltime bound; +inf when unlimited
@@ -217,7 +230,7 @@ class GridJobService {
     /// [start_fraction, 1] of the factorization, which is what WAN bytes
     /// are pro-rated against.
     double start_fraction = 0.0;
-    const Replay* replay = nullptr;
+    const ExecutionProfile* replay = nullptr;
     bool backfilled = false;
     /// Flow id in the shared-WAN model; -1 when contention is off.
     /// finish_s stays the ISOLATED replay end — the actual completion is
@@ -249,13 +262,17 @@ class GridJobService {
                                      const std::vector<int>& free_nodes,
                                      const GridWanModel* wan = nullptr) const;
 
-  /// DES replay of the job on its granted nodes (memoized).
-  const Replay& replay_for(const Job& job, const Placement& placement);
+  /// Performance profile of the job on its granted nodes (memoized by
+  /// the backend; identical across backends by contract).
+  const ExecutionProfile& replay_for(const Job& job,
+                                     const Placement& placement) {
+    return backend_->profile(job, placement);
+  }
 
   /// Seconds one attempt holds its nodes on an idle grid: the uncredited
   /// replay remainder plus checkpoint I/O for every interior panel
   /// boundary the attempt will cross (checkpoint_cost_s).
-  double attempt_seconds(const Replay& replay,
+  double attempt_seconds(const ExecutionProfile& replay,
                          double credited_fraction) const;
 
   /// EASY reservation: earliest virtual time at which accumulated
@@ -268,7 +285,9 @@ class GridJobService {
   simgrid::GridTopology topology_;
   model::Roofline roofline_;
   ServiceOptions options_;
-  std::unordered_map<std::string, Replay> replay_cache_;
+  /// Owned after topology_ (it holds a pointer into it); profiles it
+  /// caches stay valid for the service's lifetime.
+  std::unique_ptr<ExecutionBackend> backend_;
 };
 
 }  // namespace qrgrid::sched

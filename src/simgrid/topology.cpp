@@ -43,6 +43,17 @@ ProcLocation GridTopology::location_of(int rank) const {
   return loc;  // unreachable
 }
 
+std::vector<int> GridTopology::rank_clusters() const {
+  std::vector<int> clusters;
+  clusters.reserve(static_cast<std::size_t>(total_procs_));
+  for (int c = 0; c < num_clusters(); ++c) {
+    for (int p = 0; p < clusters_[static_cast<std::size_t>(c)].procs(); ++p) {
+      clusters.push_back(c);
+    }
+  }
+  return clusters;
+}
+
 LinkParams GridTopology::link(int rank_a, int rank_b) const {
   if (rank_a == rank_b) return LinkParams{0.0, 1e300};
   const ProcLocation a = location_of(rank_a);

@@ -58,6 +58,11 @@ class GridTopology {
   /// Decomposes a global rank (cluster-major, node-major layout).
   ProcLocation location_of(int rank) const;
 
+  /// Cluster id of every global rank, in rank order — the
+  /// TsqrOptions::rank_cluster / DomainLayout::domain_cluster vector for
+  /// one-rank-per-domain runs over this topology.
+  std::vector<int> rank_clusters() const;
+
   /// First global rank of cluster c.
   int cluster_rank_base(int c) const {
     return base_[static_cast<std::size_t>(c)];

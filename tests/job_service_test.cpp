@@ -266,6 +266,44 @@ TEST(GridJobService, ReplayCacheDistinguishesNearbyShapes) {
   EXPECT_NE(report.outcomes[0].service_s, report.outcomes[1].service_s);
 }
 
+TEST(GridJobService, ReplayCacheDistinguishesTreeShapes) {
+  // Two jobs identical in every dimension except the reduction tree must
+  // not share a cached replay: the tree changes the critical path (flat
+  // pays D-1 serialized merges at one root, binary log2 D levels).
+  std::vector<Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 1 << 19, 256, 8));
+  jobs.push_back(make_job(1, 1e6, 1 << 19, 256, 8));  // no queueing
+  jobs[0].tree = core::TreeKind::kFlat;
+  jobs[1].tree = core::TreeKind::kBinary;
+  GridJobService service(small_grid(), model::paper_calibration());
+  const ServiceReport report = service.run(jobs);
+  ASSERT_EQ(report.outcomes[0].clusters, report.outcomes[1].clusters);
+  ASSERT_EQ(report.outcomes[0].nodes_per_cluster,
+            report.outcomes[1].nodes_per_cluster);
+  EXPECT_NE(report.outcomes[0].service_s, report.outcomes[1].service_s);
+}
+
+TEST(GridJobService, WanGbpsReachesEveryReplay) {
+  // Regression guard for the PR-3 cache-key fix: services differing only
+  // in --wan-gbps must produce different replays for WAN-crossing jobs —
+  // the knob reaches DesEngine::set_wan_aggregate_Bps and is part of the
+  // cache key, so a shared key would silently reuse the wrong horizon.
+  std::vector<Job> jobs = {make_job(0, 0.0, 1 << 19, 512, 8)};
+  jobs[0].tree = core::TreeKind::kFlat;  // every R crosses to one root
+  ServiceOptions fat;
+  fat.wan_link_Bps = 10e9 / 8.0;
+  ServiceOptions thin = fat;
+  thin.wan_link_Bps = 1e6 / 8.0;  // 1 Mb/s: the aggregate horizon binds
+  const ServiceReport a =
+      GridJobService(small_grid(), model::paper_calibration(), fat)
+          .run(jobs);
+  const ServiceReport b =
+      GridJobService(small_grid(), model::paper_calibration(), thin)
+          .run(jobs);
+  ASSERT_EQ(a.outcomes[0].clusters, b.outcomes[0].clusters);
+  EXPECT_GT(b.outcomes[0].service_s, a.outcomes[0].service_s);
+}
+
 // Property-style invariants that must hold for EVERY policy on seeded
 // workloads: exclusive nodes (per-cluster usage never exceeds capacity at
 // any instant), EASY's head never starting after its promised shadow

@@ -19,6 +19,7 @@
 //       factorization, and report accuracy plus the simulated grid time.
 //
 //   qrgrid_cli serve     [--jobs J] [--policy fcfs|spjf|easy|all]
+//                        [--backend des|msg] [--domains D]
 //                        [--sites S] [--nodes N] [--procs-per-node P]
 //                        [--arrival-s T] [--seed X] [--csv path]
 //                        [--mtbf S] [--repair S] [--outage-seed X]
@@ -43,9 +44,19 @@
 //       --wan-contention makes concurrent jobs SHARE those uplinks plus
 //       a backbone (--backbone-gbps, default sites/2 x uplink) at fair
 //       share, stretching finish times under load; --wan-aware
-//       additionally steers placements toward currently-idle uplinks.
+//       additionally steers placements toward currently-idle uplinks
+//       (and IMPLIES --wan-contention, stated explicitly on stdout).
+//       --backend selects how granted attempts run: des (cached DES
+//       replay, the default — figure-scale jobs in milliseconds) or msg
+//       (REAL threaded execution of every attempt on msg::Runtime with
+//       per-job numerics in the summary's executed / max-resid columns;
+//       small workloads only, so the default job shapes shrink).
+//       --domains sets domains-per-cluster for every replay (0 = auto,
+//       -1 = one single-rank domain per process — the layout the
+//       engine-equivalence suite pins the msg backend against).
 //       --csv writes one machine-readable row per (policy, job) for
 //       bench sweeps (see tools/plot_sweep.py).
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -287,9 +298,14 @@ int cmd_serve(const Args& args) {
   simgrid::GridTopology topo = topo_of(args);
   const model::Roofline roof = model::paper_calibration();
 
+  // Backend validation before any work: an unknown name must fail fast.
+  const sched::BackendKind backend =
+      sched::backend_of(args.get("backend", "des"));
+  const bool msg_backend = backend == sched::BackendKind::kMsgRuntime;
+
   sched::WorkloadSpec spec;
-  spec.jobs = static_cast<int>(args.num("jobs", 200));
-  spec.mean_interarrival_s = args.num("arrival-s", 0.25);
+  spec.jobs = static_cast<int>(args.num("jobs", msg_backend ? 20 : 200));
+  spec.mean_interarrival_s = args.num("arrival-s", msg_backend ? 0.004 : 0.25);
   spec.seed = static_cast<std::uint64_t>(args.num("seed", 2026));
   // Process counts scaled to the grid: quarter-cluster up to whole-grid
   // (degenerates to {total} on grids too small to halve).
@@ -298,6 +314,21 @@ int cmd_serve(const Args& args) {
   for (int p = std::min(total, std::max(2, total / 16)); p <= total;
        p *= 2) {
     spec.procs_choices.push_back(p);
+  }
+  if (msg_backend) {
+    // Every attempt runs for REAL on threads: keep the matrices small
+    // (the backend enforces a hard element cap on top of this), but
+    // large enough that the WIDEST possible grant still gives every rank
+    // at least n local rows — a whole-grid job is granted all `total`
+    // processes plus up to one node's worth of round-up per group.
+    const int max_n = 32;
+    const int ppn = static_cast<int>(args.num("procs-per-node", 2));
+    const double min_m =
+        static_cast<double>(max_n) * (total + 8 * std::max(1, ppn - 1));
+    double m = 512;
+    while (m < min_m) m *= 2;
+    spec.m_choices = {m, 2 * m, 4 * m};
+    spec.n_choices = {16, max_n};
   }
   spec.tree_choices = {tree_of(args.get("tree", "grid"))};
   std::vector<sched::Job> jobs = sched::generate_workload(spec);
@@ -334,7 +365,7 @@ int cmd_serve(const Args& args) {
     csv.precision(17);  // round-trip doubles; sweeps join rows on m/times
     csv << "policy,job_id,arrival_s,start_s,finish_s,wait_s,service_s,"
            "m,n,procs,nodes,sites,backfilled,gflops,fate,attempts,"
-           "wasted_node_s,wan_slowdown\n";
+           "wasted_node_s,wan_slowdown,measured_s,residual\n";
   }
 
   std::cout << "Serving " << spec.jobs << " queued TSQR jobs on "
@@ -357,11 +388,23 @@ int cmd_serve(const Args& args) {
   }
   const bool wan_aware = args.flag("wan-aware");
   const bool wan_contention = args.flag("wan-contention") || wan_aware;
+  // Network-aware placement only means anything over a shared WAN, so
+  // the flag implies contention — say so instead of silently turning a
+  // second model on (the CLI-flag validation test pins this line).
+  if (wan_aware && !args.flag("wan-contention")) {
+    std::cout << "note: --wan-aware implies --wan-contention\n";
+  }
   const double wan_gbps = args.num("wan-gbps", 10.0);
   if (wan_contention) {
     std::cout << "Shared WAN: " << format_number(wan_gbps, 4)
               << " Gb/s per site uplink, fair-share contention on"
               << (wan_aware ? ", network-aware placement" : "") << '\n';
+  }
+  if (msg_backend) {
+    std::cout << "Backend: " << sched::backend_name(backend)
+              << " — every attempt executes for real on a threaded "
+                 "msg::Runtime (numerics in the executed / max-resid "
+                 "columns); workload shapes kept small\n";
   }
   std::cout << '\n';
   TextTable table;
@@ -380,6 +423,11 @@ int cmd_serve(const Args& args) {
     options.wan_backbone_Bps = args.num("backbone-gbps", 0.0) * 1e9 / 8.0;
     options.wan_contention = wan_contention;
     options.wan_aware = wan_aware;
+    options.backend = backend;
+    // The msg backend defaults to the one-domain-per-process layout the
+    // equivalence suite validates the predictor under.
+    options.domains_per_cluster = static_cast<int>(args.num(
+        "domains", msg_backend ? core::kOneDomainPerProcess : 0));
     sched::GridJobService service(topo, roof, options);
     const sched::ServiceReport report = service.run(jobs);
     table.add_row(sched::summary_row(report));
@@ -392,7 +440,8 @@ int cmd_serve(const Args& args) {
             << o.job.procs << ',' << o.nodes << ',' << o.clusters.size()
             << ',' << (o.backfilled ? 1 : 0) << ',' << o.gflops << ','
             << sched::fate_name(o.fate) << ',' << o.attempts << ','
-            << o.wasted_node_s << ',' << o.wan_slowdown << '\n';
+            << o.wasted_node_s << ',' << o.wan_slowdown << ','
+            << o.measured_s << ',' << o.residual << '\n';
       }
     }
   }

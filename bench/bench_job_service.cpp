@@ -19,8 +19,12 @@
 // gate). A fourth scenario drives one small workload through BOTH
 // execution backends — cached DES replay vs real threaded msg::Runtime —
 // and gates identical scheduling, <= 2% finish-time drift, and per-job
-// numerics. Usage: bench_job_service [jobs] (default 1000; CI smoke-runs
-// 60).
+// numerics. A fifth, mixed-priority two-user scenario pits the pluggable
+// policy objects against each other: priority-aware EASY must beat plain
+// (priority-blind) EASY on the high-priority class's mean wait, and
+// weighted fair-share (2:1) must hold the light user's personal makespan
+// between the heavy user's and the configured weight ratio. Usage:
+// bench_job_service [jobs] (default 1000; CI smoke-runs 60).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -284,10 +288,102 @@ int main(int argc, char** argv) {
             << format_number(100.0 * worst_rel, 3) << " %, max residual "
             << msg_run.max_residual << '\n';
 
+  // Mixed-priority, two-user shoot-out for the policy objects: a heavy
+  // flood (queues build) where half the jobs are priority-1 and users 0/1
+  // submit alternately with fair-share weights 2:1. Priority-aware EASY
+  // must serve the top class faster than priority-blind classic EASY;
+  // weighted fair-share must serve the heavy user ahead without starving
+  // the light one past the configured ratio.
+  sched::WorkloadSpec mix_spec;
+  mix_spec.jobs = std::max(spec.jobs / 2, 24);
+  mix_spec.mean_interarrival_s = 0.05;
+  mix_spec.procs_choices = {16, 32, 64, 128};
+  mix_spec.priority_levels = 2;
+  mix_spec.seed = spec.seed + 4;
+  std::vector<sched::Job> mix_jobs = sched::generate_workload(mix_spec);
+  // Alternating user assignment (not a random draw): both users carry
+  // statistically equal demand, which is what makes the makespan-ratio
+  // gate below meaningful — with ideal 2:1 deficit-round-robin on equal
+  // backlogs, the heavy user drains at 2/3 capacity until exhausted and
+  // the light user finishes last at about 4/3 of the heavy makespan.
+  for (sched::Job& job : mix_jobs) {
+    job.user = job.id % 2;
+    job.weight = job.user == 0 ? 2.0 : 1.0;
+  }
+
+  std::cout << "\nMixed-priority, two-user (" << mix_spec.jobs
+            << " jobs, 2 priority classes, users weighted 2:1):\n";
+  TextTable mix_table;
+  mix_table.set_header(sched::summary_header());
+  bool mix_ok = true;
+  double top_wait_easy = 0.0, top_wait_prio = 0.0;
+  double user_makespan[2] = {0.0, 0.0};
+  for (const sched::Policy policy :
+       {sched::Policy::kEasyBackfill, sched::Policy::kPriorityEasy,
+        sched::Policy::kFairShare}) {
+    sched::ServiceOptions options;
+    options.policy = policy;
+    sched::GridJobService service(topo, roof, options);
+    Stopwatch watch;
+    const sched::ServiceReport report = service.run(mix_jobs);
+    wall_total += watch.seconds();
+    executions += mix_spec.jobs + report.requeued_jobs;
+    mix_table.add_row(sched::summary_row(report));
+    double top_wait = 0.0;
+    int top_count = 0;
+    for (const sched::JobOutcome& o : report.outcomes) {
+      if (o.job.priority == 1) {
+        top_wait += o.wait_s();
+        ++top_count;
+      }
+      if (policy == sched::Policy::kFairShare) {
+        user_makespan[static_cast<std::size_t>(o.job.user)] = std::max(
+            user_makespan[static_cast<std::size_t>(o.job.user)],
+            o.finish_s);
+      }
+    }
+    top_wait /= std::max(top_count, 1);
+    if (policy == sched::Policy::kEasyBackfill) top_wait_easy = top_wait;
+    if (policy == sched::Policy::kPriorityEasy) top_wait_prio = top_wait;
+    if (report.completed_jobs + report.failed_jobs != mix_spec.jobs) {
+      std::cerr << "REGRESSION: " << policy_name(policy)
+                << " lost jobs in the mixed scenario\n";
+      mix_ok = false;
+    }
+  }
+  mix_table.print(std::cout);
+  const double makespan_ratio = user_makespan[1] / user_makespan[0];
+  std::cout << "priority-1 mean wait: easy "
+            << format_number(top_wait_easy, 4) << " s, prio-easy "
+            << format_number(top_wait_prio, 4)
+            << " s; fair-share user makespans (weights 2:1): heavy "
+            << format_number(user_makespan[0], 5) << " s, light "
+            << format_number(user_makespan[1], 5) << " s (ratio "
+            << format_number(makespan_ratio, 4) << ")\n";
+  // Ordering gates at full scale only, like every scenario above: tiny
+  // smoke runs have too little queueing for stable gaps.
+  if (spec.jobs >= 500) {
+    if (top_wait_prio >= top_wait_easy) {
+      std::cerr << "REGRESSION: priority-EASY did not beat plain EASY on "
+                << "high-priority mean wait (" << top_wait_prio << " vs "
+                << top_wait_easy << ")\n";
+      mix_ok = false;
+    }
+    // The weighted-fairness gate: the heavy (weight-2) user finishes
+    // first, and the light user's makespan stays within the configured
+    // 2:1 ratio (plus slack for discrete job granularity) — fair-share
+    // prioritizes without starving.
+    if (makespan_ratio <= 1.0 || makespan_ratio > 2.0 * 1.15) {
+      std::cerr << "REGRESSION: fair-share user makespan ratio "
+                << makespan_ratio << " outside (1, 2.3] for weights 2:1\n";
+      mix_ok = false;
+    }
+  }
+
   std::cout << "\nsimulated " << executions
             << " job executions (requeued restarts included) in "
             << format_number(wall_total, 3) << " s of wall time\n";
-  if (!churn_ok || !wan_ok || !eq_ok) return 1;
+  if (!churn_ok || !wan_ok || !eq_ok || !mix_ok) return 1;
   // The WAN-placement ordering, like the EASY-vs-FCFS gate below, is
   // only asserted at full scale; tiny smoke runs barely overlap.
   if (spec.jobs >= 500 && aware_makespan >= naive_makespan) {

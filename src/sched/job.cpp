@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sched/policy.hpp"
 
 namespace qrgrid::sched {
 
@@ -10,7 +11,10 @@ Policy policy_of(const std::string& name) {
   if (name == "fcfs") return Policy::kFcfs;
   if (name == "spjf") return Policy::kSpjf;
   if (name == "easy") return Policy::kEasyBackfill;
-  throw Error("unknown policy '" + name + "' (fcfs|spjf|easy)");
+  if (name == "prio-easy") return Policy::kPriorityEasy;
+  if (name == "fair") return Policy::kFairShare;
+  throw Error("unknown policy '" + name +
+              "' (fcfs|spjf|easy|prio-easy|fair)");
 }
 
 std::string policy_name(Policy policy) {
@@ -18,6 +22,8 @@ std::string policy_name(Policy policy) {
     case Policy::kFcfs: return "fcfs";
     case Policy::kSpjf: return "spjf";
     case Policy::kEasyBackfill: return "easy";
+    case Policy::kPriorityEasy: return "prio-easy";
+    case Policy::kFairShare: return "fair";
   }
   return "?";
 }
@@ -31,24 +37,29 @@ std::string fate_name(JobFate fate) {
   return "?";
 }
 
-bool JobQueue::before(const Entry& a, const Entry& b) const {
-  if (policy_ == Policy::kSpjf) {
-    if (a.predicted_s != b.predicted_s) return a.predicted_s < b.predicted_s;
-    return a.job.id < b.job.id;
-  }
-  if (a.job.priority != b.job.priority) return a.job.priority > b.job.priority;
-  if (a.job.arrival_s != b.job.arrival_s) {
-    return a.job.arrival_s < b.job.arrival_s;
-  }
-  return a.job.id < b.job.id;
+JobQueue::JobQueue(const SchedulingPolicy* policy) : policy_(policy) {}
+
+JobQueue::JobQueue(Policy policy) : owned_(make_policy(policy)) {
+  policy_ = owned_.get();
 }
 
+JobQueue::~JobQueue() = default;
+
 void JobQueue::push(Job job, double predicted_s) {
-  Entry e{std::move(job), predicted_s};
+  PendingEntry e{std::move(job), predicted_s};
   auto pos = std::upper_bound(
       entries_.begin(), entries_.end(), e,
-      [this](const Entry& a, const Entry& b) { return before(a, b); });
+      [this](const PendingEntry& a, const PendingEntry& b) {
+        return policy_->before(a, b);
+      });
   entries_.insert(pos, std::move(e));
+}
+
+void JobQueue::resort() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [this](const PendingEntry& a, const PendingEntry& b) {
+                     return policy_->before(a, b);
+                   });
 }
 
 Job JobQueue::remove(std::size_t i) {

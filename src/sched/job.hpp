@@ -4,11 +4,13 @@
 // layer queues STREAMS of such factorizations. A Job is the request (when
 // it arrives, the matrix shape, how many processes it wants, which
 // reduction tree); the JobQueue holds not-yet-started jobs in the order
-// mandated by the active scheduling policy.
+// mandated by the active SchedulingPolicy (sched/policy.hpp), which owns
+// the comparator the queue keeps itself sorted by.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,14 +18,21 @@
 
 namespace qrgrid::sched {
 
-/// How the pending queue is ordered and whether holes may be backfilled.
+class SchedulingPolicy;
+
+/// Names for the built-in policy objects (sched/policy.hpp). The service
+/// dispatches through the SchedulingPolicy interface, never on this enum;
+/// it survives as the CLI/options spelling and make_policy's factory key.
 enum class Policy {
-  kFcfs,          ///< strict arrival order; the head blocks everything
+  kFcfs,          ///< (priority desc, arrival); the head blocks everything
   kSpjf,          ///< shortest predicted job first (Section-IV cost model)
-  kEasyBackfill,  ///< FCFS head + EASY backfilling behind its reservation
+  kEasyBackfill,  ///< classic arrival-ordered EASY backfilling
+  kPriorityEasy,  ///< EASY where higher priority claims the reservation
+  kFairShare,     ///< weighted fair-share, deficit-round-robin per user
 };
 
-/// Parses "fcfs" | "spjf" | "easy"; throws qrgrid::Error otherwise.
+/// Parses "fcfs" | "spjf" | "easy" | "prio-easy" | "fair"; throws
+/// qrgrid::Error otherwise.
 Policy policy_of(const std::string& name);
 std::string policy_name(Policy policy);
 
@@ -34,7 +43,17 @@ struct Job {
   double m = 0.0;          ///< matrix rows
   int n = 0;               ///< matrix columns (tall-skinny: m >> n)
   int procs = 0;           ///< processes requested (rounded up to nodes)
-  int priority = 0;        ///< larger runs earlier among FCFS/EASY equals
+  /// Larger runs earlier among FCFS equals; plain EASY is priority-blind
+  /// (classic Lifka), prio-easy orders the whole queue by it and lets it
+  /// claim the shadow reservation.
+  int priority = 0;
+  /// Submitting user id: the fair-share policy's accounting key. Jobs of
+  /// one user share the accumulated-service deficit.
+  int user = 0;
+  /// The user's fair-share weight (> 0): accrued service is divided by it,
+  /// so a weight-2 user is owed twice the node-seconds of a weight-1 user
+  /// before falling behind in the deficit order.
+  double weight = 1.0;
   core::TreeKind tree = core::TreeKind::kGridHierarchical;
   /// User-supplied walltime estimate (the batch system's -l walltime=…).
   /// 0 = unlimited. When set, EASY's reservation and backfill decisions
@@ -95,16 +114,32 @@ struct JobOutcome {
   double turnaround_s() const { return finish_s - job.arrival_s; }
 };
 
-/// Pending jobs in policy order. FCFS and EASY order by (priority desc,
-/// arrival, id); SPJF by (predicted runtime, id). Insertion keeps the
-/// sequence sorted so `front()` is always the next job the policy owes.
+/// What a SchedulingPolicy's queue comparator sees: the job plus the
+/// Section-IV runtime estimate (SPJF's sort key; stored for reporting
+/// under the other policies).
+struct PendingEntry {
+  Job job;
+  double predicted_s = 0.0;
+};
+
+/// Pending jobs kept sorted by the active policy's comparator, so
+/// `front()` is always the next job the policy owes. Policies with
+/// service-dependent keys (fair-share) additionally need `resort()`
+/// whenever their accrued state changes.
 class JobQueue {
  public:
-  explicit JobQueue(Policy policy) : policy_(policy) {}
+  /// Borrows the policy; the caller keeps it alive and in sync with any
+  /// state its comparator reads.
+  explicit JobQueue(const SchedulingPolicy* policy);
+  /// Convenience: owns a fresh make_policy(policy) instance.
+  explicit JobQueue(Policy policy);
+  ~JobQueue();  // out of line: owned_ deletes an incomplete type here
 
-  /// `predicted_s` is the Section-IV runtime estimate (SPJF's sort key;
-  /// stored for reporting under the other policies).
   void push(Job job, double predicted_s);
+  /// Re-establishes policy order after the comparator's inputs changed
+  /// (fair-share deficits move when attempts start). Stable, so ties keep
+  /// their current relative order — which push() made deterministic.
+  void resort();
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
@@ -120,14 +155,9 @@ class JobQueue {
   Job remove(std::size_t i);
 
  private:
-  struct Entry {
-    Job job;
-    double predicted_s = 0.0;
-  };
-  bool before(const Entry& a, const Entry& b) const;
-
-  Policy policy_;
-  std::vector<Entry> entries_;
+  const SchedulingPolicy* policy_;
+  std::unique_ptr<SchedulingPolicy> owned_;  ///< enum-ctor convenience only
+  std::vector<PendingEntry> entries_;
 };
 
 }  // namespace qrgrid::sched

@@ -1,0 +1,104 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sched/backend.hpp"
+#include "sched/wan.hpp"
+
+namespace qrgrid::sched {
+
+namespace {
+
+/// Shared tail of the FCFS-family orderings: earlier arrival first, then
+/// smaller id — the final tie-break every policy ends in, which is what
+/// pins byte-identical queue order on fully tied jobs.
+bool arrival_then_id(const PendingEntry& a, const PendingEntry& b) {
+  if (a.job.arrival_s != b.job.arrival_s) {
+    return a.job.arrival_s < b.job.arrival_s;
+  }
+  return a.job.id < b.job.id;
+}
+
+bool priority_then_arrival(const PendingEntry& a, const PendingEntry& b) {
+  if (a.job.priority != b.job.priority) {
+    return a.job.priority > b.job.priority;
+  }
+  return arrival_then_id(a, b);
+}
+
+}  // namespace
+
+std::vector<int> SchedulingPolicy::cluster_order(
+    int num_clusters, const GridWanModel* wan) const {
+  std::vector<int> order = identity_order(num_clusters);
+  if (wan != nullptr) {
+    // Idlest-WAN-link-first; stable sort keeps master-id order among
+    // ties, so an idle WAN reproduces the naive order exactly.
+    std::vector<int> score(order.size());
+    for (int c = 0; c < num_clusters; ++c) {
+      score[static_cast<std::size_t>(c)] = wan->load_score(c);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return score[static_cast<std::size_t>(a)] <
+             score[static_cast<std::size_t>(b)];
+    });
+  }
+  return order;
+}
+
+void SchedulingPolicy::on_attempt_start(const Job&, double) {}
+
+bool FcfsPolicy::before(const PendingEntry& a, const PendingEntry& b) const {
+  return priority_then_arrival(a, b);
+}
+
+bool SpjfPolicy::before(const PendingEntry& a, const PendingEntry& b) const {
+  if (a.predicted_s != b.predicted_s) return a.predicted_s < b.predicted_s;
+  return a.job.id < b.job.id;
+}
+
+bool EasyBackfillPolicy::before(const PendingEntry& a,
+                                const PendingEntry& b) const {
+  return arrival_then_id(a, b);
+}
+
+bool PriorityEasyPolicy::before(const PendingEntry& a,
+                                const PendingEntry& b) const {
+  return priority_then_arrival(a, b);
+}
+
+bool FairSharePolicy::before(const PendingEntry& a,
+                             const PendingEntry& b) const {
+  const double da = normalized_service(a.job.user);
+  const double db = normalized_service(b.job.user);
+  if (da != db) return da < db;  // least-served-per-weight user first
+  return arrival_then_id(a, b);
+}
+
+void FairSharePolicy::on_attempt_start(const Job& job, double node_seconds) {
+  QRGRID_CHECK_MSG(job.weight > 0.0, "job " << job.id
+                                            << " has non-positive weight "
+                                            << job.weight);
+  service_[job.user] += node_seconds / job.weight;
+}
+
+double FairSharePolicy::normalized_service(int user) const {
+  const auto it = service_.find(user);
+  return it == service_.end() ? 0.0 : it->second;
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(Policy policy) {
+  switch (policy) {
+    case Policy::kFcfs: return std::make_unique<FcfsPolicy>();
+    case Policy::kSpjf: return std::make_unique<SpjfPolicy>();
+    case Policy::kEasyBackfill:
+      return std::make_unique<EasyBackfillPolicy>();
+    case Policy::kPriorityEasy:
+      return std::make_unique<PriorityEasyPolicy>();
+    case Policy::kFairShare: return std::make_unique<FairSharePolicy>();
+  }
+  throw Error("make_policy: unknown policy enum value");
+}
+
+}  // namespace qrgrid::sched

@@ -1,0 +1,157 @@
+// Pluggable scheduling policies for the grid job service.
+//
+// GridJobService used to dispatch on a closed Policy enum: queue ordering
+// lived in JobQueue::before, the backfill decision was an `if (easy)`
+// inside run(), and placement scoring was hard-wired into try_place. This
+// interface is that seam made explicit — a SchedulingPolicy owns
+//
+//   queue ordering        before():        which pending job is owed next
+//   reservation/backfill  backfills():     may later jobs jump a blocked
+//                                          head, bounded by its shadow time
+//   shadow pricing        wan_priced_shadow(): price running jobs' WAN
+//                                          drain estimates into the shadow
+//   placement scoring     cluster_order(): the order candidate clusters
+//                                          are offered to the first-fit
+//   service accounting    on_attempt_start()/reset(): accrued state for
+//                                          deficit-based orderings
+//
+// so later PRs add policies without reopening service.cpp: implement the
+// interface and hand ServiceOptions::policy_factory a constructor.
+//
+// Five built-ins (make_policy):
+//
+//   fcfs       strict (priority desc, arrival, id); the head blocks all.
+//   spjf       shortest predicted job first (Section-IV Equation (1)).
+//   easy       classic EASY: ARRIVAL-ordered FCFS head holding a shadow
+//              reservation; later jobs backfill iff their estimate ends
+//              before it. Priority-blind, as Lifka's original — byte-
+//              identical to the PR-4 enum dispatch on uniform priority.
+//   prio-easy  priority-aware EASY: the queue orders (priority desc,
+//              arrival, id), so a higher-priority pending job CLAIMS the
+//              shadow reservation from a lower-priority blocked head the
+//              moment it arrives; under shared-WAN contention the shadow
+//              additionally prices every running attempt's drain estimate
+//              (GridWanModel::drain_estimate_s), restoring the no-delay
+//              property the plain-EASY reservation loses under contention.
+//   fair       weighted fair-share: deficit-round-robin over accumulated
+//              service. Every started attempt charges its expected
+//              node-seconds to Job::user, normalized by Job::weight; the
+//              queue orders by (normalized service deficit, arrival, id),
+//              so the least-served-per-weight user always owns the head.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace qrgrid::sched {
+
+class GridWanModel;
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Stable identifier, also the summary-table row label ("fcfs", ...).
+  virtual std::string name() const = 0;
+
+  /// Strict weak ordering of the pending queue; the front is the next
+  /// job the policy owes the grid.
+  virtual bool before(const PendingEntry& a, const PendingEntry& b) const = 0;
+
+  /// Reservation/backfill: when true, a blocked head holds an EASY
+  /// reservation at its shadow time and any later pending job may start
+  /// now iff its estimated completion does not outlast that promise.
+  virtual bool backfills() const { return false; }
+
+  /// When true (and shared-WAN contention is on), the shadow time prices
+  /// each running attempt's WAN drain estimate into its estimated finish
+  /// instead of trusting walltime/replay bounds the drains can outlast.
+  virtual bool wan_priced_shadow() const { return false; }
+
+  /// When true, ordering keys change as service accrues (fair-share):
+  /// the service re-sorts the queue before every head dispatch.
+  virtual bool dynamic_order() const { return false; }
+
+  /// Placement scoring: the order in which candidate master clusters are
+  /// presented to the meta-scheduler's first-fit. The default is master-id
+  /// order, or idlest-WAN-link-first when a model is supplied (the
+  /// wan_aware dispatch path); ties keep master-id order, which makes the
+  /// naive path exactly the PR-2 behavior.
+  virtual std::vector<int> cluster_order(int num_clusters,
+                                         const GridWanModel* wan) const;
+
+  /// Accounting hook: one attempt of `job` started and is expected to
+  /// hold `node_seconds` node-seconds (requeued attempts charge again).
+  virtual void on_attempt_start(const Job& job, double node_seconds);
+
+  /// Forgets accrued state (fair-share deficits). run() calls it first,
+  /// so one service can serve several workloads byte-identically.
+  virtual void reset() {}
+};
+
+/// The PR-1 FCFS dispatch as a policy object: (priority desc, arrival,
+/// id), no backfilling.
+class FcfsPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "fcfs"; }
+  bool before(const PendingEntry& a, const PendingEntry& b) const override;
+};
+
+/// Shortest predicted job first: (predicted seconds, id).
+class SpjfPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "spjf"; }
+  bool before(const PendingEntry& a, const PendingEntry& b) const override;
+};
+
+/// Classic EASY backfilling: arrival-ordered head with a shadow
+/// reservation. Priority-blind (see prio-easy for the priority-aware
+/// variant); identical to the PR-4 dispatch whenever priorities are
+/// uniform — which the legacy-equivalence suites pin byte-for-byte.
+class EasyBackfillPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "easy"; }
+  bool before(const PendingEntry& a, const PendingEntry& b) const override;
+  bool backfills() const override { return true; }
+};
+
+/// Priority-aware EASY: (priority desc, arrival, id) ordering means a
+/// higher-priority pending job claims the head slot — and with it the
+/// shadow reservation — from a lower-priority blocked head; plus
+/// WAN-priced shadow times under contention.
+class PriorityEasyPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "prio-easy"; }
+  bool before(const PendingEntry& a, const PendingEntry& b) const override;
+  bool backfills() const override { return true; }
+  bool wan_priced_shadow() const override { return true; }
+};
+
+/// Weighted fair-share: deficit-round-robin over accumulated service.
+/// Orders by (service[user]/weight ascending, arrival, id); started
+/// attempts charge expected node-seconds to their user.
+class FairSharePolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "fair"; }
+  bool before(const PendingEntry& a, const PendingEntry& b) const override;
+  bool dynamic_order() const override { return true; }
+  void on_attempt_start(const Job& job, double node_seconds) override;
+  void reset() override { service_.clear(); }
+
+  /// Normalized service a user has accumulated (node-seconds / weight);
+  /// 0 for users never charged. Exposed for the fairness test suite.
+  double normalized_service(int user) const;
+
+ private:
+  std::unordered_map<int, double> service_;
+};
+
+/// Policy object for one enum value (the CLI's fcfs|spjf|easy|prio-easy|
+/// fair). Custom policies bypass this via ServiceOptions::policy_factory.
+std::unique_ptr<SchedulingPolicy> make_policy(Policy policy);
+
+}  // namespace qrgrid::sched

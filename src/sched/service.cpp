@@ -53,7 +53,8 @@ std::vector<std::string> summary_row(const ServiceReport& report) {
   std::ostringstream resid;
   resid.precision(2);
   resid << std::scientific << report.max_residual;
-  return {policy_name(report.policy),
+  return {report.policy_label.empty() ? policy_name(report.policy)
+                                      : report.policy_label,
           format_number(report.makespan_s, 5),
           format_number(report.mean_wait_s, 4),
           format_number(report.max_wait_s, 4),
@@ -89,6 +90,12 @@ GridJobService::GridJobService(simgrid::GridTopology topology,
                        << options_.wan_link_Bps << ")");
   QRGRID_CHECK_MSG(options_.wan_backbone_Bps >= 0.0,
                    "wan_backbone_Bps must be >= 0 (0 = auto)");
+  // The policy seam: one object owns queue order, backfill decisions,
+  // and placement scoring. Built by enum or by the custom factory; run()
+  // resets its accrued state (fair-share deficits) per workload.
+  policy_ = options_.policy_factory ? options_.policy_factory()
+                                    : make_policy(options_.policy);
+  QRGRID_CHECK_MSG(policy_ != nullptr, "policy_factory returned null");
   BackendOptions backend_options;
   backend_options.domains_per_cluster = options_.domains_per_cluster;
   backend_options.wan_link_Bps = options_.wan_link_Bps;
@@ -119,21 +126,12 @@ std::optional<Placement> GridJobService::try_place(
   for (int f : free_nodes) any_free |= f > 0;
   if (!any_free) return std::nullopt;
 
-  // Network-aware dispatch: present the clusters idlest-WAN-first so the
-  // meta-scheduler's first-fit lands equally feasible groups away from
-  // in-flight flows. Stable sort keeps master-id order among ties, which
-  // makes the naive path (wan == nullptr) exactly the PR-2 behavior.
-  std::vector<int> order = identity_order(topology_.num_clusters());
-  if (wan != nullptr) {
-    std::vector<int> score(order.size());
-    for (int c = 0; c < topology_.num_clusters(); ++c) {
-      score[static_cast<std::size_t>(c)] = wan->load_score(c);
-    }
-    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-      return score[static_cast<std::size_t>(a)] <
-             score[static_cast<std::size_t>(b)];
-    });
-  }
+  // Placement scoring is the policy's: by default master-id order, or
+  // idlest-WAN-first under wan_aware dispatch, so the meta-scheduler's
+  // first-fit lands equally feasible groups away from in-flight flows
+  // (ties keep master-id order — the naive path is exactly PR-2).
+  const std::vector<int> order =
+      policy_->cluster_order(topology_.num_clusters(), wan);
   SubTopology residual = make_sub_topology(topology_, free_nodes, order);
   const simgrid::MetaScheduler scheduler(residual.topology);
 
@@ -203,25 +201,41 @@ double GridJobService::attempt_seconds(const ExecutionProfile& replay,
 
 double GridJobService::shadow_time(const Job& head,
                                    const std::vector<Running>& running,
-                                   const std::vector<int>& free_nodes) const {
+                                   const std::vector<int>& free_nodes,
+                                   const GridWanModel* wan,
+                                   double now_s) const {
   // Sort by ESTIMATED finish: the scheduler plans with walltimes, not with
-  // the exact replays it could not know on a real machine.
-  std::vector<const Running*> by_finish;
+  // the exact replays it could not know on a real machine. A WAN-priced
+  // policy knows drains can outlast both bounds, so each running
+  // attempt's finish is lifted to its pessimistic drain estimate.
+  const bool priced = wan != nullptr && policy_->wan_priced_shadow();
+  std::vector<double> drain_estimates;
+  if (priced) wan->drain_estimates_s(now_s, drain_estimates);
+  std::vector<std::pair<double, const Running*>> by_finish;
   by_finish.reserve(running.size());
-  for (const Running& r : running) by_finish.push_back(&r);
+  for (const Running& r : running) {
+    double est = r.est_finish_s;
+    // Walltime-bounded attempts release their nodes at kill_s no matter
+    // how far the drains stretch (the kill caps wan_finish), so only
+    // unlimited attempts need their drain estimate priced in.
+    if (priced && r.flow >= 0 && r.job.walltime_s <= 0.0) {
+      est = std::max(
+          est, drain_estimates[static_cast<std::size_t>(r.flow)]);
+    }
+    by_finish.emplace_back(est, &r);
+  }
   std::sort(by_finish.begin(), by_finish.end(),
-            [](const Running* a, const Running* b) {
-              return a->est_finish_s != b->est_finish_s
-                         ? a->est_finish_s < b->est_finish_s
-                         : a->seq < b->seq;
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second->seq < b.second->seq;
             });
   std::vector<int> free = free_nodes;
-  for (const Running* r : by_finish) {
+  for (const auto& [est, r] : by_finish) {
     for (std::size_t i = 0; i < r->placement.clusters.size(); ++i) {
       free[static_cast<std::size_t>(r->placement.clusters[i])] +=
           r->placement.nodes[i];
     }
-    if (try_place(head, free).has_value()) return r->est_finish_s;
+    if (try_place(head, free).has_value()) return est;
   }
   // Reachable only when a cluster the head needs is down: the reservation
   // waits on a recovery, not on nodes.
@@ -243,15 +257,21 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   }
   for (const Job& job : jobs) {
     QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1 &&
-                         job.walltime_s >= 0.0,
+                         job.walltime_s >= 0.0 && job.weight > 0.0,
                      "malformed job " << job.id);
     QRGRID_CHECK_MSG(try_place(job, total_nodes).has_value(),
                      "job " << job.id << " (" << job.procs
                             << " procs) cannot fit the grid at all");
   }
 
+  // Accrued policy state (fair-share deficits) must not leak between
+  // workloads: the same service serving the same jobs twice reports
+  // byte-identically.
+  policy_->reset();
+
   ServiceReport report;
   report.policy = options_.policy;
+  report.policy_label = policy_->name();
   report.wan_egress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
   report.wan_ingress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
   report.wan_uplink_busy.assign(static_cast<std::size_t>(nclusters), 0.0);
@@ -269,7 +289,8 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         options_.wan_backbone_Bps > 0.0
             ? options_.wan_backbone_Bps
             : options_.wan_link_Bps * std::max(1, nclusters / 2);
-    wan_model.emplace(nclusters, options_.wan_link_Bps, backbone_Bps);
+    wan_model.emplace(nclusters, options_.wan_link_Bps, backbone_Bps,
+                      options_.wan_fairness, options_.wan_pair_Bps);
   }
   GridWanModel* const wan = wan_model ? &*wan_model : nullptr;
   double wan_clock = 0.0;  ///< how far the WAN horizons have been drained
@@ -279,9 +300,14 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   OutageTrace trace = options_.outages;
   std::vector<int> free_nodes = total_nodes;
   std::vector<int> down_depth(static_cast<std::size_t>(nclusters), 0);
-  JobQueue pending(options_.policy);
+  JobQueue pending(policy_.get());
   std::vector<Running> running;  // kept in start (seq) order
   std::unordered_map<int, Progress> progress;
+  /// Pending job currently holding the backfill reservation; -1 = none.
+  /// A job that loses the head slot WITHOUT starting (a higher-priority
+  /// claim under prio-easy, a requeued earlier arrival under faults) has
+  /// its outstanding promise withdrawn along with the reservation.
+  int reserved_job = -1;
   double clock = 0.0;
   double useful_node_seconds = 0.0;
   double useful_flops_total = 0.0;
@@ -404,6 +430,18 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
 
   auto start_job = [&](Job job, const Placement& placement,
                        bool backfilled) {
+    if (job.id == reserved_job) {
+      reserved_job = -1;  // promise honored
+    } else if (!backfilled && reserved_job != -1) {
+      // A different job overtook the reservation holder straight from
+      // the head path (a priority claim, a deficit reorder, a requeued
+      // earlier arrival) while the holder is still pending — it may now
+      // be taking the very nodes the promise counted on, so the stale
+      // promise is withdrawn. Backfills are exempt: they are sanctioned
+      // BY the reservation. The next blocked-head pass re-promises.
+      progress[reserved_job].reserved_start_s = kInf;
+      reserved_job = -1;
+    }
     const ExecutionProfile& replay = replay_for(job, placement);
     Progress& p = progress[job.id];
     ++p.attempts;
@@ -412,6 +450,11 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     // plus checkpoint I/O for the panels this attempt will protect.
     const double attempt_s = attempt_seconds(replay, p.credited_fraction);
     QRGRID_CHECK(attempt_s > 0.0);
+    // Deficit accounting (fair-share): the attempt is expected to hold
+    // its grant for attempt_s — charged at start so the very next head
+    // decision already sees this user served.
+    policy_->on_attempt_start(
+        job, attempt_s * static_cast<double>(placement.total_nodes));
     for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
       free_nodes[static_cast<std::size_t>(placement.clusters[i])] -=
           placement.nodes[i];
@@ -445,30 +488,69 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       double backbone_bytes = 0.0;
       double backbone_activation = kInf;
       auto add_pool = [&](GridWanModel::Pool::Link link, int cluster,
-                          long long full_bytes, double first_fraction) {
-        if (full_bytes <= 0) return;
+                          int peer, double full_bytes,
+                          double first_fraction) {
+        if (full_bytes <= 0.0) return;
         const double from = std::max(first_fraction, f0);
         const double window = 1.0 - first_fraction;
         if (window <= 0.0 || from >= 1.0) return;
-        const double bytes =
-            static_cast<double>(full_bytes) * (1.0 - from) / window;
+        const double bytes = full_bytes * (1.0 - from) / window;
         const double activation_s =
             clock + (from - f0) / (1.0 - f0) * attempt_s;
-        pools.push_back({link, cluster, bytes, activation_s});
+        GridWanModel::Pool pool;
+        pool.link = link;
+        pool.cluster = cluster;
+        pool.peer = peer;
+        pool.bytes = bytes;
+        pool.activation_s = activation_s;
+        pools.push_back(pool);
         if (link == GridWanModel::Pool::Link::kUplink) {
           backbone_bytes += bytes;
           backbone_activation = std::min(backbone_activation, activation_s);
         }
       };
       for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
-        add_pool(GridWanModel::Pool::Link::kUplink, placement.clusters[i],
-                 replay.egress_bytes[i], replay.egress_first_fraction[i]);
-        add_pool(GridWanModel::Pool::Link::kDownlink, placement.clusters[i],
-                 replay.ingress_bytes[i], replay.ingress_first_fraction[i]);
+        const double egress =
+            static_cast<double>(replay.egress_bytes[i]);
+        // With per-pair horizons configured, uplink demand is split per
+        // destination (pro-rated to the peers' ingress shares — the
+        // replay records per-cluster totals, not a src x dst matrix), so
+        // an asymmetric pair link can bind exactly the bytes crossing it.
+        double peer_total = 0.0;
+        if (wan->pair_aware() && egress > 0.0) {
+          for (std::size_t j = 0; j < placement.clusters.size(); ++j) {
+            if (j != i) {
+              peer_total +=
+                  static_cast<double>(replay.ingress_bytes[j]);
+            }
+          }
+        }
+        if (peer_total > 0.0) {
+          for (std::size_t j = 0; j < placement.clusters.size(); ++j) {
+            if (j == i || replay.ingress_bytes[j] <= 0) continue;
+            add_pool(GridWanModel::Pool::Link::kUplink,
+                     placement.clusters[i], placement.clusters[j],
+                     egress *
+                         static_cast<double>(replay.ingress_bytes[j]) /
+                         peer_total,
+                     replay.egress_first_fraction[i]);
+          }
+        } else {
+          add_pool(GridWanModel::Pool::Link::kUplink,
+                   placement.clusters[i], /*peer=*/-1, egress,
+                   replay.egress_first_fraction[i]);
+        }
+        add_pool(GridWanModel::Pool::Link::kDownlink,
+                 placement.clusters[i], /*peer=*/-1,
+                 static_cast<double>(replay.ingress_bytes[i]),
+                 replay.ingress_first_fraction[i]);
       }
       if (backbone_bytes > 0.0) {
-        pools.push_back({GridWanModel::Pool::Link::kBackbone, -1,
-                         backbone_bytes, backbone_activation});
+        GridWanModel::Pool trunk;
+        trunk.link = GridWanModel::Pool::Link::kBackbone;
+        trunk.bytes = backbone_bytes;
+        trunk.activation_s = backbone_activation;
+        pools.push_back(trunk);
       }
       r.flow = wan->admit(clock, std::move(pools));
     }
@@ -483,22 +565,34 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   auto dispatch = [&]() {
     // Policy order: start from the head while it fits the up clusters.
     while (!pending.empty()) {
+      // Deficit keys moved with every started attempt (fair-share):
+      // restore policy order before each head decision.
+      if (policy_->dynamic_order()) pending.resort();
       const auto placement =
           try_place(pending.front(), placeable_nodes(), placement_wan);
       if (!placement.has_value()) break;
       start_job(pending.pop_front(), *placement, /*backfilled=*/false);
     }
-    if (options_.policy != Policy::kEasyBackfill || pending.empty() ||
-        running.empty()) {
+    if (!policy_->backfills() || pending.empty() || running.empty()) {
       return;
     }
-    // EASY: the blocked head holds a reservation at its shadow time; any
-    // later job may start now iff its ESTIMATED completion (walltime when
-    // set, exact replay when not) does not outlast the reservation.
-    // Actual completions only ever come earlier than the estimates, so
-    // the head is provably never delayed past the promise.
-    const double shadow =
-        shadow_time(pending.front(), running, placeable_nodes());
+    // EASY family: the blocked head holds a reservation at its shadow
+    // time; any later job may start now iff its ESTIMATED completion
+    // (walltime when set, exact replay when not) does not outlast the
+    // reservation. Actual completions only ever come earlier than the
+    // estimates, so the head is provably never delayed past the promise
+    // (under WAN contention only wan_priced_shadow policies keep that
+    // property, by lifting estimates to the drain bounds).
+    // The reservation follows the CURRENT head: a previous holder that
+    // was displaced while still pending (it did not start) had its
+    // reservation claimed — the stale promise is withdrawn with it, so
+    // the no-delay invariant binds exactly the job holding the shadow.
+    if (reserved_job != -1 && reserved_job != pending.front().id) {
+      progress[reserved_job].reserved_start_s = kInf;
+    }
+    reserved_job = pending.front().id;
+    const double shadow = shadow_time(pending.front(), running,
+                                      placeable_nodes(), wan, clock);
     // No computable reservation (the head waits on an outage recovery,
     // not on nodes): backfilling would have no bound and could starve
     // the head indefinitely, so don't.
@@ -506,6 +600,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     Progress& head_progress = progress[pending.front().id];
     head_progress.reserved_start_s =
         std::min(head_progress.reserved_start_s, shadow);
+    const bool priced = wan != nullptr && policy_->wan_priced_shadow();
     std::size_t i = 1;
     while (i < pending.size()) {
       const auto placement =
@@ -515,8 +610,51 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         const Job& candidate = pending.at(i);
         const double remaining = attempt_seconds(
             replay, progress[candidate.id].credited_fraction);
-        const double estimate =
+        double estimate =
             candidate.walltime_s > 0.0 ? candidate.walltime_s : remaining;
+        // A priced policy must bound the CANDIDATE's own WAN demand too:
+        // its flow does not exist yet, so neither the shadow nor the
+        // drain estimates above can see it — and without a walltime the
+        // drains, not the replay, decide when its nodes come back. Each
+        // link's demand is priced at the share it would get alongside
+        // the flows currently touching that link (load + itself),
+        // starting where the replay timeline first reaches the link;
+        // egress is additionally capped by the shared trunk, whose
+        // aggregate term covers a backbone thinner than the uplinks.
+        if (priced && candidate.walltime_s <= 0.0) {
+          const double trunk_share =
+              wan->backbone_Bps() / (1.0 + wan->backbone_load());
+          double total_egress = 0.0;
+          double earliest_egress_fraction = 1.0;
+          for (std::size_t c = 0; c < placement->clusters.size(); ++c) {
+            const double share =
+                options_.wan_link_Bps /
+                (1.0 + wan->load_score(placement->clusters[c]));
+            if (replay.egress_bytes[c] > 0) {
+              estimate = std::max(
+                  estimate,
+                  replay.egress_first_fraction[c] * remaining +
+                      static_cast<double>(replay.egress_bytes[c]) /
+                          std::min(share, trunk_share));
+              total_egress += static_cast<double>(replay.egress_bytes[c]);
+              earliest_egress_fraction =
+                  std::min(earliest_egress_fraction,
+                           replay.egress_first_fraction[c]);
+            }
+            if (replay.ingress_bytes[c] > 0) {
+              estimate = std::max(
+                  estimate,
+                  replay.ingress_first_fraction[c] * remaining +
+                      static_cast<double>(replay.ingress_bytes[c]) /
+                          share);
+            }
+          }
+          if (total_egress > 0.0) {
+            estimate = std::max(estimate,
+                                earliest_egress_fraction * remaining +
+                                    total_egress / trunk_share);
+          }
+        }
         if (clock + estimate <= shadow) {
           start_job(pending.remove(i), *placement, /*backfilled=*/true);
           ++report.backfilled_jobs;

@@ -11,10 +11,16 @@
 // duration and returned at completion — space sharing, the way Grid'5000's
 // OAR batch scheduler actually hands out the paper's testbed.
 //
-// Three policies: FCFS (head blocks), shortest-predicted-job-first
-// (Section-IV Equation (1) as the sort key), and EASY backfilling (FCFS
-// head keeps a reservation at the earliest time enough nodes free up;
-// later jobs may jump ahead only if they provably finish before it).
+// Scheduling is pluggable (sched/policy.hpp): every queue-order,
+// reservation/backfill, and placement-scoring decision goes through a
+// SchedulingPolicy object. Built-ins: FCFS (head blocks), shortest-
+// predicted-job-first (Section-IV Equation (1) as the sort key), EASY
+// backfilling (arrival-ordered head keeps a reservation at the earliest
+// time enough nodes free up; later jobs may jump ahead only if they
+// provably finish before it), priority-aware EASY (a higher-priority
+// pending job claims the reservation; shadow times price WAN drain
+// estimates under contention), and weighted fair-share (deficit-round-
+// robin over per-user accumulated service / weight).
 //
 // Fault model: ServiceOptions carries an OutageTrace of whole-cluster
 // down/up boundaries. A failing cluster kills every job holding nodes on
@@ -49,6 +55,7 @@
 // finish-time agreement within a stated tolerance.
 #pragma once
 
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -59,14 +66,21 @@
 #include "sched/backend.hpp"
 #include "sched/job.hpp"
 #include "sched/outage.hpp"
+#include "sched/policy.hpp"
+#include "sched/wan.hpp"
 #include "simgrid/topology.hpp"
 
 namespace qrgrid::sched {
 
-class GridWanModel;
-
 struct ServiceOptions {
+  /// Which built-in SchedulingPolicy make_policy constructs
+  /// (fcfs|spjf|easy|prio-easy|fair). Ignored when policy_factory is set.
   Policy policy = Policy::kFcfs;
+  /// Custom-policy seam: when set, the service schedules with THIS
+  /// policy object instead of make_policy(policy) — new policies plug in
+  /// without reopening service.cpp. The factory is invoked once per
+  /// service; run() resets the instance before every workload.
+  std::function<std::unique_ptr<SchedulingPolicy>()> policy_factory;
   /// Domains per cluster for each job's TSQR replay; 0 = auto (one domain
   /// per process for N <= 128, at most 16 for wider panels — the Fig. 6/7
   /// trade-off).
@@ -114,6 +128,17 @@ struct ServiceOptions {
   /// Shared backbone capacity; 0 = auto, wan_link_Bps x max(1, sites/2)
   /// — a trunk that can carry about half the sites at full tilt.
   double wan_backbone_Bps = 0.0;
+  /// How concurrent flows share the WAN links (the WanAllocator
+  /// strategy): equal-split per link is the PR-3 regression baseline;
+  /// max-min runs progressive filling over multi-link demands, so flows
+  /// bottlenecked on one link return their unused share everywhere else.
+  WanFairness wan_fairness = WanFairness::kEqualSplit;
+  /// Optional per-(src_site, dst_site) WAN horizons for asymmetric
+  /// backbones: row-major sites x sites matrix in bytes/second (0
+  /// entries unconstrained), empty = off. When set, each attempt's
+  /// uplink demand is split per destination pair (pro-rated to the
+  /// placement's ingress bytes) so the pair links can bind.
+  std::vector<double> wan_pair_Bps;
 
   /// --- Execution backend (sched/backend.hpp) ---
   /// How granted attempts run: kDesReplay (cached replay, the default)
@@ -137,6 +162,10 @@ struct ServiceOptions {
 ///   useful_node_seconds + wasted_node_seconds <= capacity x makespan
 struct ServiceReport {
   Policy policy = Policy::kFcfs;
+  /// The scheduling policy's own name() — what the summary row shows.
+  /// Matches policy_name(policy) for the built-ins; custom policies
+  /// (policy_factory) report whatever they call themselves.
+  std::string policy_label;
   std::vector<JobOutcome> outcomes;  ///< ALL jobs, sorted by job id
 
   double makespan_s = 0.0;           ///< last completion-or-final-kill time
@@ -278,13 +307,21 @@ class GridJobService {
   /// EASY reservation: earliest virtual time at which accumulated
   /// ESTIMATED completions (walltime bounds when set, exact replays when
   /// not) free enough nodes for `head`. Actual events never come later
-  /// than the estimates, so the reservation is safe either way.
+  /// than the estimates, so the reservation is safe either way — except
+  /// under shared-WAN contention, where drains can outlast both bounds;
+  /// a policy with wan_priced_shadow() additionally prices each running
+  /// attempt's drain estimate (`wan`, `now_s`) into its finish.
   double shadow_time(const Job& head, const std::vector<Running>& running,
-                     const std::vector<int>& free_nodes) const;
+                     const std::vector<int>& free_nodes,
+                     const GridWanModel* wan, double now_s) const;
 
   simgrid::GridTopology topology_;
   model::Roofline roofline_;
   ServiceOptions options_;
+  /// The scheduling-policy object every queue-order / backfill /
+  /// placement-scoring decision goes through (never the enum). Stateful
+  /// policies (fair-share) are reset at the top of every run().
+  std::unique_ptr<SchedulingPolicy> policy_;
   /// Owned after topology_ (it holds a pointer into it); profiles it
   /// caches stay valid for the service's lifetime.
   std::unique_ptr<ExecutionBackend> backend_;

@@ -25,66 +25,247 @@ bool covers(double moved, double bytes) {
 
 }  // namespace
 
-GridWanModel::GridWanModel(int num_clusters, double link_Bps,
-                           double backbone_Bps)
-    : num_clusters_(num_clusters),
-      link_Bps_(link_Bps),
-      backbone_Bps_(backbone_Bps),
-      up_busy_s_(static_cast<std::size_t>(num_clusters), 0.0),
-      down_busy_s_(static_cast<std::size_t>(num_clusters), 0.0) {
-  QRGRID_CHECK(num_clusters >= 1 && link_Bps > 0.0 && backbone_Bps > 0.0);
+WanFairness wan_fairness_of(const std::string& name) {
+  if (name == "equal") return WanFairness::kEqualSplit;
+  if (name == "maxmin") return WanFairness::kMaxMin;
+  throw Error("unknown WAN fairness '" + name + "' (equal|maxmin)");
 }
 
-double GridWanModel::capacity_of(const Pool& pool) const {
-  return pool.link == Pool::Link::kBackbone ? backbone_Bps_ : link_Bps_;
-}
-
-int GridWanModel::users_for(const Pool& pool, int backbone_users) const {
-  switch (pool.link) {
-    case Pool::Link::kUplink:
-      return up_users_[static_cast<std::size_t>(pool.cluster)];
-    case Pool::Link::kDownlink:
-      return down_users_[static_cast<std::size_t>(pool.cluster)];
-    case Pool::Link::kBackbone:
-      break;
+std::string wan_fairness_name(WanFairness fairness) {
+  switch (fairness) {
+    case WanFairness::kEqualSplit: return "equal";
+    case WanFairness::kMaxMin: return "maxmin";
   }
-  return backbone_users;
+  return "?";
 }
 
-int GridWanModel::count_users(double now_s) const {
-  up_users_.assign(static_cast<std::size_t>(num_clusters_), 0);
-  down_users_.assign(static_cast<std::size_t>(num_clusters_), 0);
-  int backbone = 0;
-  for (const Flow& flow : flows_) {
-    if (!flow.alive) continue;
-    for (const Pool& pool : flow.pools) {
-      if (pool.bytes <= 0.0 || pool.activation_s > now_s) continue;
-      switch (pool.link) {
-        case Pool::Link::kUplink:
-          ++up_users_[static_cast<std::size_t>(pool.cluster)];
-          break;
-        case Pool::Link::kDownlink:
-          ++down_users_[static_cast<std::size_t>(pool.cluster)];
-          break;
-        case Pool::Link::kBackbone:
-          ++backbone;
-          break;
+void EqualSplitAllocator::assign_rates(const std::vector<WanDemand>& demands,
+                                       const std::vector<double>& capacity_Bps,
+                                       std::vector<double>& rate_Bps) const {
+  // Flow-weighted user counts: fracs sum to 1 per flow per link, so a
+  // split flow still counts once. Unsplit demands contribute exactly
+  // 1.0 each, making the sum the same integer-valued double the PR-3
+  // kernel divided by.
+  std::vector<double> users(capacity_Bps.size(), 0.0);
+  for (const WanDemand& d : demands) {
+    for (int k = 0; k < d.nlinks; ++k) {
+      users[static_cast<std::size_t>(d.links[k])] += d.frac[k];
+    }
+  }
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const WanDemand& d = demands[i];
+    double rate = kInf;
+    for (int k = 0; k < d.nlinks; ++k) {
+      const auto l = static_cast<std::size_t>(d.links[k]);
+      rate = std::min(rate, capacity_Bps[l] / users[l] * d.frac[k]);
+    }
+    rate_Bps[i] = rate;
+  }
+}
+
+void MaxMinAllocator::assign_rates(const std::vector<WanDemand>& demands,
+                                   const std::vector<double>& capacity_Bps,
+                                   std::vector<double>& rate_Bps) const {
+  const std::size_t n = demands.size();
+  std::vector<double> remaining = capacity_Bps;
+  // Flow-weighted: W[l] sums the fracs, so a flow split across several
+  // pools of one link fills as one session, not several.
+  std::vector<double> users(capacity_Bps.size(), 0.0);
+  for (const WanDemand& d : demands) {
+    for (int k = 0; k < d.nlinks; ++k) {
+      users[static_cast<std::size_t>(d.links[k])] += d.frac[k];
+    }
+  }
+  // Progressive filling: the tightest link's per-flow share freezes every
+  // demand crossing it (at share x its frac); the frozen bandwidth
+  // leaves every link those demands touch, and the next-tightest link
+  // fills with what is left. Shares are non-decreasing across rounds
+  // (the frozen share was the minimum), which is the max-min property;
+  // the clamp guards the corner where a demand's fracs differ across
+  // its links and FP dust would drive a remainder negative.
+  constexpr double kUserEps = 1e-12;
+  std::vector<char> frozen(n, 0);
+  std::size_t left = n;
+  while (left > 0) {
+    double share = kInf;
+    std::size_t bottleneck = 0;
+    bool found = false;
+    for (std::size_t l = 0; l < remaining.size(); ++l) {
+      if (users[l] <= kUserEps) continue;
+      const double s = remaining[l] / users[l];
+      if (!found || s < share) {
+        share = s;
+        bottleneck = l;
+        found = true;
+      }
+    }
+    QRGRID_CHECK_MSG(found, "max-min filling lost its demands");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      const WanDemand& d = demands[i];
+      double bottleneck_frac = -1.0;
+      for (int k = 0; k < d.nlinks; ++k) {
+        if (static_cast<std::size_t>(d.links[k]) == bottleneck) {
+          bottleneck_frac = d.frac[k];
+        }
+      }
+      if (bottleneck_frac < 0.0) continue;
+      const double rate = share * bottleneck_frac;
+      rate_Bps[i] = rate;
+      frozen[i] = 1;
+      --left;
+      for (int k = 0; k < d.nlinks; ++k) {
+        const auto l = static_cast<std::size_t>(d.links[k]);
+        remaining[l] = std::max(0.0, remaining[l] - rate);
+        users[l] = std::max(0.0, users[l] - d.frac[k]);
       }
     }
   }
-  return backbone;
+}
+
+std::unique_ptr<WanAllocator> make_wan_allocator(WanFairness fairness) {
+  switch (fairness) {
+    case WanFairness::kEqualSplit:
+      return std::make_unique<EqualSplitAllocator>();
+    case WanFairness::kMaxMin: return std::make_unique<MaxMinAllocator>();
+  }
+  throw Error("make_wan_allocator: unknown fairness value");
+}
+
+GridWanModel::GridWanModel(int num_clusters, double link_Bps,
+                           double backbone_Bps, WanFairness fairness,
+                           std::vector<double> pair_Bps)
+    : num_clusters_(num_clusters),
+      link_Bps_(link_Bps),
+      backbone_Bps_(backbone_Bps),
+      fairness_(fairness),
+      pair_Bps_(std::move(pair_Bps)),
+      allocator_(make_wan_allocator(fairness)),
+      up_busy_s_(static_cast<std::size_t>(num_clusters), 0.0),
+      down_busy_s_(static_cast<std::size_t>(num_clusters), 0.0) {
+  QRGRID_CHECK(num_clusters >= 1 && link_Bps > 0.0 && backbone_Bps > 0.0);
+  const auto nc = static_cast<std::size_t>(num_clusters);
+  QRGRID_CHECK_MSG(pair_Bps_.empty() || pair_Bps_.size() == nc * nc,
+                   "pair horizon matrix must be sites x sites ("
+                       << pair_Bps_.size() << " != " << nc * nc << ")");
+  for (double b : pair_Bps_) QRGRID_CHECK(b >= 0.0);
+  capacity_.assign(2 * nc + 1 + (pair_Bps_.empty() ? 0 : nc * nc), 0.0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    capacity_[c] = link_Bps_;
+    capacity_[nc + c] = link_Bps_;
+  }
+  capacity_[2 * nc] = backbone_Bps_;
+  for (std::size_t p = 0; p < pair_Bps_.size(); ++p) {
+    capacity_[2 * nc + 1 + p] = pair_Bps_[p];
+  }
+}
+
+int GridWanModel::link_id(const Pool& pool) const {
+  switch (pool.link) {
+    case Pool::Link::kUplink: return pool.cluster;
+    case Pool::Link::kDownlink: return num_clusters_ + pool.cluster;
+    case Pool::Link::kBackbone: break;
+  }
+  return 2 * num_clusters_;
+}
+
+int GridWanModel::links_of(const Pool& pool, int out[3]) const {
+  int n = 0;
+  out[n++] = link_id(pool);
+  if (pool.link == Pool::Link::kUplink) {
+    if (pair_aware() && pool.peer >= 0) {
+      const auto p = static_cast<std::size_t>(pool.cluster) *
+                         static_cast<std::size_t>(num_clusters_) +
+                     static_cast<std::size_t>(pool.peer);
+      if (pair_Bps_[p] > 0.0) {  // 0 = unconstrained pair
+        out[n++] = 2 * num_clusters_ + 1 + static_cast<int>(p);
+      }
+    }
+    // Under max-min the trunk is a link the uplink demand crosses, not a
+    // parallel pool: a flow bottlenecked at its site link stops charging
+    // the backbone for capacity it cannot use.
+    if (fairness_ == WanFairness::kMaxMin) out[n++] = 2 * num_clusters_;
+  }
+  return n;
+}
+
+void GridWanModel::demand_view(double now_s, bool include_pending,
+                               std::vector<PoolRef>& refs,
+                               std::vector<WanDemand>& demands,
+                               std::vector<double>& rates) const {
+  refs.clear();
+  demands.clear();
+  // Per-flow per-link byte totals of the included pools, so each
+  // demand's frac makes the flow count as ONE user per link however its
+  // pools are split. Reset via the touched list — capacity_ can be
+  // sites^2-sized and most flows touch a handful of links.
+  if (flow_link_scratch_.size() != capacity_.size()) {
+    flow_link_scratch_.assign(capacity_.size(), 0.0);
+  }
+  std::vector<double>& flow_link_bytes = flow_link_scratch_;
+  std::vector<int>& touched = touched_scratch_;
+  auto included = [&](const Pool& pool) {
+    return pool.bytes > 0.0 &&
+           (include_pending || pool.activation_s <= now_s);
+  };
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const Flow& flow = flows_[f];
+    if (!flow.alive || flow.undrained == 0) continue;
+    touched.clear();
+    for (const Pool& pool : flow.pools) {
+      if (!included(pool)) continue;
+      int links[3];
+      const int nlinks = links_of(pool, links);
+      for (int k = 0; k < nlinks; ++k) {
+        if (flow_link_bytes[static_cast<std::size_t>(links[k])] == 0.0) {
+          touched.push_back(links[k]);
+        }
+        flow_link_bytes[static_cast<std::size_t>(links[k])] += pool.bytes;
+      }
+    }
+    for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+      const Pool& pool = flow.pools[j];
+      if (!included(pool)) continue;
+      WanDemand d;
+      d.bytes = pool.bytes;
+      d.flow = static_cast<int>(f);
+      d.nlinks = links_of(pool, d.links);
+      for (int k = 0; k < d.nlinks; ++k) {
+        // x / x == 1.0 exactly for an unsplit pool, which is what keeps
+        // the default equal-split path bit-identical to PR-3.
+        d.frac[k] =
+            pool.bytes /
+            flow_link_bytes[static_cast<std::size_t>(d.links[k])];
+      }
+      refs.push_back({static_cast<int>(f), static_cast<int>(j)});
+      demands.push_back(d);
+    }
+    for (const int l : touched) {
+      flow_link_bytes[static_cast<std::size_t>(l)] = 0.0;
+    }
+  }
+  rates.assign(demands.size(), 0.0);
+  allocator_->assign_rates(demands, capacity_, rates);
 }
 
 int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
   Flow flow;
   flow.alive = true;
-  for (const Pool& pool : pools) {
+  for (Pool& pool : pools) {
     QRGRID_CHECK(pool.bytes >= 0.0);
     QRGRID_CHECK(pool.link == Pool::Link::kBackbone ||
                  (pool.cluster >= 0 && pool.cluster < num_clusters_));
+    QRGRID_CHECK(pool.peer < num_clusters_);
+    // Max-min carries the trunk constraint on the uplink demands that
+    // cross it; a parallel backbone pool would double-count them.
+    if (fairness_ == WanFairness::kMaxMin &&
+        pool.link == Pool::Link::kBackbone) {
+      pool.bytes = 0.0;
+      continue;
+    }
     if (pool.bytes > 0.0) ++flow.undrained;
+    flow.pools.push_back(pool);
   }
-  flow.pools = std::move(pools);
   flow.moved_bytes.assign(flow.pools.size(), 0.0);
   flow.drained_at_s = now_s;  // stands until a pool actually drains later
   flows_.push_back(std::move(flow));
@@ -95,51 +276,72 @@ void GridWanModel::advance(double from_s, double to_s) {
   const double dt = to_s - from_s;
   if (dt <= 0.0) return;
 
-  const int backbone_users = count_users(from_s);
+  demand_view(from_s, /*include_pending=*/false, refs_scratch_,
+              demands_scratch_, rates_scratch_);
+
+  // A link is busy while at least one activated, undrained demand
+  // crosses it (under max-min, uplink demands keep the trunk busy).
+  std::vector<char> up_busy(static_cast<std::size_t>(num_clusters_), 0);
+  std::vector<char> down_busy(static_cast<std::size_t>(num_clusters_), 0);
+  bool backbone_busy = false;
+  for (const WanDemand& d : demands_scratch_) {
+    for (int k = 0; k < d.nlinks; ++k) {
+      const int l = d.links[k];
+      if (l < num_clusters_) {
+        up_busy[static_cast<std::size_t>(l)] = 1;
+      } else if (l < 2 * num_clusters_) {
+        down_busy[static_cast<std::size_t>(l - num_clusters_)] = 1;
+      } else if (l == 2 * num_clusters_) {
+        backbone_busy = true;
+      }
+    }
+  }
   for (int c = 0; c < num_clusters_; ++c) {
-    if (up_users_[static_cast<std::size_t>(c)] > 0) {
+    if (up_busy[static_cast<std::size_t>(c)]) {
       up_busy_s_[static_cast<std::size_t>(c)] += dt;
     }
-    if (down_users_[static_cast<std::size_t>(c)] > 0) {
+    if (down_busy[static_cast<std::size_t>(c)]) {
       down_busy_s_[static_cast<std::size_t>(c)] += dt;
     }
   }
-  if (backbone_users > 0) backbone_busy_s_ += dt;
+  if (backbone_busy) backbone_busy_s_ += dt;
 
-  for (Flow& flow : flows_) {
-    if (!flow.alive || flow.undrained == 0) continue;
-    for (std::size_t i = 0; i < flow.pools.size(); ++i) {
-      Pool& pool = flow.pools[i];
-      if (pool.bytes <= 0.0 || pool.activation_s > from_s) continue;
-      const double rate = capacity_of(pool) /
-                          static_cast<double>(users_for(pool, backbone_users));
-      const double moved = rate * dt;
-      if (covers(moved, pool.bytes)) {
-        flow.moved_bytes[i] += pool.bytes;
-        pool.bytes = 0.0;
-        if (--flow.undrained == 0) flow.drained_at_s = to_s;
-      } else {
-        flow.moved_bytes[i] += moved;
-        pool.bytes -= moved;
-      }
+  for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
+    Flow& flow = flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
+    Pool& pool = flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+    const auto j = static_cast<std::size_t>(refs_scratch_[k].pool);
+    const double moved = rates_scratch_[k] * dt;
+    if (covers(moved, pool.bytes)) {
+      flow.moved_bytes[j] += pool.bytes;
+      pool.bytes = 0.0;
+      if (--flow.undrained == 0) flow.drained_at_s = to_s;
+    } else {
+      flow.moved_bytes[j] += moved;
+      pool.bytes -= moved;
     }
   }
 }
 
 double GridWanModel::next_event_s(double now_s) const {
-  const int backbone_users = count_users(now_s);
+  demand_view(now_s, /*include_pending=*/false, refs_scratch_,
+              demands_scratch_, rates_scratch_);
   double next = kInf;
+  for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
+    const Flow& flow =
+        flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
+    const Pool& pool =
+        flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+    if (rates_scratch_[k] > 0.0) {
+      next = std::min(next, now_s + pool.bytes / rates_scratch_[k]);
+    }
+  }
+  // Pending activations change the share structure too.
   for (const Flow& flow : flows_) {
     if (!flow.alive || flow.undrained == 0) continue;
     for (const Pool& pool : flow.pools) {
-      if (pool.bytes <= 0.0) continue;
-      if (pool.activation_s > now_s) {
+      if (pool.bytes > 0.0 && pool.activation_s > now_s) {
         next = std::min(next, pool.activation_s);
-        continue;
       }
-      const double rate = capacity_of(pool) /
-                          static_cast<double>(users_for(pool, backbone_users));
-      next = std::min(next, now_s + pool.bytes / rate);
     }
   }
   return next;
@@ -155,6 +357,36 @@ double GridWanModel::drained_at_s(int flow) const {
   const Flow& f = flows_[static_cast<std::size_t>(flow)];
   QRGRID_CHECK(f.alive && f.undrained == 0);
   return f.drained_at_s;
+}
+
+void GridWanModel::drain_estimates_s(double now_s,
+                                     std::vector<double>& out) const {
+  out.assign(flows_.size(), 0.0);
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    if (!flows_[f].alive) continue;
+    out[f] = flows_[f].undrained == 0 ? flows_[f].drained_at_s : now_s;
+  }
+  demand_view(now_s, /*include_pending=*/true, refs_scratch_,
+              demands_scratch_, rates_scratch_);
+  for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
+    const auto f = static_cast<std::size_t>(refs_scratch_[k].flow);
+    const Pool& pool =
+        flows_[f].pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+    if (rates_scratch_[k] <= 0.0) {
+      out[f] = kInf;
+      continue;
+    }
+    out[f] = std::max(out[f], std::max(now_s, pool.activation_s) +
+                                  pool.bytes / rates_scratch_[k]);
+  }
+}
+
+double GridWanModel::drain_estimate_s(int flow, double now_s) const {
+  const Flow& f = flows_[static_cast<std::size_t>(flow)];
+  QRGRID_CHECK(f.alive);
+  std::vector<double> estimates;
+  drain_estimates_s(now_s, estimates);
+  return estimates[static_cast<std::size_t>(flow)];
 }
 
 void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
@@ -178,6 +410,22 @@ void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
   f.alive = false;
   f.pools.clear();
   f.moved_bytes.clear();
+}
+
+int GridWanModel::backbone_load() const {
+  int score = 0;
+  for (const Flow& flow : flows_) {
+    if (!flow.alive || flow.undrained == 0) continue;
+    bool crosses = false;
+    for (const Pool& pool : flow.pools) {
+      if (pool.bytes > 0.0 && pool.link != Pool::Link::kDownlink) {
+        crosses = true;  // uplink bytes cross the trunk once
+        break;
+      }
+    }
+    if (crosses) ++score;
+  }
+  return score;
 }
 
 int GridWanModel::load_score(int cluster) const {

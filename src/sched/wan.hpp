@@ -5,12 +5,13 @@
 // inter-site links. A job service that replays every job against a
 // PRIVATE DesEngine hands each of ten concurrent jobs the full dark
 // fiber, which quietly deletes the scarcity the paper is about. This
-// model restores it: one grid-wide object owns three kinds of WAN
-// horizon —
+// model restores it: one grid-wide object owns the WAN horizons —
 //
 //   uplink(c)    what cluster c can push onto the wide area per second
 //   downlink(c)  what cluster c can pull off the wide area per second
 //   backbone     the shared trunk every inter-site byte crosses once
+//   pair(s,d)    optional per-(src,dst) horizons for asymmetric
+//                backbones (set_pair capacities; 0 = unconstrained)
 //
 // and every in-flight attempt registers a *flow*: per-link byte pools
 // pro-rated from its cached replay (per-cluster WAN counters plus the
@@ -20,13 +21,27 @@
 // (local factorizations first, R-factor reduction last), and the pools
 // reproduce that: a freshly started job does not contend yet.
 //
-// Fair share: a link with capacity C and k flows holding undrained,
-// activated pools gives each pool C/k bytes per second — per-flow
-// max-min within one link, the same progress-horizon idiom DesEngine
-// uses for its intra-replay WAN serialization, lifted to whole jobs.
+// HOW the activated pools share the links is a WanAllocator strategy:
+//
+//   equal-split (WanFairness::kEqualSplit, the regression baseline) —
+//     every pool is a demand on exactly one link; a link with capacity C
+//     and k activated pools gives each C/k. The trunk is modeled as one
+//     extra pool per flow carrying its aggregate egress once. This is
+//     the PR-3 kernel, byte-identical.
+//
+//   max-min (WanFairness::kMaxMin) — progressive filling over multi-link
+//     demands: an uplink pool crosses {uplink(c), backbone} (plus its
+//     pair(s,d) horizon when configured), so the trunk is a real shared
+//     constraint instead of a parallel pool, and a flow bottlenecked on
+//     one link returns its unused share on every other link it crosses —
+//     the classic water-filling allocation. Separate backbone pools are
+//     not admitted in this mode (the trunk constraint lives on the
+//     uplink demands that actually cross it).
+//
 // Rates are piecewise constant between events (a pool activating or
-// running dry), so the service can advance its virtual clock to the
-// next event exactly — no time-stepping, no tolerance drift.
+// running dry) under either allocator, so the service can advance its
+// virtual clock to the next event exactly — no time-stepping, no
+// tolerance drift.
 //
 // An attempt may complete only when every one of its pools has drained;
 // its finish time becomes max(replay end, last drain). In isolation a
@@ -36,9 +51,76 @@
 // finish times stretch, monotonically in the load.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace qrgrid::sched {
+
+/// Which WanAllocator a GridWanModel (or ServiceOptions) asks for.
+enum class WanFairness {
+  kEqualSplit,  ///< per-link C/k fair share (PR-3 baseline)
+  kMaxMin,      ///< progressive-filling max-min over multi-link demands
+};
+/// Parses "equal" | "maxmin"; throws qrgrid::Error otherwise.
+WanFairness wan_fairness_of(const std::string& name);
+std::string wan_fairness_name(WanFairness fairness);
+
+/// One activated, undrained pool as an allocator sees it: the links it
+/// crosses (indices into the model's capacity table), the bytes left,
+/// and its per-link share of the owning flow's bytes there. Fairness is
+/// per FLOW, not per pool: a flow split across several pools on one
+/// link (per-destination pair splits; multi-cluster uplinks crossing
+/// the trunk) contributes its fracs — which sum to 1 — instead of one
+/// full user per pool, so splitting never multiplies a flow's share.
+/// Unsplit pools carry frac exactly 1.0, which keeps the equal-split
+/// arithmetic bit-identical to the PR-3 kernel.
+struct WanDemand {
+  double bytes = 0.0;
+  int flow = -1;  ///< owning flow id (what the fracs group by)
+  int links[3] = {-1, -1, -1};
+  double frac[3] = {1.0, 1.0, 1.0};  ///< flow-share per crossed link
+  int nlinks = 0;
+};
+
+/// Rate-assignment strategy: fills `rate_Bps` (pre-sized, parallel to
+/// `demands`) with every demand's drain rate given per-link capacities.
+/// Stateless and deterministic — the event loop calls it at every
+/// horizon event and the service relies on byte-identical replays.
+class WanAllocator {
+ public:
+  virtual ~WanAllocator() = default;
+  virtual std::string name() const = 0;
+  virtual void assign_rates(const std::vector<WanDemand>& demands,
+                            const std::vector<double>& capacity_Bps,
+                            std::vector<double>& rate_Bps) const = 0;
+};
+
+/// Per-link C/k over FLOWS: a demand's rate is the minimum over its
+/// links of (capacity / flow-users) x its frac of the flow there. With
+/// the single-link, frac-1 demands the equal-split model builds by
+/// default, this is exactly the PR-3 drain kernel.
+class EqualSplitAllocator final : public WanAllocator {
+ public:
+  std::string name() const override { return "equal"; }
+  void assign_rates(const std::vector<WanDemand>& demands,
+                    const std::vector<double>& capacity_Bps,
+                    std::vector<double>& rate_Bps) const override;
+};
+
+/// Progressive filling: repeatedly find the tightest link (smallest
+/// remaining-capacity / unfrozen-demands), grant that share to every
+/// demand crossing it, freeze them, and subtract the granted bandwidth
+/// from every link they cross. Yields the max-min fair allocation.
+class MaxMinAllocator final : public WanAllocator {
+ public:
+  std::string name() const override { return "maxmin"; }
+  void assign_rates(const std::vector<WanDemand>& demands,
+                    const std::vector<double>& capacity_Bps,
+                    std::vector<double>& rate_Bps) const override;
+};
+
+std::unique_ptr<WanAllocator> make_wan_allocator(WanFairness fairness);
 
 class GridWanModel {
  public:
@@ -47,19 +129,35 @@ class GridWanModel {
     enum class Link { kUplink, kDownlink, kBackbone };
     Link link = Link::kBackbone;
     int cluster = -1;           ///< master cluster id; -1 for the backbone
+    /// Destination (uplink) / source (downlink) cluster of a per-pair
+    /// split pool; -1 for aggregate pools and the backbone.
+    int peer = -1;
     double bytes = 0.0;         ///< remaining demand on this link
     double activation_s = 0.0;  ///< absolute instant the demand appears
   };
 
-  GridWanModel(int num_clusters, double link_Bps, double backbone_Bps);
+  /// `pair_Bps` is an optional row-major num_clusters x num_clusters
+  /// matrix of per-(src,dst) horizons in bytes/second (0 entries are
+  /// unconstrained); empty disables pair horizons. When set, callers
+  /// should admit per-peer split uplink pools (pair_aware()).
+  GridWanModel(int num_clusters, double link_Bps, double backbone_Bps,
+               WanFairness fairness = WanFairness::kEqualSplit,
+               std::vector<double> pair_Bps = {});
+
+  WanFairness fairness() const { return fairness_; }
+  /// True when per-(src,dst) horizons are configured — the signal for
+  /// callers to split uplink demand per destination pair.
+  bool pair_aware() const { return !pair_Bps_.empty(); }
 
   /// Admits one attempt's demand and returns its flow id. A flow with no
-  /// pools (a single-cluster job) is born drained at `now_s`.
+  /// pools (a single-cluster job) is born drained at `now_s`. Under
+  /// max-min fairness, kBackbone pools are dropped (the trunk constraint
+  /// lives on the uplink demands crossing it).
   int admit(double now_s, std::vector<Pool> pools);
 
   /// Drains every activated pool from `from_s` to `to_s` under the
-  /// current fair shares. The caller must not step across an event:
-  /// `to_s` may not exceed next_event_s(from_s).
+  /// allocator's current rates. The caller must not step across an
+  /// event: `to_s` may not exceed next_event_s(from_s).
   void advance(double from_s, double to_s);
 
   /// Earliest future instant the share structure changes — a pending
@@ -72,6 +170,20 @@ class GridWanModel {
   /// born drained). Requires drained(flow).
   double drained_at_s(int flow) const;
 
+  /// Planning estimate of when the flow's last pool will run dry,
+  /// assuming pessimistic shares: every undrained pool in the model
+  /// (activated or not) is counted a user on its links, and each of the
+  /// flow's pools then drains from max(now, activation) at that rate.
+  /// Not a proof — admissions after `now_s` can still stretch it — but
+  /// what a WAN-priced EASY shadow plans with. Returns drained_at_s for
+  /// drained flows.
+  double drain_estimate_s(int flow, double now_s) const;
+  /// Batched drain_estimate_s over every flow at once: ONE shared
+  /// pessimistic demand view instead of one per flow — what shadow_time
+  /// calls, since it prices all running flows at the same instant.
+  /// `out` is indexed by flow id; retired flows report 0.
+  void drain_estimates_s(double now_s, std::vector<double>& out) const;
+
   /// Retires the flow (completion or kill) and adds the bytes it
   /// actually moved to the per-cluster accumulators. Backbone pools are
   /// pure contention accounting and charge nothing.
@@ -83,6 +195,11 @@ class GridWanModel {
   /// they will contend before a job placed now reaches its own WAN
   /// phase.
   int load_score(int cluster) const;
+  /// Live flows with undrained demand that crosses the trunk (uplink or
+  /// explicit backbone pools, pending activations included) — the
+  /// admission-pricing analogue of load_score for the shared backbone.
+  int backbone_load() const;
+  double backbone_Bps() const { return backbone_Bps_; }
 
   /// Seconds the link carried at least one activated, undrained pool.
   double uplink_busy_s(int cluster) const {
@@ -101,26 +218,46 @@ class GridWanModel {
     int undrained = 0;
     double drained_at_s = 0.0;
   };
+  /// One entry of the demand view handed to the allocator: which flow's
+  /// which pool each rate belongs to.
+  struct PoolRef {
+    int flow = 0;
+    int pool = 0;
+  };
 
-  double capacity_of(const Pool& pool) const;
-  /// Users sharing this pool's link, read from the scratch the latest
-  /// count_users filled.
-  int users_for(const Pool& pool, int backbone_users) const;
-  /// Users per link among activated (activation_s <= now) undrained
-  /// pools: fills the up_users_/down_users_ per-cluster scratch and
-  /// returns the backbone count.
-  int count_users(double now_s) const;
+  /// Link ids in the allocator's capacity table: [0, C) uplinks,
+  /// [C, 2C) downlinks, 2C the backbone, then (when pair horizons are
+  /// configured) 2C + 1 + src * C + dst per pair.
+  int link_id(const Pool& pool) const;
+  /// Links the pool crosses under the active fairness mode.
+  int links_of(const Pool& pool, int out[3]) const;
+  /// Builds the activated-undrained demand view at `now_s` (or, when
+  /// `include_pending`, every undrained pool regardless of activation —
+  /// the pessimistic planning view) and the allocator's rates for it.
+  void demand_view(double now_s, bool include_pending,
+                   std::vector<PoolRef>& refs,
+                   std::vector<WanDemand>& demands,
+                   std::vector<double>& rates) const;
 
   int num_clusters_;
   double link_Bps_;
   double backbone_Bps_;
+  WanFairness fairness_;
+  std::vector<double> pair_Bps_;   ///< row-major src x dst; empty = off
+  std::vector<double> capacity_;   ///< per link id
+  std::unique_ptr<WanAllocator> allocator_;
   std::vector<Flow> flows_;
   std::vector<double> up_busy_s_;
   std::vector<double> down_busy_s_;
   double backbone_busy_s_ = 0.0;
-  /// count_users scratch, reused across the event loop's many calls.
-  mutable std::vector<int> up_users_;
-  mutable std::vector<int> down_users_;
+  /// demand_view scratch, reused across the event loop's many calls.
+  mutable std::vector<PoolRef> refs_scratch_;
+  mutable std::vector<WanDemand> demands_scratch_;
+  mutable std::vector<double> rates_scratch_;
+  /// Per-flow per-link byte totals (frac computation); zeroed via the
+  /// touched list, so its sites^2-with-pairs size is paid once.
+  mutable std::vector<double> flow_link_scratch_;
+  mutable std::vector<int> touched_scratch_;
 };
 
 }  // namespace qrgrid::sched

@@ -15,6 +15,8 @@ std::vector<Job> generate_workload(const WorkloadSpec& spec) {
   QRGRID_CHECK(!spec.procs_choices.empty());
   QRGRID_CHECK(!spec.tree_choices.empty());
   QRGRID_CHECK(spec.priority_levels >= 1);
+  QRGRID_CHECK(spec.users >= 1);
+  for (double w : spec.user_weights) QRGRID_CHECK(w > 0.0);
 
   Rng rng(spec.seed);
   auto pick = [&rng](const auto& choices) {
@@ -37,6 +39,17 @@ std::vector<Job> generate_workload(const WorkloadSpec& spec) {
     job.tree = pick(spec.tree_choices);
     job.priority = static_cast<int>(
         rng.uniform_index(static_cast<std::uint64_t>(spec.priority_levels)));
+    // Guarded so single-user specs consume no draw: the stream (and every
+    // arrival after it) stays byte-identical to the pre-fair-share
+    // generator — the legacy-equivalence suites depend on that.
+    if (spec.users > 1) {
+      job.user = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(spec.users)));
+    }
+    if (!spec.user_weights.empty()) {
+      job.weight = spec.user_weights[static_cast<std::size_t>(job.user) %
+                                     spec.user_weights.size()];
+    }
     QRGRID_CHECK_MSG(job.m >= job.n, "workload job is not tall-skinny: m="
                                          << job.m << " n=" << job.n);
     jobs.push_back(job);

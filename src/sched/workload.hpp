@@ -28,6 +28,13 @@ struct WorkloadSpec {
   std::vector<core::TreeKind> tree_choices = {
       core::TreeKind::kGridHierarchical};
   int priority_levels = 1;  ///< priorities drawn uniformly from [0, levels)
+  /// Submitting users, drawn uniformly from [0, users). 1 (the default)
+  /// consumes NO random draw, so single-user specs generate streams
+  /// byte-identical to the pre-fair-share generator.
+  int users = 1;
+  /// Fair-share weight of user u = user_weights[u % size]; empty = all
+  /// 1.0. Must be positive.
+  std::vector<double> user_weights;
   std::uint64_t seed = 2026;
 };
 

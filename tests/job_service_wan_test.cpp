@@ -20,6 +20,15 @@ namespace {
 using Pool = GridWanModel::Pool;
 using Link = GridWanModel::Pool::Link;
 
+Pool make_pool(Link link, int cluster, double bytes, double activation_s) {
+  Pool pool;
+  pool.link = link;
+  pool.cluster = cluster;
+  pool.bytes = bytes;
+  pool.activation_s = activation_s;
+  return pool;
+}
+
 simgrid::GridTopology small_grid() {
   // 2 sites x 2 nodes x 2 procs = 8 processes, 4 nodes.
   return simgrid::GridTopology::grid5000(2, 2, 2);
@@ -44,7 +53,7 @@ long long sum(const std::vector<long long>& v) {
 TEST(WanModel, SingleFlowDrainsAtFullCapacity) {
   // 100 B/s uplink: 1000 bytes activating at t=2 drain at t=12 exactly.
   GridWanModel wan(2, 100.0, 200.0);
-  const int flow = wan.admit(0.0, {Pool{Link::kUplink, 0, 1000.0, 2.0}});
+  const int flow = wan.admit(0.0, {make_pool(Link::kUplink, 0, 1000.0, 2.0)});
   EXPECT_FALSE(wan.drained(flow));
   EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 2.0);  // the activation
   wan.advance(0.0, 2.0);
@@ -66,8 +75,8 @@ TEST(WanModel, FairShareHalvesRateAndRecoversOnRetire) {
   // 500 bytes would alone take 5 s; shared, its first event is at 10 s —
   // but flow B retires at t=4, after which A drains at full rate.
   GridWanModel wan(1, 100.0, 100.0);
-  const int a = wan.admit(0.0, {Pool{Link::kUplink, 0, 500.0, 0.0}});
-  const int b = wan.admit(0.0, {Pool{Link::kUplink, 0, 900.0, 0.0}});
+  const int a = wan.admit(0.0, {make_pool(Link::kUplink, 0, 500.0, 0.0)});
+  const int b = wan.admit(0.0, {make_pool(Link::kUplink, 0, 900.0, 0.0)});
   EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 10.0);
   wan.advance(0.0, 4.0);  // a: 500-200=300 left, b: 900-200=700 left
   std::vector<long long> egress(1, 0), ingress(1, 0);
@@ -86,10 +95,10 @@ TEST(WanModel, BackboneCouplesDisjointUplinks) {
   // Two flows on DIFFERENT uplinks but one shared backbone sized below
   // their sum: the backbone pools halve, the uplink pools do not.
   GridWanModel wan(2, 100.0, 100.0);
-  const int a = wan.admit(0.0, {Pool{Link::kUplink, 0, 400.0, 0.0},
-                                Pool{Link::kBackbone, -1, 400.0, 0.0}});
-  const int b = wan.admit(0.0, {Pool{Link::kUplink, 1, 400.0, 0.0},
-                                Pool{Link::kBackbone, -1, 400.0, 0.0}});
+  const int a = wan.admit(0.0, {make_pool(Link::kUplink, 0, 400.0, 0.0),
+                                make_pool(Link::kBackbone, -1, 400.0, 0.0)});
+  const int b = wan.admit(0.0, {make_pool(Link::kUplink, 1, 400.0, 0.0),
+                                make_pool(Link::kBackbone, -1, 400.0, 0.0)});
   // Uplinks drain in 4 s; backbones shared at 50 B/s need 8 s.
   EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 4.0);
   wan.advance(0.0, 4.0);
@@ -106,7 +115,7 @@ TEST(WanModel, LoadScoreCountsPendingAndActiveFlows) {
   GridWanModel wan(2, 100.0, 100.0);
   // Pending activation still counts: it will contend before a job placed
   // now reaches its own WAN phase.
-  const int flow = wan.admit(0.0, {Pool{Link::kUplink, 0, 100.0, 50.0}});
+  const int flow = wan.admit(0.0, {make_pool(Link::kUplink, 0, 100.0, 50.0)});
   EXPECT_EQ(wan.load_score(0), 1);
   EXPECT_EQ(wan.load_score(1), 0);
   std::vector<long long> egress(2, 0), ingress(2, 0);

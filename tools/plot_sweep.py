@@ -4,8 +4,17 @@
 Each input CSV is one load point: a single `serve` run with per-(policy,
 job) rows. The script infers the offered load of each file from the job
 arrival times (jobs per second over the submission window), aggregates
-mean/max wait and the completed-job fraction per policy, and emits the
-mean-wait-vs-load curve for every policy.
+mean/max wait, the completed-job fraction, and the per-user fairness of
+each policy, and emits mean-wait-vs-load plus Jain-fairness-vs-load
+curves for every policy.
+
+Fairness is Jain's index over per-user mean waits,
+J = (sum x_u)^2 / (U * sum x_u^2): 1.0 means every user waited the same
+on average, 1/U means one user absorbed all the waiting. Single-user
+sweeps (or CSVs predating the `user` column) report J = 1. Note the
+`weight` column rides along in the CSV: weighted fair-share INTENDS
+unequal waits, so read its Jain values against the configured weights
+rather than against 1.0.
 
 Output is a gnuplot/np-friendly .dat table (always) plus a PNG when
 matplotlib is importable — the CI container does not ship it, so the
@@ -18,7 +27,7 @@ Usage:
 Generate the inputs with, e.g.:
     for t in 0.1 0.2 0.4 0.8; do
         ./build/qrgrid_cli serve --jobs 500 --arrival-s $t \
-            --csv sweep_$t.csv
+            --users 2 --weights 2,1 --csv sweep_$t.csv
     done
 """
 import argparse
@@ -27,8 +36,19 @@ import csv
 import sys
 
 
+def jain_index(values):
+    """Jain's fairness index of a list of non-negative numbers."""
+    if len(values) <= 1:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares <= 0:
+        return 1.0  # everyone waited zero: perfectly fair
+    return total * total / (len(values) * squares)
+
+
 def read_points(paths):
-    """-> {policy: [(load_jobs_per_s, mean_wait, max_wait, done_frac)]}"""
+    """-> {policy: [(load, mean_wait, max_wait, done_frac, jain)]}"""
     series = collections.defaultdict(list)
     for path in paths:
         per_policy = collections.defaultdict(list)
@@ -48,9 +68,13 @@ def read_points(paths):
             load = (len(rows) - 1) / span
             waits = [float(r["wait_s"]) for r in rows]
             done = sum(r["fate"] == "completed" for r in rows)
+            by_user = collections.defaultdict(list)
+            for r in rows:
+                by_user[r.get("user", "0")].append(float(r["wait_s"]))
+            user_means = [sum(w) / len(w) for w in by_user.values()]
             series[policy].append(
                 (load, sum(waits) / len(waits), max(waits),
-                 done / len(rows)))
+                 done / len(rows), jain_index(user_means)))
     for policy in series:
         series[policy].sort()
     return dict(series)
@@ -59,11 +83,11 @@ def read_points(paths):
 def write_dat(series, path):
     with open(path, "w") as f:
         f.write("# policy load_jobs_per_s mean_wait_s max_wait_s "
-                "completed_frac\n")
+                "completed_frac jain_fairness\n")
         for policy, points in sorted(series.items()):
-            for load, mean_wait, max_wait, done in points:
+            for load, mean_wait, max_wait, done, jain in points:
                 f.write(f"{policy} {load:.6g} {mean_wait:.6g} "
-                        f"{max_wait:.6g} {done:.6g}\n")
+                        f"{max_wait:.6g} {done:.6g} {jain:.6g}\n")
             f.write("\n\n")  # gnuplot dataset separator
 
 
@@ -75,16 +99,24 @@ def write_png(series, path):
     except ImportError:
         print("matplotlib not available; wrote .dat only", file=sys.stderr)
         return False
-    fig, ax = plt.subplots(figsize=(7, 4.5))
+    fig, (wait_ax, jain_ax) = plt.subplots(
+        1, 2, figsize=(11, 4.5), sharex=True)
     for policy, points in sorted(series.items()):
         loads = [p[0] for p in points]
-        waits = [p[1] for p in points]
-        ax.plot(loads, waits, marker="o", label=policy)
-    ax.set_xlabel("offered load (jobs/s)")
-    ax.set_ylabel("mean wait (s)")
-    ax.set_title("Grid job service: mean wait vs load")
-    ax.legend()
-    ax.grid(True, alpha=0.3)
+        wait_ax.plot(loads, [p[1] for p in points], marker="o",
+                     label=policy)
+        jain_ax.plot(loads, [p[4] for p in points], marker="s",
+                     label=policy)
+    wait_ax.set_xlabel("offered load (jobs/s)")
+    wait_ax.set_ylabel("mean wait (s)")
+    wait_ax.set_title("Mean wait vs load")
+    wait_ax.legend()
+    wait_ax.grid(True, alpha=0.3)
+    jain_ax.set_xlabel("offered load (jobs/s)")
+    jain_ax.set_ylabel("Jain index of per-user mean waits")
+    jain_ax.set_title("Per-user fairness vs load")
+    jain_ax.set_ylim(0.0, 1.05)
+    jain_ax.grid(True, alpha=0.3)
     fig.tight_layout()
     fig.savefig(path, dpi=120)
     return True
@@ -92,7 +124,8 @@ def write_png(series, path):
 
 def main():
     parser = argparse.ArgumentParser(
-        description="policy-vs-load curves from serve --csv sweeps")
+        description="policy-vs-load wait and fairness curves from "
+                    "serve --csv sweeps")
     parser.add_argument("--out", default="sweep",
                         help="output basename (default: sweep)")
     parser.add_argument("csvs", nargs="+", help="serve --csv outputs, "
@@ -105,9 +138,9 @@ def main():
     made_png = write_png(series, args.out + ".png")
     print(f"wrote {dat}" + (f" and {args.out}.png" if made_png else ""))
     for policy, points in sorted(series.items()):
-        tail = ", ".join(f"{load:.3g}/s -> {wait:.4g}s"
-                         for load, wait, _, _ in points)
-        print(f"  {policy:6s} mean wait by load: {tail}")
+        tail = ", ".join(f"{load:.3g}/s -> {wait:.4g}s (J={jain:.3g})"
+                         for load, wait, _, _, jain in points)
+        print(f"  {policy:9s} mean wait (Jain) by load: {tail}")
 
 
 if __name__ == "__main__":

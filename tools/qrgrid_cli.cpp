@@ -18,34 +18,48 @@
 //       Run the real threaded TSQR on random data, verify the
 //       factorization, and report accuracy plus the simulated grid time.
 //
-//   qrgrid_cli serve     [--jobs J] [--policy fcfs|spjf|easy|all]
+//   qrgrid_cli serve     [--jobs J]
+//                        [--policy fcfs|spjf|easy|prio-easy|fair|all]
 //                        [--backend des|msg] [--domains D]
 //                        [--sites S] [--nodes N] [--procs-per-node P]
 //                        [--arrival-s T] [--seed X] [--csv path]
+//                        [--users U] [--weights W0,W1,...]
+//                        [--priorities L]
 //                        [--mtbf S] [--repair S] [--outage-seed X]
 //                        [--walltime-factor F] [--retries K]
 //                        [--restart-credit] [--panels K]
 //                        [--checkpoint-cost S] [--wan-gbps G]
 //                        [--backbone-gbps G] [--wan-contention]
-//                        [--wan-aware] [--tree grid|binary|flat]
+//                        [--wan-aware] [--wan-fair equal|maxmin]
+//                        [--tree grid|binary|flat]
 //       Run the grid job service on a seeded Poisson workload of queued
 //       TSQR factorizations and report per-policy makespan, waits,
-//       throughput, utilization, and fault accounting. --mtbf turns on
-//       seeded whole-cluster outages (mean up-time per site; --repair is
-//       the mean down-time, default mtbf/10); killed jobs are requeued up
-//       to --retries times, optionally restarting from their last
-//       completed panel (--restart-credit, --panels; --checkpoint-cost
-//       charges that many seconds of I/O per panel checkpoint instead of
-//       granting the credit for free). --walltime-factor F gives every
-//       job a user walltime = predicted x U[1, F) — the classic
-//       over-ask — which EASY plans with and the service enforces.
-//       --wan-gbps sets each site's aggregate WAN uplink (wired through
-//       to DesEngine::set_wan_aggregate_Bps for every replay);
-//       --wan-contention makes concurrent jobs SHARE those uplinks plus
-//       a backbone (--backbone-gbps, default sites/2 x uplink) at fair
-//       share, stretching finish times under load; --wan-aware
-//       additionally steers placements toward currently-idle uplinks
-//       (and IMPLIES --wan-contention, stated explicitly on stdout).
+//       throughput, utilization, and fault accounting. Policies are the
+//       pluggable objects of sched/policy.hpp: fcfs, spjf, easy (classic
+//       arrival-ordered backfilling), prio-easy (higher priority claims
+//       the shadow reservation; WAN-priced shadows under contention),
+//       and fair (weighted fair-share, deficit-round-robin per user).
+//       --users draws each job's submitting user uniformly from [0, U);
+//       --weights assigns fair-share weights per user (comma list,
+//       cycled); --priorities draws priorities from [0, L). --mtbf turns
+//       on seeded whole-cluster outages (mean up-time per site; --repair
+//       is the mean down-time, default mtbf/10); killed jobs are
+//       requeued up to --retries times, optionally restarting from their
+//       last completed panel (--restart-credit, --panels;
+//       --checkpoint-cost charges that many seconds of I/O per panel
+//       checkpoint instead of granting the credit for free).
+//       --walltime-factor F gives every job a user walltime = predicted
+//       x U[1, F) — the classic over-ask — which EASY plans with and the
+//       service enforces. --wan-gbps sets each site's aggregate WAN
+//       uplink (wired through to DesEngine::set_wan_aggregate_Bps for
+//       every replay); --wan-contention makes concurrent jobs SHARE
+//       those uplinks plus a backbone (--backbone-gbps, default sites/2
+//       x uplink), stretching finish times under load; --wan-fair picks
+//       the WanAllocator (equal-split per link, the default, or
+//       progressive-filling max-min); --wan-aware steers placements
+//       toward currently-idle uplinks and REQUIRES --wan-contention
+//       (network-aware placement is meaningless without the shared
+//       model — the bare flag is rejected).
 //       --backend selects how granted attempts run: des (cached DES
 //       replay, the default — figure-scale jobs in milliseconds) or msg
 //       (REAL threaded execution of every attempt on msg::Runtime with
@@ -61,6 +75,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -307,6 +322,26 @@ int cmd_serve(const Args& args) {
   spec.jobs = static_cast<int>(args.num("jobs", msg_backend ? 20 : 200));
   spec.mean_interarrival_s = args.num("arrival-s", msg_backend ? 0.004 : 0.25);
   spec.seed = static_cast<std::uint64_t>(args.num("seed", 2026));
+  spec.users = static_cast<int>(args.num("users", 1));
+  spec.priority_levels = static_cast<int>(args.num("priorities", 1));
+  const std::string weights = args.get("weights", "");
+  if (!weights.empty()) {
+    std::string token;
+    for (std::istringstream stream(weights); std::getline(stream, token, ',');) {
+      std::size_t parsed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(token, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed != token.size() || token.empty() || value <= 0.0) {
+        throw Error("--weights expects comma-separated positive numbers "
+                    "(got '" + weights + "')");
+      }
+      spec.user_weights.push_back(value);
+    }
+  }
   // Process counts scaled to the grid: quarter-cluster up to whole-grid
   // (degenerates to {total} on grids too small to halve).
   const int total = topo.total_procs();
@@ -352,7 +387,8 @@ int cmd_serve(const Args& args) {
   const std::string which = args.get("policy", "all");
   if (which == "all") {
     policies = {sched::Policy::kFcfs, sched::Policy::kSpjf,
-                sched::Policy::kEasyBackfill};
+                sched::Policy::kEasyBackfill, sched::Policy::kPriorityEasy,
+                sched::Policy::kFairShare};
   } else {
     policies = {sched::policy_of(which)};
   }
@@ -365,7 +401,7 @@ int cmd_serve(const Args& args) {
     csv.precision(17);  // round-trip doubles; sweeps join rows on m/times
     csv << "policy,job_id,arrival_s,start_s,finish_s,wait_s,service_s,"
            "m,n,procs,nodes,sites,backfilled,gflops,fate,attempts,"
-           "wasted_node_s,wan_slowdown,measured_s,residual\n";
+           "wasted_node_s,wan_slowdown,measured_s,residual,user,weight\n";
   }
 
   std::cout << "Serving " << spec.jobs << " queued TSQR jobs on "
@@ -387,17 +423,24 @@ int cmd_serve(const Args& args) {
               << ") per job, enforced\n";
   }
   const bool wan_aware = args.flag("wan-aware");
-  const bool wan_contention = args.flag("wan-contention") || wan_aware;
-  // Network-aware placement only means anything over a shared WAN, so
-  // the flag implies contention — say so instead of silently turning a
-  // second model on (the CLI-flag validation test pins this line).
-  if (wan_aware && !args.flag("wan-contention")) {
-    std::cout << "note: --wan-aware implies --wan-contention\n";
+  const bool wan_contention = args.flag("wan-contention");
+  // Network-aware placement only means anything over a shared WAN.
+  // Silently (or footnote-ly) enabling a second model from one flag bit
+  // us before: reject the bare flag loudly instead (the CLI-validation
+  // tests pin both spellings).
+  if (wan_aware && !wan_contention) {
+    throw Error(
+        "--wan-aware requires --wan-contention (network-aware placement "
+        "steers around the shared-WAN flows that flag models; pass both)");
   }
+  const sched::WanFairness wan_fairness =
+      sched::wan_fairness_of(args.get("wan-fair", "equal"));
   const double wan_gbps = args.num("wan-gbps", 10.0);
   if (wan_contention) {
     std::cout << "Shared WAN: " << format_number(wan_gbps, 4)
-              << " Gb/s per site uplink, fair-share contention on"
+              << " Gb/s per site uplink, "
+              << sched::wan_fairness_name(wan_fairness)
+              << " contention on"
               << (wan_aware ? ", network-aware placement" : "") << '\n';
   }
   if (msg_backend) {
@@ -423,6 +466,7 @@ int cmd_serve(const Args& args) {
     options.wan_backbone_Bps = args.num("backbone-gbps", 0.0) * 1e9 / 8.0;
     options.wan_contention = wan_contention;
     options.wan_aware = wan_aware;
+    options.wan_fairness = wan_fairness;
     options.backend = backend;
     // The msg backend defaults to the one-domain-per-process layout the
     // equivalence suite validates the predictor under.
@@ -441,7 +485,8 @@ int cmd_serve(const Args& args) {
             << ',' << (o.backfilled ? 1 : 0) << ',' << o.gflops << ','
             << sched::fate_name(o.fate) << ',' << o.attempts << ','
             << o.wasted_node_s << ',' << o.wan_slowdown << ','
-            << o.measured_s << ',' << o.residual << '\n';
+            << o.measured_s << ',' << o.residual << ','
+            << o.job.user << ',' << o.job.weight << '\n';
       }
     }
   }

@@ -28,7 +28,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
@@ -43,6 +50,60 @@ namespace {
 constexpr sched::Policy kPolicies[] = {sched::Policy::kFcfs,
                                        sched::Policy::kSpjf,
                                        sched::Policy::kEasyBackfill};
+
+/// One row of the perf-trajectory artifact: a (scenario, configuration)
+/// cell with its virtual-time outcome and the wall time it cost.
+struct BenchRow {
+  std::string scenario;
+  std::string config;
+  double makespan_s = 0.0;
+  double mean_wait_s = 0.0;
+  double wall_s = 0.0;
+};
+
+long long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return usage.ru_maxrss;  // kilobytes on Linux
+#endif
+  }
+#endif
+  return -1;
+}
+
+/// BENCH_job_service.json: the machine-readable perf trajectory CI
+/// archives per commit. Written BEFORE the regression gates run, so a
+/// failing gate still leaves the artifact to diagnose with.
+void write_bench_json(const std::string& path, int jobs,
+                      const std::vector<BenchRow>& rows,
+                      long long executions, double wall_total) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  out.precision(17);
+  out << "{\n  \"bench\": \"job_service\",\n  \"jobs\": " << jobs
+      << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out << "    {\"scenario\": \"" << row.scenario << "\", \"config\": \""
+        << row.config << "\", \"makespan_s\": " << row.makespan_s
+        << ", \"mean_wait_s\": " << row.mean_wait_s
+        << ", \"wall_s\": " << row.wall_s << '}'
+        << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"totals\": {\"executions\": " << executions
+      << ", \"wall_s\": " << wall_total << ", \"jobs_per_sec\": "
+      << (wall_total > 0.0 ? static_cast<double>(executions) / wall_total
+                           : 0.0)
+      << ", \"peak_rss_kb\": " << peak_rss_kb() << "}\n}\n";
+  std::cout << "perf trajectory written to " << path << '\n';
+}
 
 }  // namespace
 
@@ -73,14 +134,18 @@ int main(int argc, char** argv) {
   double fcfs_makespan = 0.0, easy_makespan = 0.0;
   double wall_total = 0.0;
   long long executions = 0;  // attempts, including requeued restarts
+  std::vector<BenchRow> bench_rows;
   for (sched::Policy policy : kPolicies) {
     sched::ServiceOptions options;
     options.policy = policy;
     sched::GridJobService service(topo, roof, options);
     Stopwatch watch;
     const sched::ServiceReport report = service.run(jobs);
-    wall_total += watch.seconds();
+    const double wall_s = watch.seconds();
+    wall_total += wall_s;
     executions += spec.jobs + report.requeued_jobs;
+    bench_rows.push_back({"healthy", std::string(policy_name(policy)),
+                          report.makespan_s, report.mean_wait_s, wall_s});
     healthy.add_row(sched::summary_row(report));
     if (policy == sched::Policy::kFcfs) fcfs_makespan = report.makespan_s;
     if (policy == sched::Policy::kEasyBackfill) {
@@ -124,8 +189,11 @@ int main(int argc, char** argv) {
     sched::GridJobService service(topo, roof, options);
     Stopwatch watch;
     const sched::ServiceReport report = service.run(churn_jobs);
-    wall_total += watch.seconds();
+    const double wall_s = watch.seconds();
+    wall_total += wall_s;
     executions += spec.jobs + report.requeued_jobs;
+    bench_rows.push_back({"churn", std::string(policy_name(policy)),
+                          report.makespan_s, report.mean_wait_s, wall_s});
     churn.add_row(sched::summary_row(report));
     if (policy == sched::Policy::kFcfs) churn_fcfs = report.makespan_s;
     if (policy == sched::Policy::kEasyBackfill) {
@@ -184,8 +252,12 @@ int main(int argc, char** argv) {
     sched::GridJobService service(topo, roof, options);
     Stopwatch watch;
     const sched::ServiceReport report = service.run(wan_jobs);
-    wall_total += watch.seconds();
+    const double wall_s = watch.seconds();
+    wall_total += wall_s;
     executions += wan_spec.jobs + report.requeued_jobs;
+    bench_rows.push_back({"wan-heavy",
+                          aware ? "easy+aware" : "easy+naive",
+                          report.makespan_s, report.mean_wait_s, wall_s});
     std::vector<std::string> row = sched::summary_row(report);
     row[0] = aware ? "easy+aware" : "easy+naive";
     wan_table.add_row(row);
@@ -244,8 +316,13 @@ int main(int argc, char** argv) {
     sched::GridJobService service(eq_topo, roof, options);
     Stopwatch watch;
     eq_reports[real ? 1 : 0] = service.run(eq_jobs);
-    wall_total += watch.seconds();
+    const double wall_s = watch.seconds();
+    wall_total += wall_s;
     executions += eq_spec.jobs;
+    bench_rows.push_back({"backend-equivalence",
+                          real ? "easy+msg" : "easy+des",
+                          eq_reports[real ? 1 : 0].makespan_s,
+                          eq_reports[real ? 1 : 0].mean_wait_s, wall_s});
     std::vector<std::string> row =
         sched::summary_row(eq_reports[real ? 1 : 0]);
     row[0] = real ? "easy+msg" : "easy+des";
@@ -326,8 +403,12 @@ int main(int argc, char** argv) {
     sched::GridJobService service(topo, roof, options);
     Stopwatch watch;
     const sched::ServiceReport report = service.run(mix_jobs);
-    wall_total += watch.seconds();
+    const double wall_s = watch.seconds();
+    wall_total += wall_s;
     executions += mix_spec.jobs + report.requeued_jobs;
+    bench_rows.push_back({"mixed-priority",
+                          std::string(policy_name(policy)),
+                          report.makespan_s, report.mean_wait_s, wall_s});
     mix_table.add_row(sched::summary_row(report));
     double top_wait = 0.0;
     int top_count = 0;
@@ -383,6 +464,8 @@ int main(int argc, char** argv) {
   std::cout << "\nsimulated " << executions
             << " job executions (requeued restarts included) in "
             << format_number(wall_total, 3) << " s of wall time\n";
+  write_bench_json("BENCH_job_service.json", spec.jobs, bench_rows,
+                   executions, wall_total);
   if (!churn_ok || !wan_ok || !eq_ok || !mix_ok) return 1;
   // The WAN-placement ordering, like the EASY-vs-FCFS gate below, is
   // only asserted at full scale; tiny smoke runs barely overlap.

@@ -13,6 +13,7 @@
 #include "linalg/norms.hpp"
 #include "model/costs.hpp"
 #include "msg/comm.hpp"
+#include "sched/telemetry.hpp"
 #include "simgrid/cost.hpp"
 #include "simgrid/des.hpp"
 
@@ -114,7 +115,11 @@ const ExecutionProfile& DesReplayBackend::profile(const Job& job,
         << placement.nodes[i];
   }
   const auto cached = profile_cache_.find(key.str());
-  if (cached != profile_cache_.end()) return cached->second;
+  if (cached != profile_cache_.end()) {
+    if (metrics_ != nullptr) metrics_->add("backend.profile_hits");
+    return cached->second;
+  }
+  if (metrics_ != nullptr) metrics_->add("backend.profile_misses");
 
   SubTopology sub = placement_topology(*topology_, placement);
 
@@ -167,7 +172,17 @@ const ExecutionProfile& DesReplayBackend::profile(const Job& job,
     first_out = std::min(first_out, frac);
     first_in = std::min(first_in, frac);
   }
-  return profile_cache_.emplace(key.str(), std::move(profile)).first->second;
+  const ExecutionProfile& entry =
+      profile_cache_.emplace(key.str(), std::move(profile)).first->second;
+  if (tracer_ != nullptr) {
+    ServiceTraceEvent ev;
+    ev.t_s = tracer_->now_s();
+    ev.kind = TraceKind::kProfileCompute;
+    ev.job = job.id;
+    ev.value = entry.seconds;
+    tracer_->record(std::move(ev));
+  }
+  return entry;
 }
 
 ExecutionResult MsgRuntimeBackend::execute(const Job& job,
@@ -246,9 +261,25 @@ ExecutionResult MsgRuntimeBackend::execute(const Job& job,
     // the clocks really got is the run's measured truncation point.
     result.aborted = true;
   }
+  auto note_execution = [&](const ExecutionResult& r) {
+    if (metrics_ != nullptr) {
+      metrics_->add("backend.executions");
+      if (r.aborted) metrics_->add("backend.aborted_executions");
+    }
+    if (tracer_ != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = tracer_->now_s();
+      ev.kind = TraceKind::kExecute;
+      ev.job = job.id;
+      ev.value = r.measured_s;
+      ev.value2 = r.aborted ? 1.0 : 0.0;
+      tracer_->record(std::move(ev));
+    }
+  };
   if (result.aborted) {
     // run() rethrew before returning stats; the partial clocks survive.
     result.measured_s = runtime.last_run_stats().max_vtime;
+    note_execution(result);
     return result;
   }
 
@@ -268,6 +299,7 @@ ExecutionResult MsgRuntimeBackend::execute(const Job& job,
   }
   result.residual = factorization_residual(a.view(), q.view(), r.view());
   result.orthogonality = orthogonality_error(q.view());
+  note_execution(result);
   return result;
 }
 

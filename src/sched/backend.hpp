@@ -40,6 +40,9 @@
 
 namespace qrgrid::sched {
 
+class MetricsRegistry;
+class ServiceTracer;
+
 /// Nodes granted to one job, parallel arrays over the clusters used
 /// (ascending master cluster id — the canonical form the profile cache
 /// key and the report's parallel arrays rely on).
@@ -158,6 +161,19 @@ class ExecutionBackend {
   /// every peer — +infinity runs to completion and verifies numerics.
   virtual ExecutionResult execute(const Job& job, const Placement& placement,
                                   double abort_vtime_s) = 0;
+
+  /// Observability seam: the service binds its (optional) tracer and
+  /// metrics before a run so backends can report profile-cache traffic
+  /// and real executions. Nulls (the default) disable recording; nothing
+  /// here may influence a profile or an execution.
+  void bind_telemetry(ServiceTracer* tracer, MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
+ protected:
+  ServiceTracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// The cached-DES-replay backend (refactored out of GridJobService,

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "sched/backend.hpp"
+#include "sched/telemetry.hpp"
 #include "sched/wan.hpp"
 
 namespace qrgrid::sched {
@@ -33,6 +34,7 @@ std::vector<int> SchedulingPolicy::cluster_order(
     int num_clusters, const GridWanModel* wan) const {
   std::vector<int> order = identity_order(num_clusters);
   if (wan != nullptr) {
+    if (metrics_ != nullptr) metrics_->add("policy.cluster_order_wan_sorts");
     // Idlest-WAN-link-first; stable sort keeps master-id order among
     // ties, so an idle WAN reproduces the naive order exactly.
     std::vector<int> score(order.size());
@@ -47,7 +49,9 @@ std::vector<int> SchedulingPolicy::cluster_order(
   return order;
 }
 
-void SchedulingPolicy::on_attempt_start(const Job&, double) {}
+void SchedulingPolicy::on_attempt_start(const Job&, double) {
+  if (metrics_ != nullptr) metrics_->add("policy.attempt_starts");
+}
 
 bool FcfsPolicy::before(const PendingEntry& a, const PendingEntry& b) const {
   return priority_then_arrival(a, b);
@@ -77,10 +81,16 @@ bool FairSharePolicy::before(const PendingEntry& a,
 }
 
 void FairSharePolicy::on_attempt_start(const Job& job, double node_seconds) {
+  SchedulingPolicy::on_attempt_start(job, node_seconds);
   QRGRID_CHECK_MSG(job.weight > 0.0, "job " << job.id
                                             << " has non-positive weight "
                                             << job.weight);
   service_[job.user] += node_seconds / job.weight;
+  if (metrics_ != nullptr) {
+    metrics_->set("policy.fair.normalized_service.user." +
+                      std::to_string(job.user),
+                  service_[job.user]);
+  }
 }
 
 double FairSharePolicy::normalized_service(int user) const {

@@ -50,6 +50,7 @@
 namespace qrgrid::sched {
 
 class GridWanModel;
+class MetricsRegistry;
 
 class SchedulingPolicy {
  public:
@@ -91,6 +92,15 @@ class SchedulingPolicy {
   /// Forgets accrued state (fair-share deficits). run() calls it first,
   /// so one service can serve several workloads byte-identically.
   virtual void reset() {}
+
+  /// Observability seam: the service binds its (optional) metrics
+  /// registry before a run so policies can report their own decision
+  /// costs and accrued state. Null (the default) disables recording;
+  /// metrics never influence a scheduling decision.
+  void bind_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// The PR-1 FCFS dispatch as a policy object: (priority desc, arrival,

@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "core/des_algos.hpp"
 #include "model/costs.hpp"
+#include "sched/telemetry.hpp"
 #include "sched/wan.hpp"
 #include "simgrid/jobprofile.hpp"
 
@@ -106,6 +107,10 @@ GridJobService::GridJobService(simgrid::GridTopology topology,
   backend_options.caqr_panel_width = options_.backend_caqr_panel_width;
   backend_ = make_backend(options_.backend, &topology_, roofline_,
                           backend_options);
+  // Observability: the policy and backend report through the same
+  // caller-owned sinks as the service itself (null = disabled).
+  policy_->bind_metrics(options_.metrics);
+  backend_->bind_telemetry(options_.tracer, options_.metrics);
 }
 
 double GridJobService::predicted_seconds(const Job& job) const {
@@ -298,6 +303,24 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   // Replayed copy of the trace: run() never consumes options_' original,
   // so the same service can serve several workloads identically.
   OutageTrace trace = options_.outages;
+
+  // Observability (sched/telemetry.hpp): both sinks are caller-owned and
+  // usually null; every emit site below guards on the pointer so a
+  // disabled run never builds an event. Nothing recorded here feeds back
+  // into a scheduling decision.
+  ServiceTracer* const tracer = options_.tracer;
+  MetricsRegistry* const metrics = options_.metrics;
+  const bool has_outages = trace.enabled();
+  if (wan != nullptr) wan->set_tracer(tracer);
+  if (tracer != nullptr) {
+    ServiceTraceEvent ev;
+    ev.kind = TraceKind::kRunConfig;
+    ev.value = (wan_on ? kTraceConfigWanContention : 0) |
+               (has_outages ? kTraceConfigHasOutages : 0) |
+               (policy_->backfills() ? kTraceConfigBackfills : 0);
+    ev.note = policy_->name();
+    tracer->record(std::move(ev));
+  }
   std::vector<int> free_nodes = total_nodes;
   std::vector<int> down_depth(static_cast<std::size_t>(nclusters), 0);
   JobQueue pending(policy_.get());
@@ -424,6 +447,22 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     outcome.residual = exec.residual;
     outcome.orthogonality = exec.orthogonality;
     outcome.job = std::move(r.job);
+    if (metrics != nullptr) {
+      // Wait and slowdown distributions per user and priority class —
+      // the per-cohort fairness view the aggregate report flattens.
+      const double wait = outcome.wait_s();
+      metrics->observe("wait_s.user." + std::to_string(outcome.job.user),
+                       wait);
+      metrics->observe(
+          "wait_s.prio." + std::to_string(outcome.job.priority), wait);
+      if (fate == JobFate::kCompleted) {
+        static const std::vector<double> kSlowdownBounds = {
+            1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0};
+        metrics->observe(
+            "slowdown.user." + std::to_string(outcome.job.user),
+            outcome.wan_slowdown, kSlowdownBounds);
+      }
+    }
     report.makespan_s = std::max(report.makespan_s, end_s);
     report.outcomes.push_back(std::move(outcome));
   };
@@ -440,6 +479,13 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       // promise is withdrawn. Backfills are exempt: they are sanctioned
       // BY the reservation. The next blocked-head pass re-promises.
       progress[reserved_job].reserved_start_s = kInf;
+      if (tracer != nullptr) {
+        ServiceTraceEvent ev;
+        ev.t_s = clock;
+        ev.kind = TraceKind::kReservationWithdraw;
+        ev.job = reserved_job;
+        tracer->record(std::move(ev));
+      }
       reserved_job = -1;
     }
     const ExecutionProfile& replay = replay_for(job, placement);
@@ -554,6 +600,22 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       }
       r.flow = wan->admit(clock, std::move(pools));
     }
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = clock;
+      ev.kind = backfilled ? TraceKind::kBackfillStart : TraceKind::kDispatch;
+      ev.job = r.job.id;
+      ev.flow = r.flow;
+      ev.value = r.finish_s;      // isolated replay end
+      ev.value2 = r.est_finish_s; // what EASY plans with
+      ev.clusters = r.placement.clusters;
+      ev.nodes = r.placement.nodes;
+      tracer->record(std::move(ev));
+    }
+    if (metrics != nullptr) {
+      metrics->add(backfilled ? "dispatch.backfill_admits"
+                              : "dispatch.head_starts");
+    }
     running.push_back(std::move(r));
   };
 
@@ -567,7 +629,11 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     while (!pending.empty()) {
       // Deficit keys moved with every started attempt (fair-share):
       // restore policy order before each head decision.
-      if (policy_->dynamic_order()) pending.resort();
+      if (policy_->dynamic_order()) {
+        pending.resort();
+        if (metrics != nullptr) metrics->add("policy.resorts");
+      }
+      if (metrics != nullptr) metrics->add("dispatch.head_place_scans");
       const auto placement =
           try_place(pending.front(), placeable_nodes(), placement_wan);
       if (!placement.has_value()) break;
@@ -589,8 +655,16 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     // the no-delay invariant binds exactly the job holding the shadow.
     if (reserved_job != -1 && reserved_job != pending.front().id) {
       progress[reserved_job].reserved_start_s = kInf;
+      if (tracer != nullptr) {
+        ServiceTraceEvent ev;
+        ev.t_s = clock;
+        ev.kind = TraceKind::kReservationWithdraw;
+        ev.job = reserved_job;
+        tracer->record(std::move(ev));
+      }
     }
     reserved_job = pending.front().id;
+    if (metrics != nullptr) metrics->add("dispatch.shadow_computations");
     const double shadow = shadow_time(pending.front(), running,
                                       placeable_nodes(), wan, clock);
     // No computable reservation (the head waits on an outage recovery,
@@ -600,9 +674,18 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     Progress& head_progress = progress[pending.front().id];
     head_progress.reserved_start_s =
         std::min(head_progress.reserved_start_s, shadow);
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = clock;
+      ev.kind = TraceKind::kReservationClaim;
+      ev.job = reserved_job;
+      ev.value = shadow;  // the promised latest start
+      tracer->record(std::move(ev));
+    }
     const bool priced = wan != nullptr && policy_->wan_priced_shadow();
     std::size_t i = 1;
     while (i < pending.size()) {
+      if (metrics != nullptr) metrics->add("dispatch.backfill_scans");
       const auto placement =
           try_place(pending.at(i), placeable_nodes(), placement_wan);
       if (placement.has_value()) {
@@ -669,6 +752,13 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   // Lost node-seconds are charged as waste (minus any banked panels) and
   // the job is requeued until its retries run out.
   auto apply_outage = [&](const OutageEvent& ev) {
+    if (tracer != nullptr) {
+      ServiceTraceEvent te;
+      te.t_s = ev.time_s;
+      te.kind = ev.down ? TraceKind::kOutageDown : TraceKind::kOutageUp;
+      te.cluster = ev.cluster;
+      tracer->record(std::move(te));
+    }
     if (!ev.down) {
       QRGRID_CHECK(ev.cluster < nclusters &&
                    down_depth[static_cast<std::size_t>(ev.cluster)] > 0);
@@ -735,6 +825,17 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       // The outage hits the in-flight attempt for REAL on the msg
       // backend: the factorization aborts mid-run at the reached point of
       // the timeline, requeued attempts included.
+      if (tracer != nullptr) {
+        ServiceTraceEvent te;
+        te.t_s = ev.time_s;
+        te.kind = TraceKind::kOutageKill;
+        te.job = victim.job.id;
+        te.cluster = ev.cluster;
+        te.flow = victim.flow;
+        te.value = elapsed;  // node-holding seconds the kill threw away
+        te.value2 = banked;  // of which restart credit banked this much
+        tracer->record(std::move(te));
+      }
       const ExecutionResult exec = execute_attempt(
           victim, /*killed=*/true, victim.start_fraction + covered);
       ++report.killed_jobs;
@@ -742,6 +843,14 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       if (p.attempts <= options_.max_retries) {
         ++report.requeued_jobs;
         Job job = std::move(victim.job);
+        if (tracer != nullptr) {
+          ServiceTraceEvent te;
+          te.t_s = ev.time_s;
+          te.kind = TraceKind::kRequeue;
+          te.job = job.id;
+          te.value = static_cast<double>(p.attempts);
+          tracer->record(std::move(te));
+        }
         // SPJF sort key: only the uncredited remainder still costs time.
         const double predicted =
             predicted_seconds(job) * (1.0 - p.credited_fraction);
@@ -772,6 +881,10 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       wan_clock = std::max(wan_clock, t);
     }
     clock = std::max(clock, t);
+    // Push the tracer's clock forward so emitters without a timestamp of
+    // their own (WAN retirement, backend profile computes) stamp events
+    // at the current virtual instant.
+    if (tracer != nullptr) tracer->advance_to(clock);
 
     // Event precedence at one instant: completions (and walltime kills)
     // first, then outage boundaries, then arrivals — a job that finishes
@@ -810,6 +923,16 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         const ExecutionResult exec =
             execute_attempt(done, /*killed=*/false, 1.0);
         ++report.completed_jobs;
+        if (tracer != nullptr) {
+          ServiceTraceEvent ev;
+          ev.t_s = finish;
+          ev.kind = TraceKind::kCompletion;
+          ev.job = done.job.id;
+          ev.flow = done.flow;
+          ev.value = held;                 // service seconds of the attempt
+          ev.value2 = finish - done.finish_s;  // WAN drain stretch past replay
+          tracer->record(std::move(ev));
+        }
         record_outcome(done, finish, JobFate::kCompleted, exec);
       } else {
         // Ran past its user walltime: killed for good, everything wasted.
@@ -834,6 +957,15 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         ++report.killed_jobs;
         ++report.walltime_kills;
         ++report.failed_jobs;
+        if (tracer != nullptr) {
+          ServiceTraceEvent ev;
+          ev.t_s = done.kill_s;
+          ev.kind = TraceKind::kWalltimeKill;
+          ev.job = done.job.id;
+          ev.flow = done.flow;
+          ev.value = held;  // node-holding seconds the kill threw away
+          tracer->record(std::move(ev));
+        }
         record_outcome(done, done.kill_s, JobFate::kWalltimeKilled, exec);
       }
     }
@@ -843,11 +975,37 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     while (next_arrival < jobs.size() &&
            jobs[next_arrival].arrival_s <= clock) {
       Job job = jobs[next_arrival++];
+      if (tracer != nullptr) {
+        ServiceTraceEvent ev;
+        ev.t_s = job.arrival_s;
+        ev.kind = TraceKind::kArrival;
+        ev.job = job.id;
+        ev.value = static_cast<double>(job.priority);
+        ev.value2 = static_cast<double>(job.user);
+        tracer->record(std::move(ev));
+      }
       const double predicted = predicted_seconds(job);
       pending.push(std::move(job), predicted);
     }
 
     dispatch();
+
+    if (metrics != nullptr) {
+      // Step curves over virtual time, sampled once per event-loop
+      // iteration (the registry drops unchanged consecutive values).
+      metrics->sample("queue_depth", clock,
+                      static_cast<double>(pending.size()));
+      metrics->sample("running_jobs", clock,
+                      static_cast<double>(running.size()));
+      if (wan_on) {
+        for (int c = 0; c < nclusters; ++c) {
+          metrics->sample("wan.uplink_load.c" + std::to_string(c), clock,
+                          static_cast<double>(wan->load_score(c)));
+        }
+        metrics->sample("wan.backbone_load", clock,
+                        static_cast<double>(wan->backbone_load()));
+      }
+    }
   }
 
   QRGRID_CHECK_MSG(report.completed_jobs + report.failed_jobs ==
@@ -900,6 +1058,26 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
             [](const JobOutcome& a, const JobOutcome& b) {
               return a.job.id < b.job.id;
             });
+  if (metrics != nullptr) {
+    metrics->set("service.makespan_s", report.makespan_s);
+    metrics->set("service.utilization", report.utilization);
+    metrics->set("service.mean_wait_s", report.mean_wait_s);
+    const double scans = metrics->counter("dispatch.backfill_scans");
+    if (scans > 0.0) {
+      metrics->set("dispatch.backfill_hit_rate",
+                   static_cast<double>(report.backfilled_jobs) / scans);
+    }
+    if (wan_on) {
+      for (int c = 0; c < nclusters; ++c) {
+        const std::string suffix = ".c" + std::to_string(c);
+        metrics->set("wan.uplink_busy_frac" + suffix,
+                     report.wan_uplink_busy[static_cast<std::size_t>(c)]);
+        metrics->set("wan.downlink_busy_frac" + suffix,
+                     report.wan_downlink_busy[static_cast<std::size_t>(c)]);
+      }
+      metrics->set("wan.backbone_busy_frac", report.wan_backbone_busy);
+    }
+  }
   return report;
 }
 

@@ -72,6 +72,9 @@
 
 namespace qrgrid::sched {
 
+class MetricsRegistry;
+class ServiceTracer;
+
 struct ServiceOptions {
   /// Which built-in SchedulingPolicy make_policy constructs
   /// (fcfs|spjf|easy|prio-easy|fair). Ignored when policy_factory is set.
@@ -152,6 +155,16 @@ struct ServiceOptions {
   /// When > 0, msg-executed jobs wider than this run full CAQR with
   /// panels of this width instead of single-panel TSQR.
   int backend_caqr_panel_width = 0;
+
+  /// --- Observability (sched/telemetry.hpp) ---
+  /// Caller-owned structured-event stream and metrics store, threaded
+  /// through the service, policy, WAN model, and backend for the run.
+  /// Null (the default) disables recording entirely: every emit site is
+  /// one pointer test, and a disabled run is byte-identical to a build
+  /// without the telemetry layer. Telemetry never influences a
+  /// scheduling decision.
+  ServiceTracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Grid-wide accounting of one service run.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "sched/telemetry.hpp"
 
 namespace qrgrid::sched {
 
@@ -269,7 +270,18 @@ int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
   flow.moved_bytes.assign(flow.pools.size(), 0.0);
   flow.drained_at_s = now_s;  // stands until a pool actually drains later
   flows_.push_back(std::move(flow));
-  return static_cast<int>(flows_.size()) - 1;
+  const int id = static_cast<int>(flows_.size()) - 1;
+  if (tracer_ != nullptr) {
+    const Flow& admitted = flows_.back();
+    ServiceTraceEvent ev;
+    ev.t_s = now_s;
+    ev.kind = TraceKind::kWanFlowOpen;
+    ev.flow = id;
+    for (const Pool& pool : admitted.pools) ev.value += pool.bytes;
+    ev.value2 = static_cast<double>(admitted.pools.size());
+    tracer_->record(std::move(ev));
+  }
+  return id;
 }
 
 void GridWanModel::advance(double from_s, double to_s) {
@@ -306,6 +318,7 @@ void GridWanModel::advance(double from_s, double to_s) {
   }
   if (backbone_busy) backbone_busy_s_ += dt;
 
+  int pools_drained = 0;
   for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
     Flow& flow = flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
     Pool& pool = flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
@@ -315,9 +328,32 @@ void GridWanModel::advance(double from_s, double to_s) {
       flow.moved_bytes[j] += pool.bytes;
       pool.bytes = 0.0;
       if (--flow.undrained == 0) flow.drained_at_s = to_s;
+      ++pools_drained;
     } else {
       flow.moved_bytes[j] += moved;
       pool.bytes -= moved;
+    }
+  }
+  if (tracer_ != nullptr) {
+    // The share structure changes when a pool runs dry or a pending pool
+    // activates inside the step — the allocator re-splits either way.
+    int pools_activated = 0;
+    for (const Flow& flow : flows_) {
+      if (!flow.alive) continue;
+      for (const Pool& pool : flow.pools) {
+        if (pool.bytes > 0.0 && pool.activation_s > from_s &&
+            pool.activation_s <= to_s) {
+          ++pools_activated;
+        }
+      }
+    }
+    if (pools_drained > 0 || pools_activated > 0) {
+      ServiceTraceEvent ev;
+      ev.t_s = to_s;
+      ev.kind = TraceKind::kWanRebalance;
+      ev.value = pools_drained;
+      ev.value2 = pools_activated;
+      tracer_->record(std::move(ev));
     }
   }
 }
@@ -393,6 +429,15 @@ void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
                           std::vector<long long>& ingress_bytes) {
   Flow& f = flows_[static_cast<std::size_t>(flow)];
   QRGRID_CHECK(f.alive);
+  if (tracer_ != nullptr) {
+    ServiceTraceEvent ev;
+    ev.t_s = tracer_->now_s();
+    ev.kind = TraceKind::kWanFlowRetire;
+    ev.flow = flow;
+    for (const double moved : f.moved_bytes) ev.value += moved;
+    ev.value2 = f.undrained == 0 ? 1.0 : 0.0;
+    tracer_->record(std::move(ev));
+  }
   for (std::size_t i = 0; i < f.pools.size(); ++i) {
     const Pool& pool = f.pools[i];
     const auto moved = static_cast<long long>(f.moved_bytes[i] + 0.5);

@@ -57,6 +57,8 @@
 
 namespace qrgrid::sched {
 
+class ServiceTracer;
+
 /// Which WanAllocator a GridWanModel (or ServiceOptions) asks for.
 enum class WanFairness {
   kEqualSplit,  ///< per-link C/k fair share (PR-3 baseline)
@@ -201,6 +203,12 @@ class GridWanModel {
   int backbone_load() const;
   double backbone_Bps() const { return backbone_Bps_; }
 
+  /// Observability seam: when set, the model emits kWanFlowOpen /
+  /// kWanFlowRetire / kWanRebalance events (sched/telemetry.hpp) as
+  /// flows are admitted, retired, and as the share structure changes.
+  /// Null (the default) records nothing and costs nothing.
+  void set_tracer(ServiceTracer* tracer) { tracer_ = tracer; }
+
   /// Seconds the link carried at least one activated, undrained pool.
   double uplink_busy_s(int cluster) const {
     return up_busy_s_[static_cast<std::size_t>(cluster)];
@@ -246,6 +254,7 @@ class GridWanModel {
   std::vector<double> pair_Bps_;   ///< row-major src x dst; empty = off
   std::vector<double> capacity_;   ///< per link id
   std::unique_ptr<WanAllocator> allocator_;
+  ServiceTracer* tracer_ = nullptr;
   std::vector<Flow> flows_;
   std::vector<double> up_busy_s_;
   std::vector<double> down_busy_s_;

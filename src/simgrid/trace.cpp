@@ -25,6 +25,23 @@ double TraceLog::busy_seconds(int rank, ActivityKind kind) const {
 
 std::string render_timeline(const TraceLog& log, int num_ranks,
                             double horizon, int width) {
+  QRGRID_CHECK(num_ranks >= 1);
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    const std::string num = std::to_string(r);
+    labels.push_back(
+        "rank " +
+        std::string(4 - std::min<std::size_t>(4, num.size()), ' ') + num);
+  }
+  return render_timeline(log, labels, horizon, width);
+}
+
+std::string render_timeline(const TraceLog& log,
+                            const std::vector<std::string>& labels,
+                            double horizon, int width,
+                            const std::string& legend) {
+  const int num_ranks = static_cast<int>(labels.size());
   QRGRID_CHECK(num_ranks >= 1 && width >= 1 && horizon > 0.0);
   std::vector<std::string> rows(static_cast<std::size_t>(num_ranks),
                                 std::string(static_cast<std::size_t>(width),
@@ -44,15 +61,19 @@ std::string render_timeline(const TraceLog& log, int num_ranks,
       }
     }
   }
+  std::size_t label_width = 0;
+  for (const auto& label : labels) {
+    label_width = std::max(label_width, label.size());
+  }
   std::ostringstream oss;
   for (int r = 0; r < num_ranks; ++r) {
-    oss << "rank ";
-    const std::string label = std::to_string(r);
-    oss << std::string(4 - std::min<std::size_t>(4, label.size()), ' ')
-        << label << " |" << rows[static_cast<std::size_t>(r)] << "|\n";
+    const auto& label = labels[static_cast<std::size_t>(r)];
+    oss << std::string(label_width - label.size(), ' ') << label << " |"
+        << rows[static_cast<std::size_t>(r)] << "|\n";
   }
-  oss << "          0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
-      << "t=" << horizon << "s  (C compute, R receive, . idle)\n";
+  oss << std::string(label_width + 1, ' ') << "0"
+      << std::string(static_cast<std::size_t>(width) - 1, ' ')
+      << "t=" << horizon << "s  (" << legend << ")\n";
   return oss.str();
 }
 

@@ -44,4 +44,14 @@ class TraceLog {
 std::string render_timeline(const TraceLog& log, int num_ranks,
                             double horizon, int width = 80);
 
+/// Same rendering with caller-supplied row labels (one per rank, row r
+/// shows events with rank == r) and legend text — lets other layers
+/// (the job-service per-cluster Gantt) reuse the renderer with their
+/// own row semantics. Labels are right-aligned to the widest one.
+std::string render_timeline(const TraceLog& log,
+                            const std::vector<std::string>& labels,
+                            double horizon, int width = 80,
+                            const std::string& legend =
+                                "C compute, R receive, . idle");
+
 }  // namespace qrgrid::simgrid

@@ -29,10 +29,19 @@ Generate the inputs with, e.g.:
         ./build/qrgrid_cli serve --jobs 500 --arrival-s $t \
             --users 2 --weights 2,1 --csv sweep_$t.csv
     done
+
+Timeline mode renders ONE run's observability output instead: the
+vtime-indexed series of a `serve --metrics-out` metrics JSON (queue
+depth, running jobs, per-site WAN uplink load, backbone load) as
+step curves.
+
+    plot_sweep.py --timeline metrics.json --out timeline
+      -> timeline.dat (always), timeline.png (if matplotlib is present)
 """
 import argparse
 import collections
 import csv
+import json
 import sys
 
 
@@ -122,15 +131,102 @@ def write_png(series, path):
     return True
 
 
+def read_timeline(path):
+    """-> {series_name: [(t_s, value)]} from a --metrics-out JSON."""
+    with open(path) as f:
+        metrics = json.load(f)
+    series = metrics.get("series", {})
+    if not series:
+        raise SystemExit(f"{path}: no vtime series (was the run started "
+                         "with --metrics-out?)")
+    return {name: [(float(t), float(v)) for t, v in points]
+            for name, points in series.items()}
+
+
+def write_timeline_dat(series, path):
+    with open(path, "w") as f:
+        f.write("# series t_s value   (step curves: each value holds "
+                "until the next sample)\n")
+        for name, points in sorted(series.items()):
+            for t_s, value in points:
+                f.write(f"{name} {t_s:.6g} {value:.6g}\n")
+            f.write("\n\n")  # gnuplot dataset separator
+
+
+def write_timeline_png(series, path):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; wrote .dat only", file=sys.stderr)
+        return False
+    queue_names = [n for n in sorted(series)
+                   if not n.startswith("wan.")]
+    link_names = [n for n in sorted(series) if n.startswith("wan.")]
+    rows = 2 if link_names else 1
+    fig, axes = plt.subplots(rows, 1, figsize=(11, 4.0 * rows),
+                             sharex=True, squeeze=False)
+    queue_ax = axes[0][0]
+    for name in queue_names:
+        points = series[name]
+        queue_ax.step([p[0] for p in points], [p[1] for p in points],
+                      where="post", label=name)
+    queue_ax.set_ylabel("jobs")
+    queue_ax.set_title("Queue depth and running jobs over virtual time")
+    queue_ax.legend()
+    queue_ax.grid(True, alpha=0.3)
+    if link_names:
+        link_ax = axes[1][0]
+        for name in link_names:
+            points = series[name]
+            link_ax.step([p[0] for p in points], [p[1] for p in points],
+                         where="post", label=name)
+        link_ax.set_ylabel("concurrent flows on link")
+        link_ax.set_title("WAN link utilization over virtual time")
+        link_ax.legend()
+        link_ax.grid(True, alpha=0.3)
+    axes[-1][0].set_xlabel("virtual time (s)")
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    return True
+
+
+def run_timeline(metrics_path, out):
+    series = read_timeline(metrics_path)
+    dat = out + ".dat"
+    write_timeline_dat(series, dat)
+    made_png = write_timeline_png(series, out + ".png")
+    print(f"wrote {dat}" + (f" and {out}.png" if made_png else ""))
+    for name in sorted(series):
+        points = series[name]
+        peak_t, peak = max(points, key=lambda p: (p[1], -p[0]))
+        print(f"  {name}: {len(points)} samples, "
+              f"peak {peak:.6g} at t={peak_t:.6g}s")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="policy-vs-load wait and fairness curves from "
-                    "serve --csv sweeps")
+                    "serve --csv sweeps, or --timeline curves from one "
+                    "run's serve --metrics-out JSON")
     parser.add_argument("--out", default="sweep",
                         help="output basename (default: sweep)")
-    parser.add_argument("csvs", nargs="+", help="serve --csv outputs, "
+    parser.add_argument("--timeline", metavar="METRICS_JSON",
+                        help="render one run's vtime series (queue depth, "
+                        "WAN link load) from a serve --metrics-out file "
+                        "instead of aggregating sweep CSVs")
+    parser.add_argument("csvs", nargs="*", help="serve --csv outputs, "
                         "one per load point")
     args = parser.parse_args()
+
+    if args.timeline:
+        if args.csvs:
+            parser.error("--timeline takes the metrics JSON, not CSVs")
+        run_timeline(args.timeline, args.out)
+        return
+    if not args.csvs:
+        parser.error("pass sweep CSVs, or --timeline metrics.json")
 
     series = read_points(args.csvs)
     dat = args.out + ".dat"

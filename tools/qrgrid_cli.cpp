@@ -70,6 +70,17 @@
 //       engine-equivalence suite pins the msg backend against).
 //       --csv writes one machine-readable row per (policy, job) for
 //       bench sweeps (see tools/plot_sweep.py).
+//       Observability (sched/telemetry.hpp): --trace-out FILE writes the
+//       run's structured event stream as Chrome-trace JSON (load in
+//       Perfetto / chrome://tracing — per-job lifecycle spans, cluster
+//       occupancy, WAN flows, queue-depth counters); --metrics-out FILE
+//       writes the metrics registry (counters, gauges, histograms,
+//       virtual-time series — tools/plot_sweep.py --timeline plots it);
+//       --gantt[=N] prints a per-cluster occupancy Gantt for the N
+//       busiest clusters (default 8). Any of the three arms the tracer,
+//       and every traced run is checked by the streaming invariant
+//       validator (non-zero exit on violation). When --policy all runs
+//       several policies, output filenames get a .<policy> suffix.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -87,6 +98,7 @@
 #include "model/costs.hpp"
 #include "model/roofline.hpp"
 #include "sched/service.hpp"
+#include "sched/telemetry.hpp"
 #include "sched/workload.hpp"
 #include "simgrid/cost.hpp"
 
@@ -393,6 +405,33 @@ int cmd_serve(const Args& args) {
     policies = {sched::policy_of(which)};
   }
 
+  // Observability knobs. Any of --trace-out / --metrics-out / --gantt
+  // arms the tracer; --gantt's optional value is the cluster budget (a
+  // bare flag parses as "", NOT a number — args.num would throw).
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const bool want_gantt = args.flag("gantt");
+  int gantt_clusters = 8;
+  {
+    const std::string raw = args.get("gantt", "");
+    if (!raw.empty()) gantt_clusters = std::stoi(raw);
+  }
+  const bool want_trace = !trace_out.empty() || want_gantt;
+  const bool want_metrics = !metrics_out.empty();
+  // With several policies in one run, suffix output files per policy.
+  const auto policy_path = [&](const std::string& path,
+                               sched::Policy policy) {
+    if (policies.size() < 2) return path;
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    const std::string tag = "." + std::string(policy_name(policy));
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+      return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+  };
+
   std::ofstream csv;
   const std::string csv_path = args.get("csv", "");
   if (!csv_path.empty()) {
@@ -452,9 +491,14 @@ int cmd_serve(const Args& args) {
   std::cout << '\n';
   TextTable table;
   table.set_header(sched::summary_header());
+  std::ostringstream gantts;
   for (sched::Policy policy : policies) {
+    sched::ServiceTracer tracer;
+    sched::MetricsRegistry metrics;
     sched::ServiceOptions options;
     options.policy = policy;
+    options.tracer = want_trace ? &tracer : nullptr;
+    options.metrics = want_metrics ? &metrics : nullptr;
     if (mtbf_s > 0.0) {
       options.outages = sched::OutageTrace(outage_spec, topo.num_clusters());
     }
@@ -475,6 +519,43 @@ int cmd_serve(const Args& args) {
     sched::GridJobService service(topo, roof, options);
     const sched::ServiceReport report = service.run(jobs);
     table.add_row(sched::summary_row(report));
+    if (want_trace) {
+      // Every traced run must satisfy the pinned event invariants.
+      sched::TraceValidator verdict;
+      for (const sched::ServiceTraceEvent& ev : tracer.events()) {
+        verdict.consume(ev);
+      }
+      verdict.finish();
+      if (!verdict.ok()) {
+        std::cerr << "trace validator: " << verdict.violations().size()
+                  << " violation(s) under " << policy_name(policy) << ":\n";
+        for (const std::string& v : verdict.violations()) {
+          std::cerr << "  " << v << '\n';
+        }
+        return 1;
+      }
+      std::cout << "trace validator: OK (" << verdict.events_seen()
+                << " events, " << policy_name(policy) << ")\n";
+      if (!trace_out.empty()) {
+        const std::string path = policy_path(trace_out, policy);
+        std::ofstream out(path);
+        QRGRID_CHECK_MSG(out.is_open(), "cannot open --trace-out " << path);
+        sched::write_chrome_trace(tracer.events(), out);
+        std::cout << "chrome trace written to " << path << '\n';
+      }
+      if (want_gantt) {
+        gantts << '\n' << policy_name(policy) << " cluster occupancy:\n"
+               << sched::render_cluster_gantt(tracer.events(), topo,
+                                              gantt_clusters);
+      }
+    }
+    if (!metrics_out.empty()) {
+      const std::string path = policy_path(metrics_out, policy);
+      std::ofstream out(path);
+      QRGRID_CHECK_MSG(out.is_open(), "cannot open --metrics-out " << path);
+      metrics.write_json(out);
+      std::cout << "metrics written to " << path << '\n';
+    }
     if (csv.is_open()) {
       for (const sched::JobOutcome& o : report.outcomes) {
         csv << policy_name(policy) << ',' << o.job.id << ','
@@ -491,6 +572,8 @@ int cmd_serve(const Args& args) {
     }
   }
   table.print(std::cout);
+  const std::string gantt_text = gantts.str();
+  if (!gantt_text.empty()) std::cout << gantt_text;
   if (csv.is_open()) {
     std::cout << "\nper-job rows written to " << csv_path << '\n';
   }

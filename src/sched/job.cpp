@@ -1,9 +1,12 @@
 #include "sched/job.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "sched/policy.hpp"
+#include "sched/telemetry.hpp"
 
 namespace qrgrid::sched {
 
@@ -37,37 +40,109 @@ std::string fate_name(JobFate fate) {
   return "?";
 }
 
-JobQueue::JobQueue(const SchedulingPolicy* policy) : policy_(policy) {}
+bool PendingOrder::operator()(const PendingEntry& a,
+                              const PendingEntry& b) const {
+  return policy->before(a, b);
+}
 
-JobQueue::JobQueue(Policy policy) : owned_(make_policy(policy)) {
+JobQueue::JobQueue(const SchedulingPolicy* policy)
+    : policy_(policy),
+      set_(PendingOrder{policy}),
+      track_classes_(policy->dynamic_order()) {}
+
+JobQueue::JobQueue(Policy policy)
+    : owned_(make_policy(policy)), set_(PendingOrder{owned_.get()}) {
   policy_ = owned_.get();
+  track_classes_ = policy_->dynamic_order();
 }
 
 JobQueue::~JobQueue() = default;
 
+void JobQueue::index_insert(Set::iterator it) {
+  buckets_[policy_->order_class(it->job)].emplace(it->job.id, it);
+}
+
+void JobQueue::index_erase(Set::const_iterator it) {
+  const auto b = buckets_.find(policy_->order_class(it->job));
+  QRGRID_CHECK(b != buckets_.end());
+  b->second.erase(it->job.id);
+  if (b->second.empty()) buckets_.erase(b);
+}
+
+void JobQueue::sync() {
+  if (!policy_->keys_dirty()) return;
+  // Extraction by stored iterator is comparison-free, so it is safe even
+  // though the tree's invariant no longer matches the mutated keys; the
+  // remaining entries (whose keys did not move) stay mutually consistent,
+  // and reinsertion compares fresh keys against them.
+  std::vector<PendingEntry> moved;
+  const std::vector<int>* classes =
+      track_classes_ ? policy_->dirty_classes() : nullptr;
+  if (classes != nullptr) {
+    for (const int cls : *classes) {
+      const auto b = buckets_.find(cls);
+      if (b == buckets_.end()) continue;  // no queued jobs of this class
+      for (auto& [id, it] : b->second) {
+        if (!policy_->touch(it->job)) continue;
+        moved.push_back(std::move(const_cast<PendingEntry&>(*it)));
+        set_.erase(it);
+      }
+      buckets_.erase(b);
+    }
+  } else {
+    // Conservative path (a dynamic policy without dirty tracking):
+    // everything reinserts. Extracting in current order and reinserting
+    // in that order keeps ties stable, matching the old stable_sort.
+    moved.reserve(set_.size());
+    for (const PendingEntry& e : set_) moved.push_back(e);
+    set_.clear();
+    buckets_.clear();
+  }
+  policy_->clear_dirty();
+  for (PendingEntry& e : moved) {
+    auto it = set_.insert(std::move(e));
+    if (track_classes_) index_insert(it);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add("policy.resorts");
+    if (!moved.empty()) {
+      metrics_->add("policy.resort_reinserts",
+                    static_cast<long long>(moved.size()));
+    }
+  }
+}
+
 void JobQueue::push(Job job, double predicted_s) {
-  PendingEntry e{std::move(job), predicted_s};
-  auto pos = std::upper_bound(
-      entries_.begin(), entries_.end(), e,
-      [this](const PendingEntry& a, const PendingEntry& b) {
-        return policy_->before(a, b);
-      });
-  entries_.insert(pos, std::move(e));
+  sync();  // insertion compares; never against stale keys (the old
+           // upper_bound-over-unsorted-range UB for dynamic policies)
+  auto it = set_.emplace_hint(set_.end(),
+                              PendingEntry{std::move(job), predicted_s});
+  if (track_classes_) index_insert(it);
 }
 
-void JobQueue::resort() {
-  std::stable_sort(entries_.begin(), entries_.end(),
-                   [this](const PendingEntry& a, const PendingEntry& b) {
-                     return policy_->before(a, b);
-                   });
+const Job& JobQueue::front() {
+  sync();
+  QRGRID_CHECK(!set_.empty());
+  return set_.begin()->job;
 }
 
-Job JobQueue::remove(std::size_t i) {
-  QRGRID_CHECK(i < entries_.size());
-  Job job = std::move(entries_[i].job);
-  entries_.erase(entries_.begin() +
-                 static_cast<std::ptrdiff_t>(i));
+Job JobQueue::pop_front() {
+  sync();
+  QRGRID_CHECK(!set_.empty());
+  Job job;
+  take(set_.begin(), job);
   return job;
+}
+
+JobQueue::const_iterator JobQueue::begin() {
+  sync();
+  return set_.begin();
+}
+
+JobQueue::const_iterator JobQueue::take(const_iterator it, Job& out) {
+  if (track_classes_) index_erase(it);
+  out = std::move(const_cast<PendingEntry&>(*it).job);
+  return set_.erase(it);
 }
 
 }  // namespace qrgrid::sched

@@ -10,7 +10,9 @@
 
 #include <cstddef>
 #include <limits>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 
 namespace qrgrid::sched {
 
+class MetricsRegistry;
 class SchedulingPolicy;
 
 /// Names for the built-in policy objects (sched/policy.hpp). The service
@@ -122,10 +125,26 @@ struct PendingEntry {
   double predicted_s = 0.0;
 };
 
-/// Pending jobs kept sorted by the active policy's comparator, so
-/// `front()` is always the next job the policy owes. Policies with
-/// service-dependent keys (fair-share) additionally need `resort()`
-/// whenever their accrued state changes.
+/// The comparator object an ordered pending-queue structure sorts by;
+/// defined out of line so job.hpp needs only the policy declaration.
+struct PendingOrder {
+  const SchedulingPolicy* policy = nullptr;
+  bool operator()(const PendingEntry& a, const PendingEntry& b) const;
+};
+
+/// Pending jobs kept in the active policy's order, so `front()` is
+/// always the next job the policy owes — an ordered multiset, O(log n)
+/// per push/pop instead of the old sorted vector's O(n) shifts.
+///
+/// Dynamic-order policies (fair-share) mutate their keys as attempts
+/// start; the queue re-establishes order INCREMENTALLY through the
+/// policy's keys_dirty()/touch()/dirty_classes() protocol: entries are
+/// bucketed by order_class() (fair-share: the user), and a sync
+/// extracts and reinserts only the dirty classes' entries. Every
+/// ordered accessor (front/pop_front/push/begin) syncs first, so a
+/// stale order — or a comparison under a mutated key, the pre-PR-7
+/// upper_bound UB — is never observable. Static-key policies are never
+/// dirty and pay nothing.
 class JobQueue {
  public:
   /// Borrows the policy; the caller keeps it alive and in sync with any
@@ -135,29 +154,50 @@ class JobQueue {
   explicit JobQueue(Policy policy);
   ~JobQueue();  // out of line: owned_ deletes an incomplete type here
 
+  /// Optional counter sink: each sync with work records one
+  /// `policy.resorts` plus the entries reinserted
+  /// (`policy.resort_reinserts`). Null disables recording.
+  void bind_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   void push(Job job, double predicted_s);
-  /// Re-establishes policy order after the comparator's inputs changed
-  /// (fair-share deficits move when attempts start). Stable, so ties keep
-  /// their current relative order — which push() made deterministic.
-  void resort();
+  /// Re-establishes policy order after the comparator's inputs changed.
+  /// Called implicitly by every ordered accessor; public for callers
+  /// that mutate policy state directly (tests) and want the order now.
+  void resort() { sync(); }
 
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return set_.empty(); }
+  std::size_t size() const { return set_.size(); }
 
-  const Job& front() const { return entries_.front().job; }
-  Job pop_front() { return remove(0); }
+  const Job& front();
+  Job pop_front();
 
-  /// Positional access for the backfilling scan.
-  const Job& at(std::size_t i) const { return entries_[i].job; }
-  double predicted_at(std::size_t i) const {
-    return entries_[i].predicted_s;
-  }
-  Job remove(std::size_t i);
+  using Set = std::multiset<PendingEntry, PendingOrder>;
+  using const_iterator = Set::const_iterator;
+  /// Ordered scan for the backfilling pass. begin() syncs; a scan must
+  /// not interleave with push() (take() mid-scan is fine — erasure never
+  /// compares, so it cannot trip over keys dirtied by started attempts).
+  const_iterator begin();
+  const_iterator end() const { return set_.end(); }
+  /// Erases the entry at `it`, moving its job into `out`; returns the
+  /// following position.
+  const_iterator take(const_iterator it, Job& out);
 
  private:
+  void sync();
+  void index_insert(Set::iterator it);
+  void index_erase(Set::const_iterator it);
+
   const SchedulingPolicy* policy_;
   std::unique_ptr<SchedulingPolicy> owned_;  ///< enum-ctor convenience only
-  std::vector<PendingEntry> entries_;
+  Set set_;
+  /// Class-indexed entry positions (dynamic-order policies only):
+  /// order_class -> job id -> multiset position. Lets a sync extract a
+  /// dirty class without scanning the queue, deterministically (id
+  /// order). Erasing by stored iterator never invokes the comparator,
+  /// which is what makes extraction safe while keys are already dirty.
+  bool track_classes_ = false;
+  std::map<int, std::map<int, Set::iterator>> buckets_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace qrgrid::sched

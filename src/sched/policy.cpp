@@ -86,6 +86,7 @@ void FairSharePolicy::on_attempt_start(const Job& job, double node_seconds) {
                                             << " has non-positive weight "
                                             << job.weight);
   service_[job.user] += node_seconds / job.weight;
+  if (dirty_set_.insert(job.user).second) dirty_users_.push_back(job.user);
   if (metrics_ != nullptr) {
     metrics_->set("policy.fair.normalized_service.user." +
                       std::to_string(job.user),

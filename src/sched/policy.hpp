@@ -43,6 +43,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sched/job.hpp"
@@ -74,8 +75,37 @@ class SchedulingPolicy {
   virtual bool wan_priced_shadow() const { return false; }
 
   /// When true, ordering keys change as service accrues (fair-share):
-  /// the service re-sorts the queue before every head dispatch.
+  /// the queue must re-establish policy order before ordered access.
   virtual bool dynamic_order() const { return false; }
+
+  /// --- Incremental order maintenance (the JobQueue sync protocol) ---
+  /// A dynamic-order policy's keys move only at well-defined instants
+  /// (fair-share: on_attempt_start). Instead of a full re-sort per
+  /// dispatch, the queue asks the policy WHICH keys moved and reinserts
+  /// only those entries. Static-key policies (FCFS/SPJF/EASY) report
+  /// clean always and pay zero resort cost. The dirty state is queue
+  /// bookkeeping, not scheduling state, hence const (mutable inside).
+
+  /// Any ordering keys changed since the last clear_dirty()? The default
+  /// is conservative: a dynamic-order policy without finer tracking is
+  /// dirty whenever asked (every ordered access re-sorts, the pre-PR-7
+  /// behavior); a static-key policy is never dirty.
+  virtual bool keys_dirty() const { return dynamic_order(); }
+  /// Did THIS job's ordering key change since the last clear_dirty()?
+  /// Only consulted for entries of a dirty class (or all entries when
+  /// dirty_classes() is null).
+  virtual bool touch(const Job&) const { return true; }
+  /// Equivalence class of entries whose keys move together (fair-share:
+  /// the user id — one charge moves every queued job of that user). The
+  /// queue buckets entries by class so a dirty class extracts without
+  /// scanning the rest.
+  virtual int order_class(const Job&) const { return 0; }
+  /// Classes whose keys changed since the last clear_dirty(); null means
+  /// "unknown — treat every entry as dirty" (the conservative default).
+  virtual const std::vector<int>* dirty_classes() const { return nullptr; }
+  /// The queue consumed the dirty set (it just reinserted every touched
+  /// entry); forget it.
+  virtual void clear_dirty() const {}
 
   /// Placement scoring: the order in which candidate master clusters are
   /// presented to the meta-scheduler's first-fit. The default is master-id
@@ -150,7 +180,26 @@ class FairSharePolicy : public SchedulingPolicy {
   bool before(const PendingEntry& a, const PendingEntry& b) const override;
   bool dynamic_order() const override { return true; }
   void on_attempt_start(const Job& job, double node_seconds) override;
-  void reset() override { service_.clear(); }
+  void reset() override {
+    service_.clear();
+    clear_dirty();
+  }
+
+  /// Incremental order maintenance: a started attempt moves the deficit
+  /// key of exactly one user, so only that user's queued jobs need
+  /// reinsertion — the queue leaves everyone else's entries in place.
+  bool keys_dirty() const override { return !dirty_users_.empty(); }
+  bool touch(const Job& job) const override {
+    return dirty_set_.count(job.user) != 0;
+  }
+  int order_class(const Job& job) const override { return job.user; }
+  const std::vector<int>* dirty_classes() const override {
+    return &dirty_users_;
+  }
+  void clear_dirty() const override {
+    dirty_users_.clear();
+    dirty_set_.clear();
+  }
 
   /// Normalized service a user has accumulated (node-seconds / weight);
   /// 0 for users never charged. Exposed for the fairness test suite.
@@ -158,6 +207,10 @@ class FairSharePolicy : public SchedulingPolicy {
 
  private:
   std::unordered_map<int, double> service_;
+  /// Users charged since the queue last synced (vector for deterministic
+  /// extraction order, set for O(1) touch checks).
+  mutable std::vector<int> dirty_users_;
+  mutable std::unordered_set<int> dirty_set_;
 };
 
 /// Policy object for one enum value (the CLI's fcfs|spjf|easy|prio-easy|

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
@@ -127,9 +129,25 @@ double GridJobService::predicted_seconds(const Job& job) const {
 std::optional<Placement> GridJobService::try_place(
     const Job& job, const std::vector<int>& free_nodes,
     const GridWanModel* wan) const {
-  bool any_free = false;
-  for (int f : free_nodes) any_free |= f > 0;
-  if (!any_free) return std::nullopt;
+  // Necessary-condition prechecks before paying for a residual topology
+  // and a MetaScheduler: any allocation needs job.procs free procs in
+  // total, and every group (even at the max split) is confined to one
+  // cluster, so SOME cluster must hold ceil(procs / max_groups) procs.
+  // Pure rejections — a placement that passes is decided exactly as
+  // before, so dispatch decisions are unchanged.
+  long long free_procs = 0;
+  long long max_cluster_procs = 0;
+  for (int c = 0; c < topology_.num_clusters(); ++c) {
+    const long long procs =
+        static_cast<long long>(free_nodes[static_cast<std::size_t>(c)]) *
+        topology_.cluster(c).procs_per_node;
+    free_procs += procs;
+    max_cluster_procs = std::max(max_cluster_procs, procs);
+  }
+  if (job.procs > free_procs) return std::nullopt;
+  const int min_group_procs =
+      (job.procs + options_.max_groups - 1) / options_.max_groups;
+  if (min_group_procs > max_cluster_procs) return std::nullopt;
 
   // Placement scoring is the policy's: by default master-id order, or
   // idlest-WAN-first under wan_aware dispatch, so the meta-scheduler's
@@ -215,17 +233,28 @@ double GridJobService::shadow_time(const Job& head,
   // attempt's finish is lifted to its pessimistic drain estimate.
   const bool priced = wan != nullptr && policy_->wan_priced_shadow();
   std::vector<double> drain_estimates;
-  if (priced) wan->drain_estimates_s(now_s, drain_estimates);
+  std::vector<int> flow_ids;
+  if (priced) {
+    flow_ids.reserve(running.size());
+    for (const Running& r : running) {
+      if (r.flow >= 0) flow_ids.push_back(r.flow);
+    }
+    wan->drain_estimates_s(now_s, flow_ids, drain_estimates);
+  }
   std::vector<std::pair<double, const Running*>> by_finish;
   by_finish.reserve(running.size());
+  std::size_t next_estimate = 0;
   for (const Running& r : running) {
     double est = r.est_finish_s;
+    double drain = 0.0;
+    if (priced && r.flow >= 0) {
+      drain = drain_estimates[next_estimate++];  // parallel to flow_ids
+    }
     // Walltime-bounded attempts release their nodes at kill_s no matter
     // how far the drains stretch (the kill caps wan_finish), so only
     // unlimited attempts need their drain estimate priced in.
     if (priced && r.flow >= 0 && r.job.walltime_s <= 0.0) {
-      est = std::max(
-          est, drain_estimates[static_cast<std::size_t>(r.flow)]);
+      est = std::max(est, drain);
     }
     by_finish.emplace_back(est, &r);
   }
@@ -260,10 +289,15 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     total_nodes[static_cast<std::size_t>(c)] = topology_.cluster(c).nodes;
     grid_nodes += topology_.cluster(c).nodes;
   }
+  // Admission preflight. Whether a job fits the EMPTY fully-up grid
+  // depends only on its procs count (shape never constrains placement),
+  // so a million-job workload pays one real placement per distinct size.
+  std::unordered_set<int> feasible_procs;
   for (const Job& job : jobs) {
     QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1 &&
                          job.walltime_s >= 0.0 && job.weight > 0.0,
                      "malformed job " << job.id);
+    if (!feasible_procs.insert(job.procs).second) continue;
     QRGRID_CHECK_MSG(try_place(job, total_nodes).has_value(),
                      "job " << job.id << " (" << job.procs
                             << " procs) cannot fit the grid at all");
@@ -324,7 +358,10 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   std::vector<int> free_nodes = total_nodes;
   std::vector<int> down_depth(static_cast<std::size_t>(nclusters), 0);
   JobQueue pending(policy_.get());
-  std::vector<Running> running;  // kept in start (seq) order
+  pending.bind_metrics(metrics);
+  // NOT in start order once completions swap-and-pop (see below); every
+  // consumer either scans for a (key, seq) minimum or sorts explicitly.
+  std::vector<Running> running;
   std::unordered_map<int, Progress> progress;
   /// Pending job currently holding the backfill reservation; -1 = none.
   /// A job that loses the head slot WITHOUT starting (a higher-priority
@@ -337,15 +374,68 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   std::size_t next_arrival = 0;
   int seq = 0;
 
-  // Free nodes the scheduler may hand out NOW: down clusters masked out.
-  auto placeable_nodes = [&]() {
-    std::vector<int> nodes = free_nodes;
-    for (int c = 0; c < nclusters; ++c) {
-      if (down_depth[static_cast<std::size_t>(c)] > 0) {
-        nodes[static_cast<std::size_t>(c)] = 0;
+  // Free nodes the scheduler may hand out NOW (down clusters masked
+  // out), maintained incrementally at every grant/release/outage
+  // boundary instead of rebuilt per placement query, with an ordered
+  // index over per-cluster free procs so the dispatch loop's
+  // feasibility prechecks are O(1) lookups (sum and max) rather than
+  // topology rescans.
+  std::vector<int> placeable = free_nodes;
+  std::vector<int> cluster_ppn(static_cast<std::size_t>(nclusters));
+  for (int c = 0; c < nclusters; ++c) {
+    cluster_ppn[static_cast<std::size_t>(c)] =
+        topology_.cluster(c).procs_per_node;
+  }
+  std::multiset<long long> placeable_procs_index;
+  long long placeable_procs_total = 0;
+  for (int c = 0; c < nclusters; ++c) {
+    const long long procs =
+        static_cast<long long>(placeable[static_cast<std::size_t>(c)]) *
+        cluster_ppn[static_cast<std::size_t>(c)];
+    placeable_procs_index.insert(procs);
+    placeable_procs_total += procs;
+  }
+  // Every placeable[c] mutation goes through here to keep the index true.
+  auto set_placeable = [&](int cluster, int nodes) {
+    const auto c = static_cast<std::size_t>(cluster);
+    const long long before =
+        static_cast<long long>(placeable[c]) * cluster_ppn[c];
+    const long long after =
+        static_cast<long long>(nodes) * cluster_ppn[c];
+    placeable[c] = nodes;
+    if (before == after) return;
+    placeable_procs_index.erase(placeable_procs_index.find(before));
+    placeable_procs_index.insert(after);
+    placeable_procs_total += after - before;
+  };
+  auto grant_nodes = [&](const Placement& pl) {
+    for (std::size_t i = 0; i < pl.clusters.size(); ++i) {
+      const auto c = static_cast<std::size_t>(pl.clusters[i]);
+      free_nodes[c] -= pl.nodes[i];
+      QRGRID_CHECK(free_nodes[c] >= 0);
+      if (down_depth[c] == 0) {
+        set_placeable(pl.clusters[i], placeable[c] - pl.nodes[i]);
       }
     }
-    return nodes;
+  };
+  auto release_nodes = [&](const Placement& pl) {
+    for (std::size_t i = 0; i < pl.clusters.size(); ++i) {
+      const auto c = static_cast<std::size_t>(pl.clusters[i]);
+      free_nodes[c] += pl.nodes[i];
+      if (down_depth[c] == 0) {
+        set_placeable(pl.clusters[i], placeable[c] + pl.nodes[i]);
+      }
+    }
+  };
+  // O(1) screen before a try_place on the CURRENT placeable state: the
+  // same two necessary conditions try_place itself checks, served from
+  // the maintained aggregates. False means try_place would return
+  // nullopt; true decides nothing.
+  auto placeable_precheck = [&](const Job& job) {
+    if (job.procs > placeable_procs_total) return false;
+    const int min_group_procs =
+        (job.procs + options_.max_groups - 1) / options_.max_groups;
+    return min_group_procs <= *placeable_procs_index.rbegin();
   };
 
   // Completion-class event geometry. finish_s is the ISOLATED replay
@@ -501,12 +591,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     // decision already sees this user served.
     policy_->on_attempt_start(
         job, attempt_s * static_cast<double>(placement.total_nodes));
-    for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
-      free_nodes[static_cast<std::size_t>(placement.clusters[i])] -=
-          placement.nodes[i];
-      QRGRID_CHECK(
-          free_nodes[static_cast<std::size_t>(placement.clusters[i])] >= 0);
-    }
+    grant_nodes(placement);
     Running r;
     r.finish_s = clock + attempt_s;
     r.kill_s = job.walltime_s > 0.0 ? clock + job.walltime_s : kInf;
@@ -626,16 +711,17 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
 
   auto dispatch = [&]() {
     // Policy order: start from the head while it fits the up clusters.
+    // front() re-establishes policy order itself when keys moved
+    // (fair-share deficits after each start) — the incremental sync that
+    // replaced the per-dispatch full resort; static-key policies skip it
+    // entirely.
     while (!pending.empty()) {
-      // Deficit keys moved with every started attempt (fair-share):
-      // restore policy order before each head decision.
-      if (policy_->dynamic_order()) {
-        pending.resort();
-        if (metrics != nullptr) metrics->add("policy.resorts");
-      }
       if (metrics != nullptr) metrics->add("dispatch.head_place_scans");
-      const auto placement =
-          try_place(pending.front(), placeable_nodes(), placement_wan);
+      const Job& head = pending.front();
+      std::optional<Placement> placement;
+      if (placeable_precheck(head)) {
+        placement = try_place(head, placeable, placement_wan);
+      }
       if (!placement.has_value()) break;
       start_job(pending.pop_front(), *placement, /*backfilled=*/false);
     }
@@ -665,8 +751,8 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     }
     reserved_job = pending.front().id;
     if (metrics != nullptr) metrics->add("dispatch.shadow_computations");
-    const double shadow = shadow_time(pending.front(), running,
-                                      placeable_nodes(), wan, clock);
+    const double shadow =
+        shadow_time(pending.front(), running, placeable, wan, clock);
     // No computable reservation (the head waits on an outage recovery,
     // not on nodes): backfilling would have no bound and could starve
     // the head indefinitely, so don't.
@@ -683,14 +769,26 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       tracer->record(std::move(ev));
     }
     const bool priced = wan != nullptr && policy_->wan_priced_shadow();
-    std::size_t i = 1;
-    while (i < pending.size()) {
+    // Ordered scan behind the head. Starts (on_attempt_start) dirty
+    // fair-share keys mid-scan, but iteration and take() never compare
+    // entries, so the frozen scan order is exactly the order the pass
+    // began with — the historical positional-scan semantics.
+    int examined = 0;
+    auto it = pending.begin();
+    ++it;  // the head holds the reservation, not a backfill candidacy
+    while (it != pending.end()) {
+      if (options_.backfill_depth > 0 &&
+          ++examined > options_.backfill_depth) {
+        break;
+      }
       if (metrics != nullptr) metrics->add("dispatch.backfill_scans");
-      const auto placement =
-          try_place(pending.at(i), placeable_nodes(), placement_wan);
+      std::optional<Placement> placement;
+      if (placeable_precheck(it->job)) {
+        placement = try_place(it->job, placeable, placement_wan);
+      }
       if (placement.has_value()) {
-        const ExecutionProfile& replay = replay_for(pending.at(i), *placement);
-        const Job& candidate = pending.at(i);
+        const ExecutionProfile& replay = replay_for(it->job, *placement);
+        const Job& candidate = it->job;
         const double remaining = attempt_seconds(
             replay, progress[candidate.id].credited_fraction);
         double estimate =
@@ -739,12 +837,14 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
           }
         }
         if (clock + estimate <= shadow) {
-          start_job(pending.remove(i), *placement, /*backfilled=*/true);
+          Job admitted;
+          it = pending.take(it, admitted);
+          start_job(std::move(admitted), *placement, /*backfilled=*/true);
           ++report.backfilled_jobs;
-          continue;  // the entry at i is now the next candidate
+          continue;  // `it` already points at the next candidate
         }
       }
-      ++i;
+      ++it;
     }
   };
 
@@ -763,12 +863,22 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       QRGRID_CHECK(ev.cluster < nclusters &&
                    down_depth[static_cast<std::size_t>(ev.cluster)] > 0);
       --down_depth[static_cast<std::size_t>(ev.cluster)];
+      if (down_depth[static_cast<std::size_t>(ev.cluster)] == 0) {
+        set_placeable(ev.cluster,
+                      free_nodes[static_cast<std::size_t>(ev.cluster)]);
+      }
       return;
     }
     QRGRID_CHECK_MSG(ev.cluster < nclusters,
                      "outage on unknown cluster " << ev.cluster);
     ++down_depth[static_cast<std::size_t>(ev.cluster)];
-    // Victims in start order (the vector's order) for determinism.
+    if (down_depth[static_cast<std::size_t>(ev.cluster)] == 1) {
+      set_placeable(ev.cluster, 0);
+    }
+    // Extract every hit job first (swap-and-pop keeps the scan linear),
+    // then process victims in start order — `running` itself is no longer
+    // start-ordered, so determinism comes from sorting by seq.
+    std::vector<Running> victims;
     for (std::size_t i = 0; i < running.size();) {
       Running& r = running[i];
       const bool hit =
@@ -778,12 +888,14 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         ++i;
         continue;
       }
-      Running victim = std::move(r);
-      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
-      for (std::size_t k = 0; k < victim.placement.clusters.size(); ++k) {
-        free_nodes[static_cast<std::size_t>(victim.placement.clusters[k])] +=
-            victim.placement.nodes[k];
-      }
+      victims.push_back(std::move(r));
+      if (i != running.size() - 1) running[i] = std::move(running.back());
+      running.pop_back();
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const Running& a, const Running& b) { return a.seq < b.seq; });
+    for (Running& victim : victims) {
+      release_nodes(victim.placement);
       const double elapsed = ev.time_s - victim.start_s;
       Progress& p = progress[victim.job.id];
       // Fraction of the FULL factorization this attempt covered before
@@ -902,12 +1014,15 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         }
       }
       if (!found) break;
+      // The scan above selects the (event time, seq) minimum, which no
+      // vector order can change — so the erase is a swap-and-pop, O(1)
+      // instead of shifting the running tail per completion.
       Running done = std::move(running[best]);
-      running.erase(running.begin() + static_cast<std::ptrdiff_t>(best));
-      for (std::size_t i = 0; i < done.placement.clusters.size(); ++i) {
-        free_nodes[static_cast<std::size_t>(done.placement.clusters[i])] +=
-            done.placement.nodes[i];
+      if (best != running.size() - 1) {
+        running[best] = std::move(running.back());
       }
+      running.pop_back();
+      release_nodes(done.placement);
       const double nodes = static_cast<double>(done.placement.total_nodes);
       if (completes(done)) {
         const double finish = wan_finish(done);
@@ -1004,6 +1119,8 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         }
         metrics->sample("wan.backbone_load", clock,
                         static_cast<double>(wan->backbone_load()));
+        metrics->sample("wan.live_flows", clock,
+                        static_cast<double>(wan->live_flows()));
       }
     }
   }
@@ -1076,6 +1193,8 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
                      report.wan_downlink_busy[static_cast<std::size_t>(c)]);
       }
       metrics->set("wan.backbone_busy_frac", report.wan_backbone_busy);
+      metrics->set("wan.live_flows.peak",
+                   static_cast<double>(wan->peak_live_flows()));
     }
   }
   return report;

@@ -91,6 +91,11 @@ struct ServiceOptions {
   /// Largest number of process groups a job may be split into when the
   /// meta-scheduler cannot place it on fewer clusters.
   int max_groups = 8;
+  /// Bound on how many pending candidates one backfill pass examines
+  /// behind the blocked head (SLURM's bf_max_job_test). 0 = unlimited,
+  /// byte-identical to the historical unbounded scan; production-scale
+  /// runs cap it so a deep backlog cannot make one dispatch O(queue).
+  int backfill_depth = 0;
   /// Whole-cluster failure/recovery boundaries (default: no faults).
   OutageTrace outages;
   /// Outage-killed jobs are requeued at most this many times; the next

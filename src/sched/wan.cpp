@@ -24,6 +24,17 @@ bool covers(double moved, double bytes) {
   return moved >= bytes - 0.5;
 }
 
+/// Min-heap order over pending pool activations; ties break by (flow,
+/// pool) so heap mutations are fully deterministic.
+struct ActivationAfter {
+  template <typename A>
+  bool operator()(const A& a, const A& b) const {
+    if (a.t_s != b.t_s) return a.t_s > b.t_s;
+    if (a.flow != b.flow) return a.flow > b.flow;
+    return a.pool > b.pool;
+  }
+};
+
 }  // namespace
 
 WanFairness wan_fairness_of(const std::string& name) {
@@ -209,9 +220,13 @@ void GridWanModel::demand_view(double now_s, bool include_pending,
     return pool.bytes > 0.0 &&
            (include_pending || pool.activation_s <= now_s);
   };
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    const Flow& flow = flows_[f];
-    if (!flow.alive || flow.undrained == 0) continue;
+  // live_ holds alive slots in admission (id) order — the same flow
+  // order the historical all-flows walk produced, so the allocators'
+  // floating-point accumulation order (and thus every rate) is
+  // byte-identical while the cost drops to O(live).
+  for (const int slot : live_) {
+    const Flow& flow = flows_[static_cast<std::size_t>(slot)];
+    if (flow.undrained == 0) continue;
     touched.clear();
     for (const Pool& pool : flow.pools) {
       if (!included(pool)) continue;
@@ -229,7 +244,7 @@ void GridWanModel::demand_view(double now_s, bool include_pending,
       if (!included(pool)) continue;
       WanDemand d;
       d.bytes = pool.bytes;
-      d.flow = static_cast<int>(f);
+      d.flow = flow.id;
       d.nlinks = links_of(pool, d.links);
       for (int k = 0; k < d.nlinks; ++k) {
         // x / x == 1.0 exactly for an unsplit pool, which is what keeps
@@ -238,7 +253,7 @@ void GridWanModel::demand_view(double now_s, bool include_pending,
             pool.bytes /
             flow_link_bytes[static_cast<std::size_t>(d.links[k])];
       }
-      refs.push_back({static_cast<int>(f), static_cast<int>(j)});
+      refs.push_back({slot, static_cast<int>(j)});
       demands.push_back(d);
     }
     for (const int l : touched) {
@@ -269,10 +284,33 @@ int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
   }
   flow.moved_bytes.assign(flow.pools.size(), 0.0);
   flow.drained_at_s = now_s;  // stands until a pool actually drains later
-  flows_.push_back(std::move(flow));
-  const int id = static_cast<int>(flows_.size()) - 1;
+  const int id = next_flow_id_++;
+  flow.id = id;
+  int slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<int>(flows_.size());
+    flows_.push_back(std::move(flow));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    flows_[static_cast<std::size_t>(slot)] = std::move(flow);
+  }
+  slot_of_.emplace(id, slot);
+  // Monotone ids keep live_ sorted by id: admission order, which
+  // demand_view depends on for byte-identical allocator arithmetic.
+  live_.push_back(slot);
+  peak_live_ = std::max(peak_live_, static_cast<int>(live_.size()));
+  const Flow& admitted = flows_[static_cast<std::size_t>(slot)];
+  for (std::size_t j = 0; j < admitted.pools.size(); ++j) {
+    if (admitted.pools[j].bytes > 0.0 &&
+        admitted.pools[j].activation_s > now_s) {
+      activations_.push_back(
+          {admitted.pools[j].activation_s, id, static_cast<int>(j)});
+      std::push_heap(activations_.begin(), activations_.end(),
+                     ActivationAfter{});
+    }
+  }
   if (tracer_ != nullptr) {
-    const Flow& admitted = flows_.back();
     ServiceTraceEvent ev;
     ev.t_s = now_s;
     ev.kind = TraceKind::kWanFlowOpen;
@@ -338,8 +376,8 @@ void GridWanModel::advance(double from_s, double to_s) {
     // The share structure changes when a pool runs dry or a pending pool
     // activates inside the step — the allocator re-splits either way.
     int pools_activated = 0;
-    for (const Flow& flow : flows_) {
-      if (!flow.alive) continue;
+    for (const int slot : live_) {
+      const Flow& flow = flows_[static_cast<std::size_t>(slot)];
       for (const Pool& pool : flow.pools) {
         if (pool.bytes > 0.0 && pool.activation_s > from_s &&
             pool.activation_s <= to_s) {
@@ -371,64 +409,84 @@ double GridWanModel::next_event_s(double now_s) const {
       next = std::min(next, now_s + pool.bytes / rates_scratch_[k]);
     }
   }
-  // Pending activations change the share structure too.
-  for (const Flow& flow : flows_) {
-    if (!flow.alive || flow.undrained == 0) continue;
-    for (const Pool& pool : flow.pools) {
-      if (pool.bytes > 0.0 && pool.activation_s > now_s) {
-        next = std::min(next, pool.activation_s);
-      }
-    }
+  // Pending activations change the share structure too: the calendar's
+  // top, after lazily shedding entries of retired flows and instants
+  // already reached (the virtual clock only moves forward, so a shed
+  // entry can never be needed again).
+  while (!activations_.empty()) {
+    const Activation& top = activations_.front();
+    if (top.t_s > now_s && slot_of_.count(top.flow) != 0) break;
+    std::pop_heap(activations_.begin(), activations_.end(),
+                  ActivationAfter{});
+    activations_.pop_back();
   }
+  if (!activations_.empty()) next = std::min(next, activations_.front().t_s);
   return next;
 }
 
 bool GridWanModel::drained(int flow) const {
-  const Flow& f = flows_[static_cast<std::size_t>(flow)];
-  QRGRID_CHECK(f.alive);
-  return f.undrained == 0;
+  const auto it = slot_of_.find(flow);
+  QRGRID_CHECK(it != slot_of_.end());
+  return flows_[static_cast<std::size_t>(it->second)].undrained == 0;
 }
 
 double GridWanModel::drained_at_s(int flow) const {
-  const Flow& f = flows_[static_cast<std::size_t>(flow)];
-  QRGRID_CHECK(f.alive && f.undrained == 0);
+  const auto it = slot_of_.find(flow);
+  QRGRID_CHECK(it != slot_of_.end());
+  const Flow& f = flows_[static_cast<std::size_t>(it->second)];
+  QRGRID_CHECK(f.undrained == 0);
   return f.drained_at_s;
 }
 
 void GridWanModel::drain_estimates_s(double now_s,
+                                     const std::vector<int>& flows,
                                      std::vector<double>& out) const {
-  out.assign(flows_.size(), 0.0);
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    if (!flows_[f].alive) continue;
-    out[f] = flows_[f].undrained == 0 ? flows_[f].drained_at_s : now_s;
+  // One shared pessimistic view, estimates gathered per live SLOT, then
+  // projected onto the requested ids — the math per flow is exactly the
+  // single-flow estimate's.
+  if (estimates_scratch_.size() < flows_.size()) {
+    estimates_scratch_.resize(flows_.size(), 0.0);
+  }
+  for (const int slot : live_) {
+    const Flow& f = flows_[static_cast<std::size_t>(slot)];
+    estimates_scratch_[static_cast<std::size_t>(slot)] =
+        f.undrained == 0 ? f.drained_at_s : now_s;
   }
   demand_view(now_s, /*include_pending=*/true, refs_scratch_,
               demands_scratch_, rates_scratch_);
   for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
-    const auto f = static_cast<std::size_t>(refs_scratch_[k].flow);
+    const auto slot = static_cast<std::size_t>(refs_scratch_[k].flow);
     const Pool& pool =
-        flows_[f].pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+        flows_[slot].pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+    double& est = estimates_scratch_[slot];
     if (rates_scratch_[k] <= 0.0) {
-      out[f] = kInf;
+      est = kInf;
       continue;
     }
-    out[f] = std::max(out[f], std::max(now_s, pool.activation_s) +
-                                  pool.bytes / rates_scratch_[k]);
+    est = std::max(est, std::max(now_s, pool.activation_s) +
+                            pool.bytes / rates_scratch_[k]);
+  }
+  out.assign(flows.size(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto it = slot_of_.find(flows[i]);
+    if (it == slot_of_.end()) continue;  // retired: report 0
+    out[i] = estimates_scratch_[static_cast<std::size_t>(it->second)];
   }
 }
 
 double GridWanModel::drain_estimate_s(int flow, double now_s) const {
-  const Flow& f = flows_[static_cast<std::size_t>(flow)];
-  QRGRID_CHECK(f.alive);
+  QRGRID_CHECK(slot_of_.count(flow) != 0);
   std::vector<double> estimates;
-  drain_estimates_s(now_s, estimates);
-  return estimates[static_cast<std::size_t>(flow)];
+  drain_estimates_s(now_s, {flow}, estimates);
+  return estimates.front();
 }
 
 void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
                           std::vector<long long>& ingress_bytes) {
-  Flow& f = flows_[static_cast<std::size_t>(flow)];
-  QRGRID_CHECK(f.alive);
+  const auto slot_it = slot_of_.find(flow);
+  QRGRID_CHECK(slot_it != slot_of_.end());  // alive exactly once
+  const int slot = slot_it->second;
+  Flow& f = flows_[static_cast<std::size_t>(slot)];
   if (tracer_ != nullptr) {
     ServiceTraceEvent ev;
     ev.t_s = tracer_->now_s();
@@ -455,12 +513,23 @@ void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
   f.alive = false;
   f.pools.clear();
   f.moved_bytes.clear();
+  // Reclaim: drop the slot from the live order (binary search — live_ is
+  // id-sorted) and recycle it. Calendar entries die lazily via slot_of_.
+  const auto live_it = std::lower_bound(
+      live_.begin(), live_.end(), flow, [this](int s, int id) {
+        return flows_[static_cast<std::size_t>(s)].id < id;
+      });
+  QRGRID_CHECK(live_it != live_.end() && *live_it == slot);
+  live_.erase(live_it);
+  slot_of_.erase(slot_it);
+  free_slots_.push_back(slot);
 }
 
 int GridWanModel::backbone_load() const {
   int score = 0;
-  for (const Flow& flow : flows_) {
-    if (!flow.alive || flow.undrained == 0) continue;
+  for (const int slot : live_) {
+    const Flow& flow = flows_[static_cast<std::size_t>(slot)];
+    if (flow.undrained == 0) continue;
     bool crosses = false;
     for (const Pool& pool : flow.pools) {
       if (pool.bytes > 0.0 && pool.link != Pool::Link::kDownlink) {
@@ -475,8 +544,9 @@ int GridWanModel::backbone_load() const {
 
 int GridWanModel::load_score(int cluster) const {
   int score = 0;
-  for (const Flow& flow : flows_) {
-    if (!flow.alive || flow.undrained == 0) continue;
+  for (const int slot : live_) {
+    const Flow& flow = flows_[static_cast<std::size_t>(slot)];
+    if (flow.undrained == 0) continue;
     bool touches = false;
     for (const Pool& pool : flow.pools) {
       if (pool.bytes > 0.0 && pool.link != Pool::Link::kBackbone &&

@@ -53,6 +53,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace qrgrid::sched {
@@ -180,11 +181,14 @@ class GridWanModel {
   /// what a WAN-priced EASY shadow plans with. Returns drained_at_s for
   /// drained flows.
   double drain_estimate_s(int flow, double now_s) const;
-  /// Batched drain_estimate_s over every flow at once: ONE shared
-  /// pessimistic demand view instead of one per flow — what shadow_time
-  /// calls, since it prices all running flows at the same instant.
-  /// `out` is indexed by flow id; retired flows report 0.
-  void drain_estimates_s(double now_s, std::vector<double>& out) const;
+  /// Batched drain_estimate_s over the requested flows at once: ONE
+  /// shared pessimistic demand view instead of one per flow — what
+  /// shadow_time calls, since it prices all running flows at the same
+  /// instant. `out` is filled parallel to `flows`; retired flows report
+  /// 0. Callers pass the flows they hold, so the cost scales with
+  /// in-flight attempts, never with flows ever admitted.
+  void drain_estimates_s(double now_s, const std::vector<int>& flows,
+                         std::vector<double>& out) const;
 
   /// Retires the flow (completion or kill) and adds the bytes it
   /// actually moved to the per-cluster accumulators. Backbone pools are
@@ -218,19 +222,34 @@ class GridWanModel {
   }
   double backbone_busy_s() const { return backbone_busy_s_; }
 
+  /// Flows admitted and not yet retired — what every per-step walk
+  /// scales with (the `wan.live_flows` gauge). Bounded by in-flight
+  /// attempts however many flows the run ever admits.
+  int live_flows() const { return static_cast<int>(live_.size()); }
+  int peak_live_flows() const { return peak_live_; }
+
  private:
   struct Flow {
     bool alive = false;
+    int id = -1;  ///< public flow id; slots are reused, ids never are
     std::vector<Pool> pools;
     std::vector<double> moved_bytes;  ///< parallel to pools
     int undrained = 0;
     double drained_at_s = 0.0;
   };
-  /// One entry of the demand view handed to the allocator: which flow's
+  /// One entry of the demand view handed to the allocator: which SLOT's
   /// which pool each rate belongs to.
   struct PoolRef {
     int flow = 0;
     int pool = 0;
+  };
+  /// Calendar entry: the instant a pending pool's demand appears. Keyed
+  /// by public flow id so retirement invalidates entries lazily (slot
+  /// reuse cannot resurrect them).
+  struct Activation {
+    double t_s = 0.0;
+    int flow = -1;
+    int pool = -1;
   };
 
   /// Link ids in the allocator's capacity table: [0, C) uplinks,
@@ -255,7 +274,25 @@ class GridWanModel {
   std::vector<double> capacity_;   ///< per link id
   std::unique_ptr<WanAllocator> allocator_;
   ServiceTracer* tracer_ = nullptr;
+  /// Slot-indexed flow storage. retire() recycles slots through
+  /// free_slots_, so memory scales with PEAK in-flight flows, not flows
+  /// ever admitted; public ids stay monotone for the tracer.
   std::vector<Flow> flows_;
+  std::vector<int> free_slots_;
+  /// Slots of alive flows in admission (id) order — every walk
+  /// (demand_view, load scores, rebalance counting) iterates THIS, so
+  /// per-step cost scales with live flows and the floating-point
+  /// accumulation order the allocators see matches the historical
+  /// all-flows-skipping-dead order exactly (dead flows contributed no
+  /// terms).
+  std::vector<int> live_;
+  std::unordered_map<int, int> slot_of_;  ///< public flow id -> slot
+  int next_flow_id_ = 0;
+  int peak_live_ = 0;
+  /// Pending pool activations as a lazy min-heap over t_s: next_event_s
+  /// consults the top instead of rescanning every pool; entries of
+  /// retired flows or past instants are discarded on sight.
+  mutable std::vector<Activation> activations_;
   std::vector<double> up_busy_s_;
   std::vector<double> down_busy_s_;
   double backbone_busy_s_ = 0.0;
@@ -263,6 +300,7 @@ class GridWanModel {
   mutable std::vector<PoolRef> refs_scratch_;
   mutable std::vector<WanDemand> demands_scratch_;
   mutable std::vector<double> rates_scratch_;
+  mutable std::vector<double> estimates_scratch_;  ///< per slot
   /// Per-flow per-link byte totals (frac computation); zeroed via the
   /// touched list, so its sites^2-with-pairs size is paid once.
   mutable std::vector<double> flow_link_scratch_;

@@ -23,8 +23,16 @@
 // policy objects against each other: priority-aware EASY must beat plain
 // (priority-blind) EASY on the high-priority class's mean wait, and
 // weighted fair-share (2:1) must hold the light user's personal makespan
-// between the heavy user's and the configured weight ratio. Usage:
-// bench_job_service [jobs] (default 1000; CI smoke-runs 60).
+// between the heavy user's and the configured weight ratio.
+//
+// Every default-mode run carries the full observability stack (tracer,
+// wait-blame, phase profiler): the per-row "crit.run%" column is the
+// critical chain's running fraction of the makespan (the rest is wait /
+// outage / pre-arrival), each run gates that the chain tiles the
+// makespan exactly, and the aggregated per-phase wall times land in the
+// BENCH JSON's "profile" object for tools/check_bench.py to diff
+// against bench/BENCH_baseline.json. Usage: bench_job_service [jobs]
+// (default 1000; CI smoke-runs 60).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -40,6 +48,8 @@
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "core/des_algos.hpp"
+#include "sched/critpath.hpp"
+#include "sched/profiler.hpp"
 #include "sched/service.hpp"
 #include "sched/workload.hpp"
 
@@ -59,7 +69,62 @@ struct BenchRow {
   double makespan_s = 0.0;
   double mean_wait_s = 0.0;
   double wall_s = 0.0;
+  /// Fraction of the makespan the critical chain spent actually running
+  /// (vs waiting / outage / pre-arrival); -1 in --scale mode (untraced).
+  double crit_run_frac = -1.0;
 };
+
+/// One benchmark cell with the full observability stack armed: tracer
+/// (for the critical-path column), wait-blame, and the shared phase
+/// profiler. The zero-cost contract (tested in telemetry_test) makes the
+/// traced outcome identical to the untraced one, so the scenario gates
+/// below stay meaningful; the wall-time column now prices tracing in,
+/// which is exactly what the regression gate should watch.
+struct TracedRun {
+  sched::ServiceReport report;
+  double wall_s = 0.0;
+  double crit_run_frac = 0.0;
+  bool crit_ok = false;
+};
+
+TracedRun run_traced(const simgrid::GridTopology& topo,
+                     const model::Roofline& roof,
+                     sched::ServiceOptions options,
+                     const std::vector<sched::Job>& jobs,
+                     sched::PhaseProfiler& profiler) {
+  sched::ServiceTracer tracer;
+  options.tracer = &tracer;
+  options.wait_blame = true;
+  options.profiler = &profiler;
+  sched::GridJobService service(topo, roof, options);
+  TracedRun out;
+  Stopwatch watch;
+  out.report = service.run(jobs);
+  out.wall_s = watch.seconds();
+  const sched::CriticalPathReport cp =
+      sched::analyze_critical_path(tracer.events());
+  // The analyzer's self-check: the chain tiles [0, makespan] exactly.
+  // Tile boundaries are exact doubles; only the SUM of tile lengths may
+  // round, hence the relative epsilon.
+  out.crit_ok = cp.makespan_s == out.report.makespan_s &&
+                std::abs(cp.path_length_s() - cp.makespan_s) <=
+                    1e-9 * std::max(1.0, cp.makespan_s);
+  out.crit_run_frac =
+      cp.makespan_s > 0.0 ? cp.run_s / cp.makespan_s : 0.0;
+  return out;
+}
+
+std::vector<std::string> bench_header() {
+  std::vector<std::string> header = sched::summary_header();
+  header.push_back("crit.run%");
+  return header;
+}
+
+std::vector<std::string> bench_row(const TracedRun& traced) {
+  std::vector<std::string> row = sched::summary_row(traced.report);
+  row.push_back(format_number(100.0 * traced.crit_run_frac, 4));
+  return row;
+}
 
 long long peak_rss_kb() {
 #if defined(__unix__) || defined(__APPLE__)
@@ -80,7 +145,8 @@ long long peak_rss_kb() {
 /// failing gate still leaves the artifact to diagnose with.
 void write_bench_json(const std::string& path, int jobs,
                       const std::vector<BenchRow>& rows,
-                      long long executions, double wall_total) {
+                      long long executions, double wall_total,
+                      const sched::PhaseProfiler* profiler) {
   std::ofstream out(path);
   if (!out.is_open()) {
     std::cerr << "warning: cannot write " << path << '\n';
@@ -94,10 +160,27 @@ void write_bench_json(const std::string& path, int jobs,
     out << "    {\"scenario\": \"" << row.scenario << "\", \"config\": \""
         << row.config << "\", \"makespan_s\": " << row.makespan_s
         << ", \"mean_wait_s\": " << row.mean_wait_s
-        << ", \"wall_s\": " << row.wall_s << '}'
+        << ", \"wall_s\": " << row.wall_s
+        << ", \"crit_run_frac\": " << row.crit_run_frac << '}'
         << (i + 1 < rows.size() ? "," : "") << '\n';
   }
-  out << "  ],\n  \"totals\": {\"executions\": " << executions
+  out << "  ],\n";
+  if (profiler != nullptr) {
+    // Where the wall time went, by service phase (self-profiled across
+    // every run above). check_bench.py gates the per-phase SHARE of the
+    // summed phase wall, so a phase that silently grows relative to its
+    // siblings trips the gate even when total wall still fits.
+    out << "  \"profile\": {";
+    for (int p = 0; p < sched::kProfilePhaseCount; ++p) {
+      const auto phase = static_cast<sched::ProfilePhase>(p);
+      out << (p > 0 ? ", " : "") << '"'
+          << sched::profile_phase_name(phase)
+          << "\": {\"wall_s\": " << profiler->total_s(phase)
+          << ", \"calls\": " << profiler->calls(phase) << '}';
+    }
+    out << "},\n";
+  }
+  out << "  \"totals\": {\"executions\": " << executions
       << ", \"wall_s\": " << wall_total << ", \"jobs_per_sec\": "
       << (wall_total > 0.0 ? static_cast<double>(executions) / wall_total
                            : 0.0)
@@ -188,7 +271,7 @@ int run_scale(int jobs, int users) {
   std::cout << "total " << format_number(wall_total, 3)
             << " s wall, peak RSS " << rss_kb / 1024 << " MB\n";
   write_bench_json("BENCH_job_service.json", jobs, rows, executions,
-                   wall_total);
+                   wall_total, nullptr);
 
   // Budgets bind only at full scale — smaller sweeps are for tuning.
   if (jobs >= 1000000) {
@@ -243,23 +326,34 @@ int main(int argc, char** argv) {
             << "Healthy grid:\n";
 
   TextTable healthy;
-  healthy.set_header(sched::summary_header());
+  healthy.set_header(bench_header());
   double fcfs_makespan = 0.0, easy_makespan = 0.0;
   double wall_total = 0.0;
   long long executions = 0;  // attempts, including requeued restarts
   std::vector<BenchRow> bench_rows;
+  sched::PhaseProfiler profiler;  // aggregated across every traced run
+  bool crit_ok = true;
+  const auto gate_critpath = [&crit_ok](const TracedRun& traced,
+                                        const std::string& where) {
+    if (!traced.crit_ok) {
+      std::cerr << "REGRESSION: critical path does not tile the makespan ("
+                << where << ")\n";
+      crit_ok = false;
+    }
+  };
   for (sched::Policy policy : kPolicies) {
     sched::ServiceOptions options;
     options.policy = policy;
-    sched::GridJobService service(topo, roof, options);
-    Stopwatch watch;
-    const sched::ServiceReport report = service.run(jobs);
-    const double wall_s = watch.seconds();
+    const TracedRun traced = run_traced(topo, roof, options, jobs, profiler);
+    const sched::ServiceReport& report = traced.report;
+    const double wall_s = traced.wall_s;
+    gate_critpath(traced, "healthy " + std::string(policy_name(policy)));
     wall_total += wall_s;
     executions += spec.jobs + report.requeued_jobs;
     bench_rows.push_back({"healthy", std::string(policy_name(policy)),
-                          report.makespan_s, report.mean_wait_s, wall_s});
-    healthy.add_row(sched::summary_row(report));
+                          report.makespan_s, report.mean_wait_s, wall_s,
+                          traced.crit_run_frac});
+    healthy.add_row(bench_row(traced));
     if (policy == sched::Policy::kFcfs) fcfs_makespan = report.makespan_s;
     if (policy == sched::Policy::kEasyBackfill) {
       easy_makespan = report.makespan_s;
@@ -290,7 +384,7 @@ int main(int argc, char** argv) {
             << " s, walltime over-ask U[1, 5), 3 retries, restart "
                "credit):\n";
   TextTable churn;
-  churn.set_header(sched::summary_header());
+  churn.set_header(bench_header());
   bool churn_ok = true;
   double churn_fcfs = 0.0, churn_easy = 0.0;
   for (sched::Policy policy : kPolicies) {
@@ -299,15 +393,17 @@ int main(int argc, char** argv) {
     options.outages = sched::OutageTrace(outage_spec, topo.num_clusters());
     options.max_retries = 3;
     options.restart_credit = true;
-    sched::GridJobService service(topo, roof, options);
-    Stopwatch watch;
-    const sched::ServiceReport report = service.run(churn_jobs);
-    const double wall_s = watch.seconds();
+    const TracedRun traced =
+        run_traced(topo, roof, options, churn_jobs, profiler);
+    const sched::ServiceReport& report = traced.report;
+    const double wall_s = traced.wall_s;
+    gate_critpath(traced, "churn " + std::string(policy_name(policy)));
     wall_total += wall_s;
     executions += spec.jobs + report.requeued_jobs;
     bench_rows.push_back({"churn", std::string(policy_name(policy)),
-                          report.makespan_s, report.mean_wait_s, wall_s});
-    churn.add_row(sched::summary_row(report));
+                          report.makespan_s, report.mean_wait_s, wall_s,
+                          traced.crit_run_frac});
+    churn.add_row(bench_row(traced));
     if (policy == sched::Policy::kFcfs) churn_fcfs = report.makespan_s;
     if (policy == sched::Policy::kEasyBackfill) {
       churn_easy = report.makespan_s;
@@ -353,7 +449,7 @@ int main(int argc, char** argv) {
             << " flat-tree jobs, 0.02 Gb/s per site uplink, shared-WAN "
                "contention, EASY):\n";
   TextTable wan_table;
-  wan_table.set_header(sched::summary_header());
+  wan_table.set_header(bench_header());
   double naive_makespan = 0.0, aware_makespan = 0.0;
   bool wan_ok = true;
   for (const bool aware : {false, true}) {
@@ -362,16 +458,19 @@ int main(int argc, char** argv) {
     options.wan_contention = true;
     options.wan_aware = aware;
     options.wan_link_Bps = 0.02e9 / 8.0;
-    sched::GridJobService service(topo, roof, options);
-    Stopwatch watch;
-    const sched::ServiceReport report = service.run(wan_jobs);
-    const double wall_s = watch.seconds();
+    const TracedRun traced =
+        run_traced(topo, roof, options, wan_jobs, profiler);
+    const sched::ServiceReport& report = traced.report;
+    const double wall_s = traced.wall_s;
+    gate_critpath(traced,
+                  aware ? "wan-heavy easy+aware" : "wan-heavy easy+naive");
     wall_total += wall_s;
     executions += wan_spec.jobs + report.requeued_jobs;
     bench_rows.push_back({"wan-heavy",
                           aware ? "easy+aware" : "easy+naive",
-                          report.makespan_s, report.mean_wait_s, wall_s});
-    std::vector<std::string> row = sched::summary_row(report);
+                          report.makespan_s, report.mean_wait_s, wall_s,
+                          traced.crit_run_frac});
+    std::vector<std::string> row = bench_row(traced);
     row[0] = aware ? "easy+aware" : "easy+naive";
     wan_table.add_row(row);
     (aware ? aware_makespan : naive_makespan) = report.makespan_s;
@@ -417,7 +516,7 @@ int main(int argc, char** argv) {
             << " small jobs, 2 sites x 4 procs, EASY, one domain per "
                "process):\n";
   TextTable eq_table;
-  eq_table.set_header(sched::summary_header());
+  eq_table.set_header(bench_header());
   bool eq_ok = true;
   sched::ServiceReport eq_reports[2];
   for (const bool real : {false, true}) {
@@ -426,20 +525,22 @@ int main(int argc, char** argv) {
     options.domains_per_cluster = core::kOneDomainPerProcess;
     options.backend = real ? sched::BackendKind::kMsgRuntime
                            : sched::BackendKind::kDesReplay;
-    sched::GridJobService service(eq_topo, roof, options);
-    Stopwatch watch;
-    eq_reports[real ? 1 : 0] = service.run(eq_jobs);
-    const double wall_s = watch.seconds();
+    const TracedRun traced =
+        run_traced(eq_topo, roof, options, eq_jobs, profiler);
+    const double wall_s = traced.wall_s;
+    gate_critpath(traced, real ? "backend-equivalence easy+msg"
+                               : "backend-equivalence easy+des");
     wall_total += wall_s;
     executions += eq_spec.jobs;
     bench_rows.push_back({"backend-equivalence",
                           real ? "easy+msg" : "easy+des",
-                          eq_reports[real ? 1 : 0].makespan_s,
-                          eq_reports[real ? 1 : 0].mean_wait_s, wall_s});
-    std::vector<std::string> row =
-        sched::summary_row(eq_reports[real ? 1 : 0]);
+                          traced.report.makespan_s,
+                          traced.report.mean_wait_s, wall_s,
+                          traced.crit_run_frac});
+    std::vector<std::string> row = bench_row(traced);
     row[0] = real ? "easy+msg" : "easy+des";
     eq_table.add_row(row);
+    eq_reports[real ? 1 : 0] = traced.report;
   }
   eq_table.print(std::cout);
   const sched::ServiceReport& des_run = eq_reports[0];
@@ -504,7 +605,7 @@ int main(int argc, char** argv) {
   std::cout << "\nMixed-priority, two-user (" << mix_spec.jobs
             << " jobs, 2 priority classes, users weighted 2:1):\n";
   TextTable mix_table;
-  mix_table.set_header(sched::summary_header());
+  mix_table.set_header(bench_header());
   bool mix_ok = true;
   double top_wait_easy = 0.0, top_wait_prio = 0.0;
   double user_makespan[2] = {0.0, 0.0};
@@ -513,16 +614,19 @@ int main(int argc, char** argv) {
         sched::Policy::kFairShare}) {
     sched::ServiceOptions options;
     options.policy = policy;
-    sched::GridJobService service(topo, roof, options);
-    Stopwatch watch;
-    const sched::ServiceReport report = service.run(mix_jobs);
-    const double wall_s = watch.seconds();
+    const TracedRun traced =
+        run_traced(topo, roof, options, mix_jobs, profiler);
+    const sched::ServiceReport& report = traced.report;
+    const double wall_s = traced.wall_s;
+    gate_critpath(traced,
+                  "mixed-priority " + std::string(policy_name(policy)));
     wall_total += wall_s;
     executions += mix_spec.jobs + report.requeued_jobs;
     bench_rows.push_back({"mixed-priority",
                           std::string(policy_name(policy)),
-                          report.makespan_s, report.mean_wait_s, wall_s});
-    mix_table.add_row(sched::summary_row(report));
+                          report.makespan_s, report.mean_wait_s, wall_s,
+                          traced.crit_run_frac});
+    mix_table.add_row(bench_row(traced));
     double top_wait = 0.0;
     int top_count = 0;
     for (const sched::JobOutcome& o : report.outcomes) {
@@ -576,10 +680,18 @@ int main(int argc, char** argv) {
 
   std::cout << "\nsimulated " << executions
             << " job executions (requeued restarts included) in "
-            << format_number(wall_total, 3) << " s of wall time\n";
+            << format_number(wall_total, 3) << " s of wall time\n"
+            << "self-profile (all runs):";
+  for (int p = 0; p < sched::kProfilePhaseCount; ++p) {
+    const auto phase = static_cast<sched::ProfilePhase>(p);
+    std::cout << ' ' << sched::profile_phase_name(phase) << ' '
+              << format_number(1e3 * profiler.total_s(phase), 4) << " ms/"
+              << profiler.calls(phase);
+  }
+  std::cout << '\n';
   write_bench_json("BENCH_job_service.json", spec.jobs, bench_rows,
-                   executions, wall_total);
-  if (!churn_ok || !wan_ok || !eq_ok || !mix_ok) return 1;
+                   executions, wall_total, &profiler);
+  if (!churn_ok || !wan_ok || !eq_ok || !mix_ok || !crit_ok) return 1;
   // The WAN-placement ordering, like the EASY-vs-FCFS gate below, is
   // only asserted at full scale; tiny smoke runs barely overlap.
   if (spec.jobs >= 500 && aware_makespan >= naive_makespan) {

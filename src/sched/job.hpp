@@ -112,6 +112,12 @@ struct JobOutcome {
   double residual = std::numeric_limits<double>::quiet_NaN();
   double orthogonality = std::numeric_limits<double>::quiet_NaN();
 
+  /// Wait-blame attribution (ServiceOptions::wait_blame): seconds of
+  /// this job's wait per BlameCategory, indexed by the category's int
+  /// value (kBlameCategoryCount entries). The entries sum to wait_s()
+  /// exactly. Empty when attribution was off.
+  std::vector<double> blame_s;
+
   bool completed() const { return fate == JobFate::kCompleted; }
   double wait_s() const { return start_s - job.arrival_s; }
   double turnaround_s() const { return finish_s - job.arrival_s; }

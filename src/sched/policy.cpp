@@ -80,6 +80,13 @@ bool FairSharePolicy::before(const PendingEntry& a,
   return arrival_then_id(a, b);
 }
 
+bool FairSharePolicy::displaces(const Job& ahead, const Job& behind) const {
+  // Mirrors before(): the deficit key is the user's normalized service,
+  // so the head genuinely outranks (rather than merely pre-dates) a
+  // later job only when its user is strictly less served per weight.
+  return normalized_service(ahead.user) < normalized_service(behind.user);
+}
+
 void FairSharePolicy::on_attempt_start(const Job& job, double node_seconds) {
   SchedulingPolicy::on_attempt_start(job, node_seconds);
   QRGRID_CHECK_MSG(job.weight > 0.0, "job " << job.id

@@ -115,6 +115,16 @@ class SchedulingPolicy {
   virtual std::vector<int> cluster_order(int num_clusters,
                                          const GridWanModel* wan) const;
 
+  /// Wait-blame attribution hook (ServiceOptions::wait_blame): is the
+  /// queue holding `behind` back for a PRIORITY-class reason — `ahead`
+  /// ordered first because it outranks `behind`, not merely because it
+  /// arrived earlier? Distinguishes BlameCategory::kPriorityDisplaced
+  /// from kHeldBehindReservation; never consulted by a scheduling
+  /// decision. Default: a strictly higher job priority displaces.
+  virtual bool displaces(const Job& ahead, const Job& behind) const {
+    return ahead.priority > behind.priority;
+  }
+
   /// Accounting hook: one attempt of `job` started and is expected to
   /// hold `node_seconds` node-seconds (requeued attempts charge again).
   virtual void on_attempt_start(const Job& job, double node_seconds);
@@ -179,6 +189,10 @@ class FairSharePolicy : public SchedulingPolicy {
   std::string name() const override { return "fair"; }
   bool before(const PendingEntry& a, const PendingEntry& b) const override;
   bool dynamic_order() const override { return true; }
+  /// Fair-share displacement is a deficit story, not a priority one: the
+  /// head displaces a placeable later job when its user is strictly less
+  /// served per weight.
+  bool displaces(const Job& ahead, const Job& behind) const override;
   void on_attempt_start(const Job& job, double node_seconds) override;
   void reset() override {
     service_.clear();

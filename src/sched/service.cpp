@@ -1,8 +1,10 @@
 #include "sched/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 #include <unordered_set>
@@ -12,6 +14,7 @@
 #include "common/table.hpp"
 #include "core/des_algos.hpp"
 #include "model/costs.hpp"
+#include "sched/profiler.hpp"
 #include "sched/telemetry.hpp"
 #include "sched/wan.hpp"
 #include "simgrid/jobprofile.hpp"
@@ -344,6 +347,8 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   // into a scheduling decision.
   ServiceTracer* const tracer = options_.tracer;
   MetricsRegistry* const metrics = options_.metrics;
+  PhaseProfiler* const profiler = options_.profiler;
+  const bool blame_on = options_.wait_blame;
   const bool has_outages = trace.enabled();
   if (wan != nullptr) wan->set_tracer(tracer);
   if (tracer != nullptr) {
@@ -351,9 +356,25 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     ev.kind = TraceKind::kRunConfig;
     ev.value = (wan_on ? kTraceConfigWanContention : 0) |
                (has_outages ? kTraceConfigHasOutages : 0) |
-               (policy_->backfills() ? kTraceConfigBackfills : 0);
+               (policy_->backfills() ? kTraceConfigBackfills : 0) |
+               (blame_on ? kTraceConfigWaitBlame : 0);
     ev.note = policy_->name();
     tracer->record(std::move(ev));
+  }
+  if (metrics != nullptr) {
+    // Series skeleton at t=0: every step curve the loop samples below
+    // exists deterministically even when the loop never iterates (an
+    // empty workload), so consumers can rely on the key set. The loop's
+    // own first sample at the same instant overwrites these in place.
+    metrics->sample("queue_depth", 0.0, 0.0);
+    metrics->sample("running_jobs", 0.0, 0.0);
+    if (wan_on) {
+      for (int c = 0; c < nclusters; ++c) {
+        metrics->sample("wan.uplink_load.c" + std::to_string(c), 0.0, 0.0);
+      }
+      metrics->sample("wan.backbone_load", 0.0, 0.0);
+      metrics->sample("wan.live_flows", 0.0, 0.0);
+    }
   }
   std::vector<int> free_nodes = total_nodes;
   std::vector<int> down_depth(static_cast<std::size_t>(nclusters), 0);
@@ -438,6 +459,45 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     return min_group_procs <= *placeable_procs_index.rbegin();
   };
 
+  // Wait-blame attribution (opt-in via ServiceOptions::wait_blame): one
+  // OPEN interval per pending job — "held since when, for which reason"
+  // — re-classified after every dispatch pass. An interval flushes into
+  // per-category totals (and a kWaitBlame event) when the reason changes
+  // or the job starts, so the categories partition each job's wait
+  // exactly; requeued runtime flushes as kRequeuedRerun from the outage
+  // path, which closes the partition across retries. Pure observation:
+  // nothing here feeds back into a scheduling decision.
+  struct BlameOpen {
+    int category = 0;
+    double since_s = 0.0;
+  };
+  std::unordered_map<int, BlameOpen> blame_open;
+  std::unordered_map<int, std::array<double, kBlameCategoryCount>>
+      blame_totals;
+  auto blame_flush = [&](int job_id, double upto_s) {
+    const auto it = blame_open.find(job_id);
+    if (it == blame_open.end()) return;
+    const double dt = upto_s - it->second.since_s;
+    if (dt > 0.0) {
+      blame_totals[job_id][static_cast<std::size_t>(it->second.category)] +=
+          dt;
+      if (tracer != nullptr) {
+        ServiceTraceEvent ev;
+        ev.t_s = upto_s;
+        ev.kind = TraceKind::kWaitBlame;
+        ev.job = job_id;
+        ev.value = dt;
+        ev.value2 = static_cast<double>(it->second.category);
+        tracer->record(std::move(ev));
+      }
+    }
+    it->second.since_s = upto_s;
+  };
+  /// The shadow the LAST dispatch pass promised its blocked head (+inf
+  /// when none was computable) — what the blame classifier replays the
+  /// backfill admission test against.
+  double last_shadow = kInf;
+
   // Completion-class event geometry. finish_s is the ISOLATED replay
   // end; with contention on, the attempt additionally cannot complete
   // before its shared-WAN demand has drained — +inf while it has not,
@@ -487,7 +547,10 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     const double abort_vtime_s =
         killed ? std::clamp(through_fraction, 0.0, 1.0) * r.replay->seconds
                : kInf;
-    exec = backend_->execute(r.job, r.placement, abort_vtime_s);
+    {
+      PhaseScope scope(profiler, ProfilePhase::kBackendExecute);
+      exec = backend_->execute(r.job, r.placement, abort_vtime_s);
+    }
     ++report.executed_attempts;
     if (exec.aborted) ++report.aborted_attempts;
     if (killed) {
@@ -536,6 +599,15 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     outcome.measured_s = exec.measured_s;
     outcome.residual = exec.residual;
     outcome.orthogonality = exec.orthogonality;
+    if (blame_on) {
+      const auto bt = blame_totals.find(r.job.id);
+      if (bt != blame_totals.end()) {
+        outcome.blame_s.assign(bt->second.begin(), bt->second.end());
+      } else {
+        outcome.blame_s.assign(
+            static_cast<std::size_t>(kBlameCategoryCount), 0.0);
+      }
+    }
     outcome.job = std::move(r.job);
     if (metrics != nullptr) {
       // Wait and slowdown distributions per user and priority class —
@@ -559,6 +631,13 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
 
   auto start_job = [&](Job job, const Placement& placement,
                        bool backfilled) {
+    if (blame_on) {
+      // Close the job's open wait interval BEFORE the start event, so a
+      // validator at the kDispatch/kBackfillStart sees the full
+      // partition of [arrival, start) already blamed.
+      blame_flush(job.id, clock);
+      blame_open.erase(job.id);
+    }
     if (job.id == reserved_job) {
       reserved_job = -1;  // promise honored
     } else if (!backfilled && reserved_job != -1) {
@@ -710,6 +789,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   const GridWanModel* placement_wan = options_.wan_aware ? wan : nullptr;
 
   auto dispatch = [&]() {
+    last_shadow = kInf;
     // Policy order: start from the head while it fits the up clusters.
     // front() re-establishes policy order itself when keys moved
     // (fair-share deficits after each start) — the incremental sync that
@@ -751,8 +831,12 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     }
     reserved_job = pending.front().id;
     if (metrics != nullptr) metrics->add("dispatch.shadow_computations");
-    const double shadow =
-        shadow_time(pending.front(), running, placeable, wan, clock);
+    double shadow;
+    {
+      PhaseScope scope(profiler, ProfilePhase::kShadow);
+      shadow = shadow_time(pending.front(), running, placeable, wan, clock);
+    }
+    last_shadow = shadow;
     // No computable reservation (the head waits on an outage recovery,
     // not on nodes): backfilling would have no bound and could starve
     // the head indefinitely, so don't.
@@ -845,6 +929,88 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
         }
       }
       ++it;
+    }
+  };
+
+  // Blame classification pass: AFTER a dispatch pass settles, answer
+  // "why is each still-pending job not running RIGHT NOW" with one
+  // category, mirroring the decision the scheduler just made. Probed
+  // placements are never granted and replays come from the same cache
+  // dispatch fills, so a blame-on run makes identical scheduling
+  // decisions to a blame-off run.
+  auto classify_waits = [&]() {
+    if (pending.empty()) return;
+    bool any_down = false;
+    for (int c = 0; c < nclusters; ++c) {
+      if (down_depth[static_cast<std::size_t>(c)] > 0) any_down = true;
+    }
+    const bool backfills = policy_->backfills();
+    const bool priced = wan != nullptr && policy_->wan_priced_shadow();
+    const Job* head = nullptr;
+    int idx = 0;
+    for (auto it = pending.begin(); it != pending.end(); ++it, ++idx) {
+      const Job& job = it->job;
+      if (idx == 0) head = &job;
+      BlameCategory category = BlameCategory::kResourceBusy;
+      if (idx > 0 && backfills && options_.backfill_depth > 0 &&
+          idx > options_.backfill_depth) {
+        // The bounded scan examines positions 1..depth only; beyond it
+        // the scheduler never even looked.
+        category = BlameCategory::kBackfillDepthTruncated;
+      } else {
+        std::optional<Placement> placement;
+        if (placeable_precheck(job)) {
+          placement = try_place(job, placeable, placement_wan);
+        }
+        if (!placement.has_value()) {
+          // Would the job fit if every cluster were up? free_nodes still
+          // counts down clusters' (outage-released) nodes, so it IS the
+          // fully-up view that placeable masks out.
+          category = any_down && try_place(job, free_nodes).has_value()
+                         ? BlameCategory::kOutageBlocked
+                         : BlameCategory::kResourceBusy;
+        } else if (idx == 0) {
+          // Unreachable — dispatch starts every placeable head — but a
+          // defensive fallback beats asserting inside an observer.
+          category = BlameCategory::kResourceBusy;
+        } else if (!backfills || last_shadow == kInf) {
+          // No reservation bound exists (strict policy, or the head
+          // waits on an outage recovery): queue order alone holds the
+          // job back — split by WHY the head outranks it.
+          category = policy_->displaces(*head, job)
+                         ? BlameCategory::kPriorityDisplaced
+                         : BlameCategory::kHeldBehindReservation;
+        } else {
+          // The scan examined this placeable candidate and rejected it
+          // on the admission test `clock + estimate <= shadow`;
+          // re-derive which bound inside the estimate bit.
+          const ExecutionProfile& replay = replay_for(job, *placement);
+          const double remaining =
+              attempt_seconds(replay, progress[job.id].credited_fraction);
+          if (priced && job.walltime_s <= 0.0 &&
+              clock + remaining <= last_shadow) {
+            // The raw replay remainder fits the promise; only the
+            // WAN-drain pricing pushed the estimate past it.
+            category = BlameCategory::kWanContendedPlacement;
+          } else if (job.walltime_s > 0.0 &&
+                     clock + remaining <= last_shadow) {
+            // The work fits the promise but the user's walltime ask
+            // (what EASY must plan with) does not.
+            category = BlameCategory::kWalltimeEstimateBlocked;
+          } else {
+            category = policy_->displaces(*head, job)
+                           ? BlameCategory::kPriorityDisplaced
+                           : BlameCategory::kHeldBehindReservation;
+          }
+        }
+      }
+      const int cat = static_cast<int>(category);
+      const auto [state, inserted] =
+          blame_open.emplace(job.id, BlameOpen{cat, clock});
+      if (!inserted && state->second.category != cat) {
+        blame_flush(job.id, clock);
+        state->second.category = cat;
+      }
     }
   };
 
@@ -955,6 +1121,23 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       if (p.attempts <= options_.max_retries) {
         ++report.requeued_jobs;
         Job job = std::move(victim.job);
+        if (blame_on) {
+          // The killed attempt's runtime is wait the job must sit out
+          // again — blamed as rerun time, which keeps the categories
+          // summing to (final start - arrival) across retries.
+          blame_totals[job.id][static_cast<std::size_t>(
+              BlameCategory::kRequeuedRerun)] += elapsed;
+          if (tracer != nullptr) {
+            ServiceTraceEvent te;
+            te.t_s = ev.time_s;
+            te.kind = TraceKind::kWaitBlame;
+            te.job = job.id;
+            te.value = elapsed;
+            te.value2 =
+                static_cast<double>(BlameCategory::kRequeuedRerun);
+            tracer->record(std::move(te));
+          }
+        }
         if (tracer != nullptr) {
           ServiceTraceEvent te;
           te.t_s = ev.time_s;
@@ -989,6 +1172,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
                                "running work, WAN drains, outage "
                                "recoveries, or future arrivals");
     if (wan_on) {
+      PhaseScope scope(profiler, ProfilePhase::kWanAdvance);
       wan->advance(wan_clock, t);
       wan_clock = std::max(wan_clock, t);
     }
@@ -1001,87 +1185,90 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     // Event precedence at one instant: completions (and walltime kills)
     // first, then outage boundaries, then arrivals — a job that finishes
     // exactly when its cluster fails has finished.
-    for (bool found = true; found;) {
-      found = false;
-      std::size_t best = 0;
-      for (std::size_t i = 0; i < running.size(); ++i) {
-        if (event_of(running[i]) > clock) continue;
-        if (!found || event_of(running[i]) < event_of(running[best]) ||
-            (event_of(running[i]) == event_of(running[best]) &&
-             running[i].seq < running[best].seq)) {
-          best = i;
-          found = true;
+    {
+      PhaseScope phase(profiler, ProfilePhase::kCompletionExtract);
+      for (bool found = true; found;) {
+        found = false;
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < running.size(); ++i) {
+          if (event_of(running[i]) > clock) continue;
+          if (!found || event_of(running[i]) < event_of(running[best]) ||
+              (event_of(running[i]) == event_of(running[best]) &&
+               running[i].seq < running[best].seq)) {
+            best = i;
+            found = true;
+          }
         }
-      }
-      if (!found) break;
-      // The scan above selects the (event time, seq) minimum, which no
-      // vector order can change — so the erase is a swap-and-pop, O(1)
-      // instead of shifting the running tail per completion.
-      Running done = std::move(running[best]);
-      if (best != running.size() - 1) {
-        running[best] = std::move(running.back());
-      }
-      running.pop_back();
-      release_nodes(done.placement);
-      const double nodes = static_cast<double>(done.placement.total_nodes);
-      if (completes(done)) {
-        const double finish = wan_finish(done);
-        const double held = finish - done.start_s;
-        useful_node_seconds += nodes * held;
-        useful_flops_total += model::useful_flops(done.job.m, done.job.n);
-        if (wan_on) {
-          wan->retire(done.flow, report.wan_egress_bytes,
-                     report.wan_ingress_bytes);
+        if (!found) break;
+        // The scan above selects the (event time, seq) minimum, which no
+        // vector order can change — so the erase is a swap-and-pop, O(1)
+        // instead of shifting the running tail per completion.
+        Running done = std::move(running[best]);
+        if (best != running.size() - 1) {
+          running[best] = std::move(running.back());
+        }
+        running.pop_back();
+        release_nodes(done.placement);
+        const double nodes = static_cast<double>(done.placement.total_nodes);
+        if (completes(done)) {
+          const double finish = wan_finish(done);
+          const double held = finish - done.start_s;
+          useful_node_seconds += nodes * held;
+          useful_flops_total += model::useful_flops(done.job.m, done.job.n);
+          if (wan_on) {
+            wan->retire(done.flow, report.wan_egress_bytes,
+                       report.wan_ingress_bytes);
+          } else {
+            charge_wan(done, 1.0 - done.start_fraction);
+          }
+          const ExecutionResult exec =
+              execute_attempt(done, /*killed=*/false, 1.0);
+          ++report.completed_jobs;
+          if (tracer != nullptr) {
+            ServiceTraceEvent ev;
+            ev.t_s = finish;
+            ev.kind = TraceKind::kCompletion;
+            ev.job = done.job.id;
+            ev.flow = done.flow;
+            ev.value = held;                 // service seconds of the attempt
+            ev.value2 = finish - done.finish_s;  // WAN drain stretch past replay
+            tracer->record(std::move(ev));
+          }
+          record_outcome(done, finish, JobFate::kCompleted, exec);
         } else {
-          charge_wan(done, 1.0 - done.start_fraction);
+          // Ran past its user walltime: killed for good, everything wasted.
+          const double held = done.kill_s - done.start_s;
+          Progress& p = progress[done.job.id];
+          p.wasted_node_s += nodes * held;
+          report.wasted_node_seconds += nodes * held;
+          // Capped coverage as in the outage path: the checkpoint tail
+          // stretches the attempt beyond its replay share, and the share is
+          // all the work (and WAN bytes) it can ever have done.
+          const double covered =
+              std::min(held / (done.finish_s - done.start_s), 1.0) *
+              (1.0 - done.start_fraction);
+          if (wan_on) {
+            wan->retire(done.flow, report.wan_egress_bytes,
+                       report.wan_ingress_bytes);
+          } else {
+            charge_wan(done, covered);
+          }
+          const ExecutionResult exec = execute_attempt(
+              done, /*killed=*/true, done.start_fraction + covered);
+          ++report.killed_jobs;
+          ++report.walltime_kills;
+          ++report.failed_jobs;
+          if (tracer != nullptr) {
+            ServiceTraceEvent ev;
+            ev.t_s = done.kill_s;
+            ev.kind = TraceKind::kWalltimeKill;
+            ev.job = done.job.id;
+            ev.flow = done.flow;
+            ev.value = held;  // node-holding seconds the kill threw away
+            tracer->record(std::move(ev));
+          }
+          record_outcome(done, done.kill_s, JobFate::kWalltimeKilled, exec);
         }
-        const ExecutionResult exec =
-            execute_attempt(done, /*killed=*/false, 1.0);
-        ++report.completed_jobs;
-        if (tracer != nullptr) {
-          ServiceTraceEvent ev;
-          ev.t_s = finish;
-          ev.kind = TraceKind::kCompletion;
-          ev.job = done.job.id;
-          ev.flow = done.flow;
-          ev.value = held;                 // service seconds of the attempt
-          ev.value2 = finish - done.finish_s;  // WAN drain stretch past replay
-          tracer->record(std::move(ev));
-        }
-        record_outcome(done, finish, JobFate::kCompleted, exec);
-      } else {
-        // Ran past its user walltime: killed for good, everything wasted.
-        const double held = done.kill_s - done.start_s;
-        Progress& p = progress[done.job.id];
-        p.wasted_node_s += nodes * held;
-        report.wasted_node_seconds += nodes * held;
-        // Capped coverage as in the outage path: the checkpoint tail
-        // stretches the attempt beyond its replay share, and the share is
-        // all the work (and WAN bytes) it can ever have done.
-        const double covered =
-            std::min(held / (done.finish_s - done.start_s), 1.0) *
-            (1.0 - done.start_fraction);
-        if (wan_on) {
-          wan->retire(done.flow, report.wan_egress_bytes,
-                     report.wan_ingress_bytes);
-        } else {
-          charge_wan(done, covered);
-        }
-        const ExecutionResult exec = execute_attempt(
-            done, /*killed=*/true, done.start_fraction + covered);
-        ++report.killed_jobs;
-        ++report.walltime_kills;
-        ++report.failed_jobs;
-        if (tracer != nullptr) {
-          ServiceTraceEvent ev;
-          ev.t_s = done.kill_s;
-          ev.kind = TraceKind::kWalltimeKill;
-          ev.job = done.job.id;
-          ev.flow = done.flow;
-          ev.value = held;  // node-holding seconds the kill threw away
-          tracer->record(std::move(ev));
-        }
-        record_outcome(done, done.kill_s, JobFate::kWalltimeKilled, exec);
       }
     }
 
@@ -1103,7 +1290,11 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       pending.push(std::move(job), predicted);
     }
 
-    dispatch();
+    {
+      PhaseScope phase(profiler, ProfilePhase::kDispatchScan);
+      dispatch();
+    }
+    if (blame_on) classify_waits();
 
     if (metrics != nullptr) {
       // Step curves over virtual time, sampled once per event-loop
@@ -1195,6 +1386,58 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       metrics->set("wan.backbone_busy_frac", report.wan_backbone_busy);
       metrics->set("wan.live_flows.peak",
                    static_cast<double>(wan->peak_live_flows()));
+    }
+    if (blame_on) {
+      // Wait-blame rollups over the sorted outcomes: grid-wide totals
+      // (all categories, zeros included — a stable key set), plus the
+      // nonzero per-user and per-priority-class splits.
+      std::array<double, kBlameCategoryCount> total{};
+      std::map<int, std::array<double, kBlameCategoryCount>> by_user;
+      std::map<int, std::array<double, kBlameCategoryCount>> by_prio;
+      for (const JobOutcome& o : report.outcomes) {
+        for (int k = 0; k < kBlameCategoryCount; ++k) {
+          const double s = o.blame_s[static_cast<std::size_t>(k)];
+          total[static_cast<std::size_t>(k)] += s;
+          by_user[o.job.user][static_cast<std::size_t>(k)] += s;
+          by_prio[o.job.priority][static_cast<std::size_t>(k)] += s;
+        }
+      }
+      for (int k = 0; k < kBlameCategoryCount; ++k) {
+        metrics->set(
+            "blame.total." +
+                blame_category_name(static_cast<BlameCategory>(k)) + "_s",
+            total[static_cast<std::size_t>(k)]);
+      }
+      for (const auto& [user, per_cat] : by_user) {
+        for (int k = 0; k < kBlameCategoryCount; ++k) {
+          if (per_cat[static_cast<std::size_t>(k)] <= 0.0) continue;
+          metrics->set(
+              "blame.user." + std::to_string(user) + "." +
+                  blame_category_name(static_cast<BlameCategory>(k)) + "_s",
+              per_cat[static_cast<std::size_t>(k)]);
+        }
+      }
+      for (const auto& [prio, per_cat] : by_prio) {
+        for (int k = 0; k < kBlameCategoryCount; ++k) {
+          if (per_cat[static_cast<std::size_t>(k)] <= 0.0) continue;
+          metrics->set(
+              "blame.prio." + std::to_string(prio) + "." +
+                  blame_category_name(static_cast<BlameCategory>(k)) + "_s",
+              per_cat[static_cast<std::size_t>(k)]);
+        }
+      }
+    }
+    if (profiler != nullptr) {
+      // Wall times are nondeterministic by nature; they live here and in
+      // BENCH totals only, never in the virtual-time event stream.
+      for (int i = 0; i < kProfilePhaseCount; ++i) {
+        const auto phase = static_cast<ProfilePhase>(i);
+        const std::string base =
+            std::string("profiler.") + profile_phase_name(phase);
+        metrics->set(base + ".wall_s", profiler->total_s(phase));
+        metrics->set(base + ".calls",
+                     static_cast<double>(profiler->calls(phase)));
+      }
     }
   }
   return report;

@@ -73,6 +73,7 @@
 namespace qrgrid::sched {
 
 class MetricsRegistry;
+class PhaseProfiler;
 class ServiceTracer;
 
 struct ServiceOptions {
@@ -170,6 +171,20 @@ struct ServiceOptions {
   /// scheduling decision.
   ServiceTracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Wait-blame attribution: classify, per pending job per vtime
+  /// interval, why it did not start (the BlameCategory taxonomy in
+  /// sched/telemetry.hpp), emitted as kWaitBlame events (tracer), rolled
+  /// up per job/user/priority class (metrics), and copied into each
+  /// JobOutcome::blame_s. The categories partition each job's reported
+  /// wait exactly. Off (the default) skips the classification pass
+  /// entirely: traces and metrics are byte-identical to a build without
+  /// it, and service outcomes are identical either way.
+  bool wait_blame = false;
+  /// Scoped wall-clock phase timers around the loop's hot phases
+  /// (sched/profiler.hpp). Null (the default) never reads a clock. Wall
+  /// times land in `profiler.*` gauges only — never in the virtual-time
+  /// trace — so trace byte-determinism is unaffected.
+  PhaseProfiler* profiler = nullptr;
 };
 
 /// Grid-wide accounting of one service run.

@@ -102,6 +102,30 @@ std::string trace_kind_name(TraceKind kind) {
       return "profile-compute";
     case TraceKind::kExecute:
       return "execute";
+    case TraceKind::kWaitBlame:
+      return "wait-blame";
+  }
+  return "unknown";
+}
+
+std::string blame_category_name(BlameCategory category) {
+  switch (category) {
+    case BlameCategory::kResourceBusy:
+      return "resource-busy";
+    case BlameCategory::kHeldBehindReservation:
+      return "held-behind-reservation";
+    case BlameCategory::kPriorityDisplaced:
+      return "priority-displaced";
+    case BlameCategory::kWanContendedPlacement:
+      return "wan-contended-placement";
+    case BlameCategory::kOutageBlocked:
+      return "outage-blocked";
+    case BlameCategory::kBackfillDepthTruncated:
+      return "backfill-depth-truncated";
+    case BlameCategory::kWalltimeEstimateBlocked:
+      return "walltime-estimate-blocked";
+    case BlameCategory::kRequeuedRerun:
+      return "requeued-rerun";
   }
   return "unknown";
 }
@@ -504,6 +528,7 @@ void TraceValidator::consume(const ServiceTraceEvent& event) {
       const int bits = static_cast<int>(event.value);
       enforce_no_delay_ = (bits & kTraceConfigWanContention) == 0 &&
                           (bits & kTraceConfigHasOutages) == 0;
+      check_blame_ = (bits & kTraceConfigWaitBlame) != 0;
       break;
     }
     case TraceKind::kArrival:
@@ -511,6 +536,7 @@ void TraceValidator::consume(const ServiceTraceEvent& event) {
         fail(event, "job arrived twice");
       } else {
         jobs_[event.job] = JobState::kPending;
+        arrival_s_[event.job] = event.t_s;
       }
       break;
     case TraceKind::kDispatch:
@@ -521,6 +547,20 @@ void TraceValidator::consume(const ServiceTraceEvent& event) {
         break;
       }
       it->second = JobState::kRunning;
+      if (check_blame_) {
+        // The partition invariant: everything between submission and this
+        // start has been blamed on exactly one category per interval, so
+        // the accumulated blame equals the elapsed wait. Tolerance covers
+        // float accumulation over many telescoping intervals only.
+        const double wait = event.t_s - arrival_s_[event.job];
+        const double blamed = blame_sum_s_[event.job];
+        const double tol = 1e-6 + 1e-9 * std::abs(wait);
+        if (std::abs(blamed - wait) > tol) {
+          fail(event, "wait-blame does not partition the wait: blamed " +
+                          std::to_string(blamed) + " s of " +
+                          std::to_string(wait) + " s waited");
+        }
+      }
       auto promise = promises_.find(event.job);
       if (promise != promises_.end()) {
         if (enforce_no_delay_ && event.t_s > promise->second + 1e-9) {
@@ -583,6 +623,33 @@ void TraceValidator::consume(const ServiceTraceEvent& event) {
         break;
       }
       it->second = JobState::kTerminal;
+      break;
+    }
+    case TraceKind::kWaitBlame: {
+      if (event.value < 0.0) {
+        fail(event, "negative blame interval");
+        break;
+      }
+      const int category = static_cast<int>(event.value2);
+      if (category < 0 || category >= kBlameCategoryCount ||
+          static_cast<double>(category) != event.value2) {
+        fail(event, "invalid blame category " + std::to_string(event.value2));
+        break;
+      }
+      auto it = jobs_.find(event.job);
+      // Waiting blame attaches to pending jobs; the requeued-rerun share
+      // is stamped in the killed-limbo between an outage kill and its
+      // requeue (the interval the job spent re-running, not queued).
+      const bool rerun =
+          category == static_cast<int>(BlameCategory::kRequeuedRerun);
+      if (it == jobs_.end() ||
+          (rerun ? it->second != JobState::kKilledLimbo
+                 : it->second != JobState::kPending)) {
+        fail(event, rerun ? "rerun blame outside an outage-kill limbo"
+                          : "wait blame for a job that is not pending");
+        break;
+      }
+      blame_sum_s_[event.job] += event.value;
       break;
     }
     case TraceKind::kWanFlowOpen: {

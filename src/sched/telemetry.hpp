@@ -72,8 +72,52 @@ enum class TraceKind : int {
   kWanRebalance,         ///< share structure changed (pools drained)
   kProfileCompute,       ///< backend computed (not cache-hit) a profile
   kExecute,              ///< msg backend ran an attempt for real
+  kWaitBlame,            ///< why a pending job did not start (value =
+                         ///  interval seconds, value2 = BlameCategory)
 };
 std::string trace_kind_name(TraceKind kind);
+
+/// Why a pending job did NOT start during one vtime interval — the
+/// wait-blame taxonomy the service's attribution pass (ServiceOptions::
+/// wait_blame) classifies every pending job into at every dispatch
+/// decision. The categories PARTITION each job's reported wait exactly:
+/// summed over a job's kWaitBlame events they equal wait_s (start of the
+/// final attempt minus arrival), which the TraceValidator enforces on
+/// every dispatch when the kRunConfig stream says blame is on.
+enum class BlameCategory : int {
+  /// Not enough free nodes anywhere (the generic saturated-grid reason).
+  kResourceBusy = 0,
+  /// Placeable right now, but starting it could delay the blocked head's
+  /// reservation (EASY shadow test failed even on the exact replay
+  /// remainder) — or, under a non-backfilling policy, the queue
+  /// discipline holds it behind the blocked head.
+  kHeldBehindReservation,
+  /// Placeable right now, held back behind a STRICTLY higher-priority
+  /// (or, under fair-share, more-owed) head the policy ordered first.
+  kPriorityDisplaced,
+  /// Placeable and its exact/walltime estimate fits the reservation, but
+  /// the WAN-priced estimate (drain shares alongside in-flight flows)
+  /// does not — contention on the shared links is what blocks it.
+  kWanContendedPlacement,
+  /// Placement fails on the up clusters but would succeed were every
+  /// down cluster recovered: an outage, not load, blocks it.
+  kOutageBlocked,
+  /// Behind the backfill-depth bound (ServiceOptions::backfill_depth):
+  /// the dispatch pass never even examined it.
+  kBackfillDepthTruncated,
+  /// Placeable, and the exact replay remainder would fit the
+  /// reservation, but the user's over-asked walltime estimate does not —
+  /// the over-ask, not the work, blocks the backfill.
+  kWalltimeEstimateBlocked,
+  /// Not pending at all: wait clock consumed re-running attempts an
+  /// outage killed (requeued jobs only). Closes the partition so blame
+  /// sums to wait_s even across retries.
+  kRequeuedRerun,
+};
+inline constexpr int kBlameCategoryCount = 8;
+/// Stable kebab-case labels ("resource-busy", ...) — metric key suffixes
+/// and the plot_sweep.py --blame legend.
+std::string blame_category_name(BlameCategory category);
 
 /// One structured event. Fixed, kind-specific payload slots: `value` /
 /// `value2` carry the promised start, byte totals, or measured seconds;
@@ -97,6 +141,7 @@ struct ServiceTraceEvent {
 inline constexpr int kTraceConfigWanContention = 1;
 inline constexpr int kTraceConfigHasOutages = 2;
 inline constexpr int kTraceConfigBackfills = 4;
+inline constexpr int kTraceConfigWaitBlame = 8;
 
 /// Streaming consumer of the event stream (the validator; tests plug in
 /// their own). Registered sinks see every event as it is recorded.
@@ -238,7 +283,13 @@ std::string render_cluster_gantt(const std::vector<ServiceTraceEvent>& events,
 ///     say it is provable (no outages, no WAN contention);
 ///   - WAN byte conservation per flow: moved bytes never exceed the
 ///     admitted demand, and a fully drained flow moved exactly what it
-///     admitted (half-byte rounding slack per pool).
+///     admitted (half-byte rounding slack per pool);
+///   - wait-blame partition (when the kRunConfig flags carry
+///     kTraceConfigWaitBlame): kWaitBlame intervals are non-negative,
+///     carry a valid category, attach only to jobs that are pending (or
+///     in the killed-limbo between an outage kill and its requeue), and
+///     at every dispatch the job's accumulated blame equals its elapsed
+///     wait since arrival exactly — the categories partition the wait.
 /// Violations accumulate as human-readable strings; finish() adds the
 /// end-of-stream checks (no job left running, every flow retired).
 class TraceValidator : public TraceSink {
@@ -264,10 +315,13 @@ class TraceValidator : public TraceSink {
   double last_t_s_ = 0.0;
   int last_class_ = 0;  ///< precedence class at last_t_s_
   bool enforce_no_delay_ = false;
+  bool check_blame_ = false;
   bool saw_config_ = false;
   std::map<int, JobState> jobs_;
   std::map<int, double> promises_;  ///< job -> tightest unwithdrawn claim
   std::map<int, FlowState> flows_;
+  std::map<int, double> arrival_s_;   ///< job -> submission instant
+  std::map<int, double> blame_sum_s_; ///< job -> accumulated blame
 };
 
 /// Convenience wrapper: replays a recorded stream through a fresh

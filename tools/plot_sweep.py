@@ -37,11 +37,23 @@ step curves.
 
     plot_sweep.py --timeline metrics.json --out timeline
       -> timeline.dat (always), timeline.png (if matplotlib is present)
+
+Blame mode renders the wait-blame decomposition of ONE run (started
+with `serve --blame --metrics-out`): for each user and each priority
+class, the total seconds its jobs spent pending broken down by
+BlameCategory (resource-busy, held-behind-reservation, ...), as a
+stacked bar per group. The grand total equals the sum of every job's
+reported wait — the service's validator enforces that partition — so
+the bars answer "who waited, and on what" exactly.
+
+    plot_sweep.py --blame metrics.json --out blame
+      -> blame.dat (always), blame.png (if matplotlib is present)
 """
 import argparse
 import collections
 import csv
 import json
+import re
 import sys
 
 
@@ -192,6 +204,98 @@ def write_timeline_png(series, path):
     return True
 
 
+BLAME_GAUGE = re.compile(r"^blame\.(total|user\.(\d+)|prio\.(\d+))\."
+                         r"(.+)_s$")
+
+
+def read_blame(path):
+    """-> (categories, {group_label: {category: seconds}}).
+
+    Groups are "user <u>" and "prio <p>"; the "total" rollup is kept
+    separately under the label "total" for the partition cross-check.
+    Categories are ordered by their share of the total rollup, largest
+    first, so stacked bars read top-contributor-first.
+    """
+    with open(path) as f:
+        metrics = json.load(f)
+    groups = collections.defaultdict(dict)
+    for name, value in metrics.get("gauges", {}).items():
+        m = BLAME_GAUGE.match(name)
+        if not m:
+            continue
+        group = "total" if m.group(1) == "total" else \
+            f"user {m.group(2)}" if m.group(2) is not None else \
+            f"prio {m.group(3)}"
+        groups[group][m.group(4)] = float(value)
+    if "total" not in groups:
+        raise SystemExit(
+            f"{path}: no blame.* gauges (was the run started with "
+            "--blame --metrics-out?)")
+    categories = sorted(groups["total"],
+                        key=lambda c: (-groups["total"][c], c))
+    return categories, dict(groups)
+
+
+def write_blame_dat(categories, groups, path):
+    with open(path, "w") as f:
+        f.write("# group " + " ".join(c.replace(" ", "-")
+                                      for c in categories) + " sum_s\n")
+        for group in sorted(groups):
+            values = [groups[group].get(c, 0.0) for c in categories]
+            f.write(f"{group.replace(' ', '')} "
+                    + " ".join(f"{v:.6g}" for v in values)
+                    + f" {sum(values):.6g}\n")
+
+
+def write_blame_png(categories, groups, path):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; wrote .dat only", file=sys.stderr)
+        return False
+    labels = [g for g in sorted(groups) if g != "total"] or ["total"]
+    fig, ax = plt.subplots(figsize=(1.6 + 1.1 * len(labels), 5.0))
+    bottom = [0.0] * len(labels)
+    for cat in categories:
+        heights = [groups[g].get(cat, 0.0) for g in labels]
+        if not any(heights):
+            continue
+        ax.bar(labels, heights, bottom=bottom, label=cat)
+        bottom = [b + h for b, h in zip(bottom, heights)]
+    ax.set_ylabel("pending seconds, by blame category")
+    ax.set_title("Why jobs waited (wait-blame decomposition)")
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    return True
+
+
+def run_blame(metrics_path, out):
+    categories, groups = read_blame(metrics_path)
+    dat = out + ".dat"
+    write_blame_dat(categories, groups, dat)
+    made_png = write_blame_png(categories, groups, out + ".png")
+    print(f"wrote {dat}" + (f" and {out}.png" if made_png else ""))
+    total = sum(groups["total"].values())
+    for group in sorted(groups):
+        parts = ", ".join(
+            f"{c} {groups[group][c]:.4g}s"
+            for c in categories if groups[group].get(c, 0.0) > 0.0)
+        print(f"  {group}: {sum(groups[group].values()):.6g}s total"
+              + (f" ({parts})" if parts else " (never waited)"))
+    # The user and prio rollups each partition the same total; a
+    # mismatch would mean the exporter dropped a class.
+    for prefix in ("user", "prio"):
+        rolled = sum(sum(g.values()) for name, g in groups.items()
+                     if name.startswith(prefix + " "))
+        if rolled and abs(rolled - total) > 1e-6 + 1e-9 * abs(total):
+            raise SystemExit(f"per-{prefix} blame sums to {rolled:.6g}s "
+                             f"but blame.total.* sums to {total:.6g}s")
+
+
 def run_timeline(metrics_path, out):
     series = read_timeline(metrics_path)
     dat = out + ".dat"
@@ -216,17 +320,28 @@ def main():
                         help="render one run's vtime series (queue depth, "
                         "WAN link load) from a serve --metrics-out file "
                         "instead of aggregating sweep CSVs")
+    parser.add_argument("--blame", metavar="METRICS_JSON",
+                        help="render one run's wait-blame decomposition "
+                        "(stacked per-user / per-priority bars) from a "
+                        "serve --blame --metrics-out file")
     parser.add_argument("csvs", nargs="*", help="serve --csv outputs, "
                         "one per load point")
     args = parser.parse_args()
 
-    if args.timeline:
+    if args.timeline and args.blame:
+        parser.error("--timeline and --blame are mutually exclusive")
+    if args.timeline or args.blame:
         if args.csvs:
-            parser.error("--timeline takes the metrics JSON, not CSVs")
-        run_timeline(args.timeline, args.out)
+            parser.error("--timeline/--blame take the metrics JSON, "
+                         "not CSVs")
+        if args.timeline:
+            run_timeline(args.timeline, args.out)
+        else:
+            run_blame(args.blame, args.out)
         return
     if not args.csvs:
-        parser.error("pass sweep CSVs, or --timeline metrics.json")
+        parser.error("pass sweep CSVs, --timeline metrics.json, or "
+                     "--blame metrics.json")
 
     series = read_points(args.csvs)
     dat = args.out + ".dat"

@@ -27,6 +27,7 @@
 //                        [--priorities L]
 //                        [--mtbf S] [--repair S] [--outage-seed X]
 //                        [--walltime-factor F] [--retries K]
+//                        [--backfill-depth D]
 //                        [--restart-credit] [--panels K]
 //                        [--checkpoint-cost S] [--wan-gbps G]
 //                        [--backbone-gbps G] [--wan-contention]
@@ -77,10 +78,21 @@
 //       writes the metrics registry (counters, gauges, histograms,
 //       virtual-time series — tools/plot_sweep.py --timeline plots it);
 //       --gantt[=N] prints a per-cluster occupancy Gantt for the N
-//       busiest clusters (default 8). Any of the three arms the tracer,
-//       and every traced run is checked by the streaming invariant
-//       validator (non-zero exit on violation). When --policy all runs
-//       several policies, output filenames get a .<policy> suffix.
+//       busiest clusters (default 8). --blame turns on wait-blame
+//       attribution (ServiceOptions::wait_blame): every pending job's
+//       wait is partitioned into the BlameCategory taxonomy, emitted as
+//       kWaitBlame events (validator-enforced partition) and rolled up
+//       as blame.* gauges in --metrics-out. --critpath-out FILE
+//       reconstructs the run's makespan-critical chain from the trace
+//       (sched/critpath.hpp) and writes it as JSON; the CLI self-checks
+//       that the chain tiles [0, makespan] exactly. --profile arms the
+//       scoped self-profiler (wall seconds per event-loop phase),
+//       printed per policy and exported as profiler.* gauges when
+//       --metrics-out is armed. Any of --trace-out / --gantt / --blame /
+//       --critpath-out arms the tracer, and every traced run is checked
+//       by the streaming invariant validator (non-zero exit on
+//       violation). When --policy all runs several policies, output
+//       filenames get a .<policy> suffix.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -97,6 +109,8 @@
 #include "linalg/norms.hpp"
 #include "model/costs.hpp"
 #include "model/roofline.hpp"
+#include "sched/critpath.hpp"
+#include "sched/profiler.hpp"
 #include "sched/service.hpp"
 #include "sched/telemetry.hpp"
 #include "sched/workload.hpp"
@@ -416,7 +430,11 @@ int cmd_serve(const Args& args) {
     const std::string raw = args.get("gantt", "");
     if (!raw.empty()) gantt_clusters = std::stoi(raw);
   }
-  const bool want_trace = !trace_out.empty() || want_gantt;
+  const std::string critpath_out = args.get("critpath-out", "");
+  const bool want_blame = args.flag("blame");
+  const bool want_profile = args.flag("profile");
+  const bool want_trace = !trace_out.empty() || want_gantt ||
+                          !critpath_out.empty() || want_blame;
   const bool want_metrics = !metrics_out.empty();
   // With several policies in one run, suffix output files per policy.
   const auto policy_path = [&](const std::string& path,
@@ -495,14 +513,19 @@ int cmd_serve(const Args& args) {
   for (sched::Policy policy : policies) {
     sched::ServiceTracer tracer;
     sched::MetricsRegistry metrics;
+    sched::PhaseProfiler profiler;
     sched::ServiceOptions options;
     options.policy = policy;
     options.tracer = want_trace ? &tracer : nullptr;
     options.metrics = want_metrics ? &metrics : nullptr;
+    options.wait_blame = want_blame;
+    options.profiler = want_profile ? &profiler : nullptr;
     if (mtbf_s > 0.0) {
       options.outages = sched::OutageTrace(outage_spec, topo.num_clusters());
     }
     options.max_retries = static_cast<int>(args.num("retries", 3));
+    options.backfill_depth =
+        static_cast<int>(args.num("backfill-depth", 0));
     options.restart_credit = args.flag("restart-credit");
     options.checkpoint_panels = static_cast<int>(args.num("panels", 8));
     options.checkpoint_cost_s = args.num("checkpoint-cost", 0.0);
@@ -548,6 +571,43 @@ int cmd_serve(const Args& args) {
                << sched::render_cluster_gantt(tracer.events(), topo,
                                               gantt_clusters);
       }
+      if (!critpath_out.empty()) {
+        const sched::CriticalPathReport cp =
+            sched::analyze_critical_path(tracer.events());
+        // Self-gate before writing anything: the chain must tile
+        // [0, makespan] with exactly-adjacent tiles, and the trace's
+        // makespan must be the report's to the last bit.
+        bool tiles = cp.chain.empty()
+                         ? report.makespan_s == 0.0
+                         : cp.chain.front().t0_s == 0.0 &&
+                               cp.chain.back().t1_s == report.makespan_s;
+        for (std::size_t i = 0; tiles && i + 1 < cp.chain.size(); ++i) {
+          tiles = cp.chain[i].t1_s == cp.chain[i + 1].t0_s;
+        }
+        QRGRID_CHECK_MSG(
+            tiles && cp.makespan_s == report.makespan_s,
+            "critical path does not tile the reported makespan under "
+                << policy_name(policy));
+        const std::string path = policy_path(critpath_out, policy);
+        std::ofstream out(path);
+        QRGRID_CHECK_MSG(out.is_open(),
+                         "cannot open --critpath-out " << path);
+        sched::write_critpath_json(cp, out);
+        std::cout << "critical path: " << cp.chain_attempts
+                  << " attempt(s), length "
+                  << format_number(cp.path_length_s(), 5)
+                  << " s tiles the makespan; written to " << path << '\n';
+      }
+    }
+    if (want_profile) {
+      std::cout << "self-profile (" << policy_name(policy) << "):";
+      for (int i = 0; i < sched::kProfilePhaseCount; ++i) {
+        const auto phase = static_cast<sched::ProfilePhase>(i);
+        std::cout << ' ' << sched::profile_phase_name(phase) << ' '
+                  << format_number(profiler.total_s(phase) * 1e3, 4)
+                  << " ms/" << profiler.calls(phase);
+      }
+      std::cout << '\n';
     }
     if (!metrics_out.empty()) {
       const std::string path = policy_path(metrics_out, policy);

@@ -92,6 +92,12 @@ SubTopology placement_topology(const simgrid::GridTopology& master,
 
 }  // namespace
 
+const std::vector<ProfileExemplar>& ExecutionBackend::profile_exemplars()
+    const {
+  static const std::vector<ProfileExemplar> kEmpty;
+  return kEmpty;
+}
+
 DesReplayBackend::DesReplayBackend(const simgrid::GridTopology* topology,
                                    model::Roofline roofline,
                                    BackendOptions options)
@@ -174,6 +180,10 @@ const ExecutionProfile& DesReplayBackend::profile(const Job& job,
   }
   const ExecutionProfile& entry =
       profile_cache_.emplace(key.str(), std::move(profile)).first->second;
+  // Exemplar for snapshot pre-warm: the key above is a pure function of
+  // (job shape, placement, backend options), so replaying this pair
+  // recomputes exactly this cache entry.
+  exemplars_.push_back(ProfileExemplar{job, placement});
   if (tracer_ != nullptr) {
     ServiceTraceEvent ev;
     ev.t_s = tracer_->now_s();

@@ -137,6 +137,17 @@ SubTopology make_sub_topology(const simgrid::GridTopology& master,
                               const std::vector<int>& order);
 std::vector<int> identity_order(int num_clusters);
 
+/// One profile-cache MISS, recorded in computation order: the (job
+/// shape, placement) pair whose profile the backend had to compute. A
+/// restored service replays these through profile() with telemetry
+/// unbound, silently pre-warming the cache so every FUTURE hit/miss
+/// counter and kProfileCompute event matches the uninterrupted run's
+/// byte-for-byte.
+struct ProfileExemplar {
+  Job job;
+  Placement placement;
+};
+
 /// How granted attempts run. profile() is what the service schedules and
 /// accounts with — it MUST be backend-independent (see the header
 /// comment); execute() is the optional real run.
@@ -171,6 +182,10 @@ class ExecutionBackend {
     metrics_ = metrics;
   }
 
+  /// Snapshot seam: every cache miss this backend ever computed, in
+  /// order. The base backend has no cache and returns an empty list.
+  virtual const std::vector<ProfileExemplar>& profile_exemplars() const;
+
  protected:
   ServiceTracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
@@ -191,6 +206,10 @@ class DesReplayBackend : public ExecutionBackend {
     return {};
   }
 
+  const std::vector<ProfileExemplar>& profile_exemplars() const override {
+    return exemplars_;
+  }
+
  protected:
   const simgrid::GridTopology* topology_;
   model::Roofline roofline_;
@@ -198,6 +217,7 @@ class DesReplayBackend : public ExecutionBackend {
 
  private:
   std::unordered_map<std::string, ExecutionProfile> profile_cache_;
+  std::vector<ProfileExemplar> exemplars_;  ///< cache misses, in order
 };
 
 /// Threaded-runtime backend: schedules with the inherited DES profile

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "sched/policy.hpp"
+#include "sched/snapshot.hpp"
 #include "sched/telemetry.hpp"
 
 namespace qrgrid::sched {
@@ -29,6 +30,34 @@ std::string policy_name(Policy policy) {
     case Policy::kFairShare: return "fair";
   }
   return "?";
+}
+
+void save_job(SnapshotWriter& w, const Job& job) {
+  w.i32(job.id);
+  w.f64(job.arrival_s);
+  w.f64(job.m);
+  w.i32(job.n);
+  w.i32(job.procs);
+  w.i32(job.priority);
+  w.i32(job.user);
+  w.f64(job.weight);
+  w.i32(static_cast<int>(job.tree));
+  w.f64(job.walltime_s);
+}
+
+Job load_job(SnapshotReader& r) {
+  Job job;
+  job.id = r.i32();
+  job.arrival_s = r.f64();
+  job.m = r.f64();
+  job.n = r.i32();
+  job.procs = r.i32();
+  job.priority = r.i32();
+  job.user = r.i32();
+  job.weight = r.f64();
+  job.tree = static_cast<core::TreeKind>(r.i32());
+  job.walltime_s = r.f64();
+  return job;
 }
 
 std::string fate_name(JobFate fate) {

@@ -22,6 +22,8 @@ namespace qrgrid::sched {
 
 class MetricsRegistry;
 class SchedulingPolicy;
+class SnapshotWriter;
+class SnapshotReader;
 
 /// Names for the built-in policy objects (sched/policy.hpp). The service
 /// dispatches through the SchedulingPolicy interface, never on this enum;
@@ -64,6 +66,12 @@ struct Job {
   /// is killed (finally, no requeue) if an attempt runs past it.
   double walltime_s = 0.0;
 };
+
+/// Snapshot encoding of one Job, field by field with raw double bits —
+/// the shared building block of the service's pending/running/outcome
+/// serialization (sched/snapshot.hpp).
+void save_job(SnapshotWriter& w, const Job& job);
+Job load_job(SnapshotReader& r);
 
 /// How a job left the service.
 enum class JobFate {

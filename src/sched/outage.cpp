@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "sched/snapshot.hpp"
 
 namespace qrgrid::sched {
 
@@ -84,6 +87,77 @@ OutageEvent OutageTrace::pop() {
   s.down = !s.down;
   s.next_s += draw_exp(s.rng, s.down ? mean_down_s_ : mean_up_s_);
   return ev;
+}
+
+void OutageTrace::save_state(SnapshotWriter& w) const {
+  w.u64(cursor_);
+  w.u64(streams_.size());
+  for (const Stream& s : streams_) {
+    const Rng::State rs = s.rng.state();
+    for (int i = 0; i < 4; ++i) w.u64(rs.s[i]);
+    w.f64(rs.spare);
+    w.boolean(rs.has_spare);
+    w.f64(s.next_s);
+    w.boolean(s.down);
+  }
+}
+
+std::string OutageTrace::config_key() const {
+  // FNV-1a over the defining configuration, not the consumable position:
+  // cursor_ and already-consumed generator draws are restored by
+  // load_state(), whose precondition (same construction inputs) is
+  // exactly what this key pins.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_f64 = [&mix](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(events_.size());
+  for (const OutageEvent& e : events_) {
+    mix_f64(e.time_s);
+    mix(static_cast<std::uint64_t>(e.cluster));
+    mix(e.down ? 1u : 0u);
+  }
+  mix_f64(mean_up_s_);
+  mix_f64(mean_down_s_);
+  mix(streams_.size());
+  for (const Stream& s : streams_) {
+    // A pristine trace's stream states are a pure function of the seed,
+    // so hashing them keys the generator configuration without retaining
+    // the spec.
+    const Rng::State rs = s.rng.state();
+    for (int i = 0; i < 4; ++i) mix(rs.s[i]);
+  }
+  std::ostringstream out;
+  out << std::hex << h;
+  return out.str();
+}
+
+void OutageTrace::load_state(SnapshotReader& r) {
+  cursor_ = static_cast<std::size_t>(r.u64());
+  QRGRID_CHECK_MSG(cursor_ <= events_.size(),
+                   "snapshot outage cursor " << cursor_ << " beyond "
+                       << events_.size() << " explicit events");
+  const std::uint64_t n = r.u64();
+  QRGRID_CHECK_MSG(n == streams_.size(),
+                   "snapshot outage stream count " << n << " != configured "
+                       << streams_.size());
+  for (Stream& s : streams_) {
+    Rng::State rs;
+    for (int i = 0; i < 4; ++i) rs.s[i] = r.u64();
+    rs.spare = r.f64();
+    rs.has_spare = r.boolean();
+    s.rng.set_state(rs);
+    s.next_s = r.f64();
+    s.down = r.boolean();
+  }
 }
 
 }  // namespace qrgrid::sched

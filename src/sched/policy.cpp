@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "sched/backend.hpp"
+#include "sched/snapshot.hpp"
 #include "sched/telemetry.hpp"
 #include "sched/wan.hpp"
 
@@ -104,6 +105,28 @@ void FairSharePolicy::on_attempt_start(const Job& job, double node_seconds) {
 double FairSharePolicy::normalized_service(int user) const {
   const auto it = service_.find(user);
   return it == service_.end() ? 0.0 : it->second;
+}
+
+void FairSharePolicy::save_state(SnapshotWriter& w) const {
+  std::vector<int> users;
+  users.reserve(service_.size());
+  for (const auto& [user, _] : service_) users.push_back(user);
+  std::sort(users.begin(), users.end());
+  w.u64(users.size());
+  for (int user : users) {
+    w.i32(user);
+    w.f64(service_.at(user));
+  }
+}
+
+void FairSharePolicy::load_state(SnapshotReader& r) {
+  service_.clear();
+  clear_dirty();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int user = r.i32();
+    service_[user] = r.f64();
+  }
 }
 
 std::unique_ptr<SchedulingPolicy> make_policy(Policy policy) {

@@ -52,6 +52,8 @@ namespace qrgrid::sched {
 
 class GridWanModel;
 class MetricsRegistry;
+class SnapshotWriter;
+class SnapshotReader;
 
 class SchedulingPolicy {
  public:
@@ -132,6 +134,15 @@ class SchedulingPolicy {
   /// Forgets accrued state (fair-share deficits). run() calls it first,
   /// so one service can serve several workloads byte-identically.
   virtual void reset() {}
+
+  /// Snapshot seam: serialize/restore policy-private scheduling state
+  /// (fair-share deficits; nothing for the static-key policies). The
+  /// service snapshots only between steps, when the queue has synced any
+  /// dirty keys, so implementations need not serialize dirty-tracking
+  /// bookkeeping — load_state() restores a clean-synced policy. Defaults
+  /// are no-ops: a stateless policy round-trips for free.
+  virtual void save_state(SnapshotWriter&) const {}
+  virtual void load_state(SnapshotReader&) {}
 
   /// Observability seam: the service binds its (optional) metrics
   /// registry before a run so policies can report their own decision
@@ -218,6 +229,11 @@ class FairSharePolicy : public SchedulingPolicy {
   /// Normalized service a user has accumulated (node-seconds / weight);
   /// 0 for users never charged. Exposed for the fairness test suite.
   double normalized_service(int user) const;
+
+  /// Deficit map, serialized in sorted-user order (the map itself is
+  /// unordered; raw f64 bits keep restored ordering keys bit-exact).
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   std::unordered_map<int, double> service_;

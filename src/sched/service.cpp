@@ -15,6 +15,7 @@
 #include "core/des_algos.hpp"
 #include "model/costs.hpp"
 #include "sched/profiler.hpp"
+#include "sched/snapshot.hpp"
 #include "sched/telemetry.hpp"
 #include "sched/wan.hpp"
 #include "simgrid/jobprofile.hpp"
@@ -30,7 +31,86 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kGroupMaxLatencyS = 1e-3;
 constexpr double kGroupMinBandwidthBps = 100e6 / 8.0;
 
+/// Snapshot framing (see GridJobService::snapshot). The version bumps on
+/// ANY layout change — restore refuses mismatches instead of misreading.
+const char kSnapshotMagic[] = "QRGS";
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void save_placement(SnapshotWriter& w, const Placement& placement) {
+  w.i32_vec(placement.clusters);
+  w.i32_vec(placement.nodes);
+  w.i32(placement.total_nodes);
+}
+
+Placement load_placement(SnapshotReader& r) {
+  Placement placement;
+  placement.clusters = r.i32_vec();
+  placement.nodes = r.i32_vec();
+  placement.total_nodes = r.i32();
+  return placement;
+}
+
+void save_outcome(SnapshotWriter& w, const JobOutcome& o) {
+  save_job(w, o.job);
+  w.f64(o.start_s);
+  w.f64(o.finish_s);
+  w.f64(o.service_s);
+  w.f64(o.gflops);
+  w.i32_vec(o.clusters);
+  w.i32_vec(o.nodes_per_cluster);
+  w.i32(o.nodes);
+  w.boolean(o.backfilled);
+  w.i32(static_cast<int>(o.fate));
+  w.i32(o.attempts);
+  w.f64(o.wasted_node_s);
+  w.f64(o.credited_s);
+  w.f64(o.reserved_start_s);
+  w.f64(o.wan_slowdown);
+  w.boolean(o.executed);
+  w.boolean(o.exec_aborted);
+  w.f64(o.measured_s);
+  w.f64(o.residual);
+  w.f64(o.orthogonality);
+  w.f64_vec(o.blame_s);
+}
+
+JobOutcome load_outcome(SnapshotReader& r) {
+  JobOutcome o;
+  o.job = load_job(r);
+  o.start_s = r.f64();
+  o.finish_s = r.f64();
+  o.service_s = r.f64();
+  o.gflops = r.f64();
+  o.clusters = r.i32_vec();
+  o.nodes_per_cluster = r.i32_vec();
+  o.nodes = r.i32();
+  o.backfilled = r.boolean();
+  o.fate = static_cast<JobFate>(r.i32());
+  o.attempts = r.i32();
+  o.wasted_node_s = r.f64();
+  o.credited_s = r.f64();
+  o.reserved_start_s = r.f64();
+  o.wan_slowdown = r.f64();
+  o.executed = r.boolean();
+  o.exec_aborted = r.boolean();
+  o.measured_s = r.f64();
+  o.residual = r.f64();
+  o.orthogonality = r.f64();
+  o.blame_s = r.f64_vec();
+  return o;
+}
+
 }  // namespace
+
+double covered_span_fraction(double elapsed, double span) {
+  // span <= 0 only through floating-point absorption (start + tiny
+  // attempt_s == start); the old raw elapsed/span then produced +inf
+  // (clamped to 1 below — preserved) or, for elapsed == 0, NaN that
+  // poisoned the credit math. Zero elapsed over zero span is zero cover.
+  if (span <= 0.0) return elapsed > 0.0 ? 1.0 : 0.0;
+  if (elapsed <= 0.0) return 0.0;
+  return std::min(elapsed / span, 1.0);
+}
 
 long long total_wan_bytes(const ServiceReport& report) {
   long long bytes = 0;
@@ -117,6 +197,8 @@ GridJobService::GridJobService(simgrid::GridTopology topology,
   policy_->bind_metrics(options_.metrics);
   backend_->bind_telemetry(options_.tracer, options_.metrics);
 }
+
+GridJobService::~GridJobService() = default;
 
 double GridJobService::predicted_seconds(const Job& job) const {
   // Equation (1) with intra-cluster link constants and one domain per
@@ -210,10 +292,16 @@ std::optional<Placement> GridJobService::try_place(
 double GridJobService::attempt_seconds(const ExecutionProfile& replay,
                                        double credited_fraction) const {
   const double remaining = replay.seconds * (1.0 - credited_fraction);
-  if (!options_.restart_credit || options_.checkpoint_cost_s <= 0.0 ||
-      options_.checkpoint_panels <= 0) {
+  // Same gate as the outage path's credit banking (restart_credit &&
+  // checkpoint_panels > 0): whenever a kill can BANK panels, this path
+  // prices the checkpoints that protect them — and with
+  // checkpoint_cost_s == 0 the priced overhead is exactly zero, the
+  // documented "free credit" configuration (ServiceOptions), not an
+  // accounting hole.
+  if (!options_.restart_credit || options_.checkpoint_panels <= 0) {
     return remaining;
   }
+  if (options_.checkpoint_cost_s <= 0.0) return remaining;
   // Every interior panel boundary still ahead of the attempt writes a
   // checkpoint over the intra-cluster link (the last panel completes the
   // job — nothing left to protect). Banked panels were written by the
@@ -279,39 +367,190 @@ double GridJobService::shadow_time(const Job& head,
   return kInf;
 }
 
-ServiceReport GridJobService::run(std::vector<Job> jobs) {
+// ---------------------------------------------------------------------------
+// Engine: one in-flight workload — every local of the former monolithic
+// run() hoisted into a member of the same name, every lambda into a
+// method, so the loop can pause between steps (the stepping API),
+// serialize itself (save/load), and branch same-instant orderings
+// through the tie oracle. A null-oracle run executes the exact
+// statements the monolith ran, in the same order: the refactor is
+// byte-identical by construction, and the determinism suites pin it.
+struct GridJobService::Engine {
+  GridJobService& svc;
+  // References into the service so hoisted code reads exactly as it did
+  // when it lived inside GridJobService::run().
+  simgrid::GridTopology& topology_;
+  ServiceOptions& options_;
+  std::unique_ptr<SchedulingPolicy>& policy_;
+  std::unique_ptr<ExecutionBackend>& backend_;
+
+  std::vector<Job> jobs;
+  int nclusters = 0;
+  std::vector<int> total_nodes;
+  int grid_nodes = 0;
+  ServiceReport report;
+  bool wan_on = false;
+  std::optional<GridWanModel> wan_model;
+  GridWanModel* wan = nullptr;
+  double wan_clock = 0.0;  ///< how far the WAN horizons have been drained
+  /// Replayed copy of the outage trace: the run never consumes options_'
+  /// original, so the same service can serve several workloads
+  /// identically.
+  OutageTrace trace;
+  ServiceTracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  PhaseProfiler* profiler = nullptr;
+  bool blame_on = false;
+  bool has_outages = false;
+  std::vector<int> free_nodes;
+  std::vector<int> down_depth;
+  JobQueue pending;
+  /// NOT in start order once completions swap-and-pop; every consumer
+  /// either scans for a (key, seq) minimum or sorts explicitly.
+  std::vector<Running> running;
+  std::unordered_map<int, Progress> progress;
+  /// Pending job currently holding the backfill reservation; -1 = none.
+  /// A job that loses the head slot WITHOUT starting has its outstanding
+  /// promise withdrawn along with the reservation.
+  int reserved_job = -1;
+  double clock = 0.0;
+  double useful_node_seconds = 0.0;
+  double useful_flops_total = 0.0;
+  std::size_t next_arrival = 0;
+  int seq = 0;
+  /// Free nodes the scheduler may hand out NOW (down clusters masked
+  /// out), maintained incrementally at every grant/release/outage
+  /// boundary, with an ordered index over per-cluster free procs so the
+  /// dispatch loop's feasibility prechecks are O(1) lookups.
+  std::vector<int> placeable;
+  std::vector<int> cluster_ppn;
+  std::multiset<long long> placeable_procs_index;
+  long long placeable_procs_total = 0;
+  /// Wait-blame attribution (ServiceOptions::wait_blame): one OPEN
+  /// interval per pending job, flushed into per-category totals when the
+  /// classified reason changes or the job starts.
+  struct BlameOpen {
+    int category = 0;
+    double since_s = 0.0;
+  };
+  std::unordered_map<int, BlameOpen> blame_open;
+  std::unordered_map<int, std::array<double, kBlameCategoryCount>>
+      blame_totals;
+  /// The shadow the LAST dispatch pass promised its blocked head (+inf
+  /// when none was computable) — what the blame classifier replays the
+  /// backfill admission test against.
+  double last_shadow = kInf;
+  /// Placement preference: only wan_aware dispatch consults the WAN
+  /// model; feasibility checks and shadow estimates stay naive.
+  const GridWanModel* placement_wan = nullptr;
+
+  /// quiet = the restore path: skip workload admission (validated by the
+  /// original start()) and the preamble's telemetry emissions (the
+  /// kRunConfig event, the metrics series skeleton) — the restored
+  /// telemetry state already contains them.
+  Engine(GridJobService& service, std::vector<Job> jobs_in, bool quiet);
+
+  // Forwarding shims so hoisted code keeps its original spelling.
+  std::optional<Placement> try_place(
+      const Job& job, const std::vector<int>& nodes_free,
+      const GridWanModel* wan_pref = nullptr) const {
+    return svc.try_place(job, nodes_free, wan_pref);
+  }
+  const ExecutionProfile& replay_for(const Job& job,
+                                     const Placement& placement) {
+    return svc.replay_for(job, placement);
+  }
+  double attempt_seconds(const ExecutionProfile& replay,
+                         double credited_fraction) const {
+    return svc.attempt_seconds(replay, credited_fraction);
+  }
+  double shadow_time(const Job& head, const std::vector<Running>& r,
+                     const std::vector<int>& nodes_free,
+                     const GridWanModel* wan_model_ptr, double now_s) const {
+    return svc.shadow_time(head, r, nodes_free, wan_model_ptr, now_s);
+  }
+  double predicted_seconds(const Job& job) const {
+    return svc.predicted_seconds(job);
+  }
+
+  bool active() const {
+    return next_arrival < jobs.size() || !pending.empty() ||
+           !running.empty();
+  }
+
+  void set_placeable(int cluster, int nodes);
+  void grant_nodes(const Placement& pl);
+  void release_nodes(const Placement& pl);
+  bool placeable_precheck(const Job& job) const;
+  void blame_flush(int job_id, double upto_s);
+  double wan_finish(const Running& r) const;
+  double event_of(const Running& r) const;
+  bool completes(const Running& r) const;
+  void charge_wan(const Running& r, double fraction);
+  ExecutionResult execute_attempt(const Running& r, bool killed,
+                                  double through_fraction);
+  void record_outcome(Running& r, double end_s, JobFate fate,
+                      const ExecutionResult& exec);
+  void start_job(Job job, const Placement& placement, bool backfilled);
+  void dispatch();
+  void classify_waits();
+  void apply_outage(const OutageEvent& ev);
+  /// Removes running[index] (swap-and-pop) and resolves it as the loop's
+  /// next completion-class event — a completion or a walltime kill.
+  void complete_one(std::size_t index);
+  void resolve_completions();
+  void drain_outages();
+  void admit_one_arrival(Job job);
+  void admit_arrivals();
+  void step();
+  ServiceReport finish();
+  void save(SnapshotWriter& w);
+  void load(SnapshotReader& r);
+};
+
+GridJobService::Engine::Engine(GridJobService& service,
+                               std::vector<Job> jobs_in, bool quiet)
+    : svc(service),
+      topology_(service.topology_),
+      options_(service.options_),
+      policy_(service.policy_),
+      backend_(service.backend_),
+      jobs(std::move(jobs_in)),
+      trace(service.options_.outages),
+      pending(service.policy_.get()) {
   std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
     return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
                                       : a.id < b.id;
   });
 
-  const int nclusters = topology_.num_clusters();
-  std::vector<int> total_nodes(static_cast<std::size_t>(nclusters));
-  int grid_nodes = 0;
+  nclusters = topology_.num_clusters();
+  total_nodes.assign(static_cast<std::size_t>(nclusters), 0);
   for (int c = 0; c < nclusters; ++c) {
     total_nodes[static_cast<std::size_t>(c)] = topology_.cluster(c).nodes;
     grid_nodes += topology_.cluster(c).nodes;
   }
-  // Admission preflight. Whether a job fits the EMPTY fully-up grid
-  // depends only on its procs count (shape never constrains placement),
-  // so a million-job workload pays one real placement per distinct size.
-  std::unordered_set<int> feasible_procs;
-  for (const Job& job : jobs) {
-    QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1 &&
-                         job.walltime_s >= 0.0 && job.weight > 0.0,
-                     "malformed job " << job.id);
-    if (!feasible_procs.insert(job.procs).second) continue;
-    QRGRID_CHECK_MSG(try_place(job, total_nodes).has_value(),
-                     "job " << job.id << " (" << job.procs
-                            << " procs) cannot fit the grid at all");
+  if (!quiet) {
+    // Admission preflight. Whether a job fits the EMPTY fully-up grid
+    // depends only on its procs count (shape never constrains placement),
+    // so a million-job workload pays one real placement per distinct size.
+    std::unordered_set<int> feasible_procs;
+    for (const Job& job : jobs) {
+      QRGRID_CHECK_MSG(job.m >= job.n && job.n >= 1 && job.procs >= 1 &&
+                           job.walltime_s >= 0.0 && job.weight > 0.0,
+                       "malformed job " << job.id);
+      if (!feasible_procs.insert(job.procs).second) continue;
+      QRGRID_CHECK_MSG(try_place(job, total_nodes).has_value(),
+                       "job " << job.id << " (" << job.procs
+                              << " procs) cannot fit the grid at all");
+    }
   }
 
   // Accrued policy state (fair-share deficits) must not leak between
   // workloads: the same service serving the same jobs twice reports
-  // byte-identically.
+  // byte-identically. The restore path loads the saved deficits over
+  // this clean slate.
   policy_->reset();
 
-  ServiceReport report;
   report.policy = options_.policy;
   report.policy_label = policy_->name();
   report.wan_egress_bytes.assign(static_cast<std::size_t>(nclusters), 0);
@@ -324,8 +563,7 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
   // trace, so serving several workloads from one service stays pure —
   // and only built when contention is on, so its capacity invariants
   // cannot reject runs that never consult it.
-  const bool wan_on = options_.wan_contention || options_.wan_aware;
-  std::optional<GridWanModel> wan_model;
+  wan_on = options_.wan_contention || options_.wan_aware;
   if (wan_on) {
     const double backbone_Bps =
         options_.wan_backbone_Bps > 0.0
@@ -334,24 +572,19 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     wan_model.emplace(nclusters, options_.wan_link_Bps, backbone_Bps,
                       options_.wan_fairness, options_.wan_pair_Bps);
   }
-  GridWanModel* const wan = wan_model ? &*wan_model : nullptr;
-  double wan_clock = 0.0;  ///< how far the WAN horizons have been drained
-
-  // Replayed copy of the trace: run() never consumes options_' original,
-  // so the same service can serve several workloads identically.
-  OutageTrace trace = options_.outages;
+  wan = wan_model ? &*wan_model : nullptr;
 
   // Observability (sched/telemetry.hpp): both sinks are caller-owned and
-  // usually null; every emit site below guards on the pointer so a
-  // disabled run never builds an event. Nothing recorded here feeds back
-  // into a scheduling decision.
-  ServiceTracer* const tracer = options_.tracer;
-  MetricsRegistry* const metrics = options_.metrics;
-  PhaseProfiler* const profiler = options_.profiler;
-  const bool blame_on = options_.wait_blame;
-  const bool has_outages = trace.enabled();
+  // usually null; every emit site guards on the pointer so a disabled
+  // run never builds an event. Nothing recorded here feeds back into a
+  // scheduling decision.
+  tracer = options_.tracer;
+  metrics = options_.metrics;
+  profiler = options_.profiler;
+  blame_on = options_.wait_blame;
+  has_outages = trace.enabled();
   if (wan != nullptr) wan->set_tracer(tracer);
-  if (tracer != nullptr) {
+  if (!quiet && tracer != nullptr) {
     ServiceTraceEvent ev;
     ev.kind = TraceKind::kRunConfig;
     ev.value = (wan_on ? kTraceConfigWanContention : 0) |
@@ -361,11 +594,11 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     ev.note = policy_->name();
     tracer->record(std::move(ev));
   }
-  if (metrics != nullptr) {
-    // Series skeleton at t=0: every step curve the loop samples below
-    // exists deterministically even when the loop never iterates (an
-    // empty workload), so consumers can rely on the key set. The loop's
-    // own first sample at the same instant overwrites these in place.
+  if (!quiet && metrics != nullptr) {
+    // Series skeleton at t=0: every step curve the loop samples exists
+    // deterministically even when the loop never iterates (an empty
+    // workload), so consumers can rely on the key set. The loop's own
+    // first sample at the same instant overwrites these in place.
     metrics->sample("queue_depth", 0.0, 0.0);
     metrics->sample("running_jobs", 0.0, 0.0);
     if (wan_on) {
@@ -376,39 +609,15 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       metrics->sample("wan.live_flows", 0.0, 0.0);
     }
   }
-  std::vector<int> free_nodes = total_nodes;
-  std::vector<int> down_depth(static_cast<std::size_t>(nclusters), 0);
-  JobQueue pending(policy_.get());
+  free_nodes = total_nodes;
+  down_depth.assign(static_cast<std::size_t>(nclusters), 0);
   pending.bind_metrics(metrics);
-  // NOT in start order once completions swap-and-pop (see below); every
-  // consumer either scans for a (key, seq) minimum or sorts explicitly.
-  std::vector<Running> running;
-  std::unordered_map<int, Progress> progress;
-  /// Pending job currently holding the backfill reservation; -1 = none.
-  /// A job that loses the head slot WITHOUT starting (a higher-priority
-  /// claim under prio-easy, a requeued earlier arrival under faults) has
-  /// its outstanding promise withdrawn along with the reservation.
-  int reserved_job = -1;
-  double clock = 0.0;
-  double useful_node_seconds = 0.0;
-  double useful_flops_total = 0.0;
-  std::size_t next_arrival = 0;
-  int seq = 0;
-
-  // Free nodes the scheduler may hand out NOW (down clusters masked
-  // out), maintained incrementally at every grant/release/outage
-  // boundary instead of rebuilt per placement query, with an ordered
-  // index over per-cluster free procs so the dispatch loop's
-  // feasibility prechecks are O(1) lookups (sum and max) rather than
-  // topology rescans.
-  std::vector<int> placeable = free_nodes;
-  std::vector<int> cluster_ppn(static_cast<std::size_t>(nclusters));
+  placeable = free_nodes;
+  cluster_ppn.assign(static_cast<std::size_t>(nclusters), 0);
   for (int c = 0; c < nclusters; ++c) {
     cluster_ppn[static_cast<std::size_t>(c)] =
         topology_.cluster(c).procs_per_node;
   }
-  std::multiset<long long> placeable_procs_index;
-  long long placeable_procs_total = 0;
   for (int c = 0; c < nclusters; ++c) {
     const long long procs =
         static_cast<long long>(placeable[static_cast<std::size_t>(c)]) *
@@ -416,906 +625,1061 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
     placeable_procs_index.insert(procs);
     placeable_procs_total += procs;
   }
-  // Every placeable[c] mutation goes through here to keep the index true.
-  auto set_placeable = [&](int cluster, int nodes) {
-    const auto c = static_cast<std::size_t>(cluster);
-    const long long before =
-        static_cast<long long>(placeable[c]) * cluster_ppn[c];
-    const long long after =
-        static_cast<long long>(nodes) * cluster_ppn[c];
-    placeable[c] = nodes;
-    if (before == after) return;
-    placeable_procs_index.erase(placeable_procs_index.find(before));
-    placeable_procs_index.insert(after);
-    placeable_procs_total += after - before;
-  };
-  auto grant_nodes = [&](const Placement& pl) {
-    for (std::size_t i = 0; i < pl.clusters.size(); ++i) {
-      const auto c = static_cast<std::size_t>(pl.clusters[i]);
-      free_nodes[c] -= pl.nodes[i];
-      QRGRID_CHECK(free_nodes[c] >= 0);
-      if (down_depth[c] == 0) {
-        set_placeable(pl.clusters[i], placeable[c] - pl.nodes[i]);
-      }
-    }
-  };
-  auto release_nodes = [&](const Placement& pl) {
-    for (std::size_t i = 0; i < pl.clusters.size(); ++i) {
-      const auto c = static_cast<std::size_t>(pl.clusters[i]);
-      free_nodes[c] += pl.nodes[i];
-      if (down_depth[c] == 0) {
-        set_placeable(pl.clusters[i], placeable[c] + pl.nodes[i]);
-      }
-    }
-  };
-  // O(1) screen before a try_place on the CURRENT placeable state: the
-  // same two necessary conditions try_place itself checks, served from
-  // the maintained aggregates. False means try_place would return
-  // nullopt; true decides nothing.
-  auto placeable_precheck = [&](const Job& job) {
-    if (job.procs > placeable_procs_total) return false;
-    const int min_group_procs =
-        (job.procs + options_.max_groups - 1) / options_.max_groups;
-    return min_group_procs <= *placeable_procs_index.rbegin();
-  };
+  placement_wan = options_.wan_aware ? wan : nullptr;
+}
 
-  // Wait-blame attribution (opt-in via ServiceOptions::wait_blame): one
-  // OPEN interval per pending job — "held since when, for which reason"
-  // — re-classified after every dispatch pass. An interval flushes into
-  // per-category totals (and a kWaitBlame event) when the reason changes
-  // or the job starts, so the categories partition each job's wait
-  // exactly; requeued runtime flushes as kRequeuedRerun from the outage
-  // path, which closes the partition across retries. Pure observation:
-  // nothing here feeds back into a scheduling decision.
-  struct BlameOpen {
-    int category = 0;
-    double since_s = 0.0;
-  };
-  std::unordered_map<int, BlameOpen> blame_open;
-  std::unordered_map<int, std::array<double, kBlameCategoryCount>>
-      blame_totals;
-  auto blame_flush = [&](int job_id, double upto_s) {
-    const auto it = blame_open.find(job_id);
-    if (it == blame_open.end()) return;
-    const double dt = upto_s - it->second.since_s;
-    if (dt > 0.0) {
-      blame_totals[job_id][static_cast<std::size_t>(it->second.category)] +=
-          dt;
-      if (tracer != nullptr) {
-        ServiceTraceEvent ev;
-        ev.t_s = upto_s;
-        ev.kind = TraceKind::kWaitBlame;
-        ev.job = job_id;
-        ev.value = dt;
-        ev.value2 = static_cast<double>(it->second.category);
-        tracer->record(std::move(ev));
-      }
-    }
-    it->second.since_s = upto_s;
-  };
-  /// The shadow the LAST dispatch pass promised its blocked head (+inf
-  /// when none was computable) — what the blame classifier replays the
-  /// backfill admission test against.
-  double last_shadow = kInf;
+// Every placeable[c] mutation goes through here to keep the index true.
+void GridJobService::Engine::set_placeable(int cluster, int nodes) {
+  const auto c = static_cast<std::size_t>(cluster);
+  const long long before =
+      static_cast<long long>(placeable[c]) * cluster_ppn[c];
+  const long long after =
+      static_cast<long long>(nodes) * cluster_ppn[c];
+  placeable[c] = nodes;
+  if (before == after) return;
+  placeable_procs_index.erase(placeable_procs_index.find(before));
+  placeable_procs_index.insert(after);
+  placeable_procs_total += after - before;
+}
 
-  // Completion-class event geometry. finish_s is the ISOLATED replay
-  // end; with contention on, the attempt additionally cannot complete
-  // before its shared-WAN demand has drained — +inf while it has not,
-  // which correctly keeps undrained jobs out of the completion scan
-  // (their next state change is a WAN event, already a candidate).
-  auto wan_finish = [&](const Running& r) -> double {
-    if (!wan_on) return r.finish_s;
-    if (!wan->drained(r.flow)) return kInf;
-    return std::max(r.finish_s, wan->drained_at_s(r.flow));
-  };
-  // The earlier of completing and being walltime-killed; ties resolve to
-  // "finished" (<=), so a job whose last byte drains exactly on its
-  // walltime completes.
-  auto event_of = [&](const Running& r) {
-    const double finish = wan_finish(r);
-    return finish < r.kill_s ? finish : r.kill_s;
-  };
-  auto completes = [&](const Running& r) { return wan_finish(r) <= r.kill_s; };
-
-  // Charge one attempt's WAN bytes pro-rata to the fraction of the FULL
-  // replay it actually covered, so a restart-credited job never pays for
-  // its banked prefix twice (an uncredited full attempt charges exactly
-  // the replay counters). With contention on, the WAN model knows the
-  // bytes each flow really moved, so attempts retire their flow instead.
-  auto charge_wan = [&](const Running& r, double fraction) {
-    for (std::size_t i = 0; i < r.placement.clusters.size(); ++i) {
-      const auto c = static_cast<std::size_t>(r.placement.clusters[i]);
-      report.wan_egress_bytes[c] += static_cast<long long>(
-          static_cast<double>(r.replay->egress_bytes[i]) * fraction);
-      report.wan_ingress_bytes[c] += static_cast<long long>(
-          static_cast<double>(r.replay->ingress_bytes[i]) * fraction);
+void GridJobService::Engine::grant_nodes(const Placement& pl) {
+  for (std::size_t i = 0; i < pl.clusters.size(); ++i) {
+    const auto c = static_cast<std::size_t>(pl.clusters[i]);
+    free_nodes[c] -= pl.nodes[i];
+    QRGRID_CHECK(free_nodes[c] >= 0);
+    if (down_depth[c] == 0) {
+      set_placeable(pl.clusters[i], placeable[c] - pl.nodes[i]);
     }
-  };
+  }
+}
 
-  // Real execution of one resolved attempt (msg-runtime backend only; a
-  // no-op on the replay backend). `killed` is explicit rather than
-  // inferred from the fraction: a WAN-stretched attempt can be killed
-  // while waiting on drains with its whole replay timeline covered, and
-  // that must still count as a kill, never as a clean verified run.
-  // `through_fraction` is where the attempt ended on the FULL
-  // factorization timeline — mapped to a virtual-walltime limit so the
-  // run genuinely aborts mid-factorization through the communicator.
-  auto execute_attempt = [&](const Running& r, bool killed,
-                             double through_fraction) {
-    ExecutionResult exec;
-    if (!backend_->executes()) return exec;
-    const double abort_vtime_s =
-        killed ? std::clamp(through_fraction, 0.0, 1.0) * r.replay->seconds
-               : kInf;
-    {
-      PhaseScope scope(profiler, ProfilePhase::kBackendExecute);
-      exec = backend_->execute(r.job, r.placement, abort_vtime_s);
+void GridJobService::Engine::release_nodes(const Placement& pl) {
+  for (std::size_t i = 0; i < pl.clusters.size(); ++i) {
+    const auto c = static_cast<std::size_t>(pl.clusters[i]);
+    free_nodes[c] += pl.nodes[i];
+    if (down_depth[c] == 0) {
+      set_placeable(pl.clusters[i], placeable[c] + pl.nodes[i]);
     }
-    ++report.executed_attempts;
-    if (exec.aborted) ++report.aborted_attempts;
-    if (killed) {
-      report.injected_abort_vtime_s += abort_vtime_s;
-      report.measured_abort_vtime_s += exec.measured_s;
-      // A kill landing at the very end of the timeline can let the real
-      // factorization finish first; the attempt is dead either way, so
-      // its numerics are never reported.
-      exec.residual = std::numeric_limits<double>::quiet_NaN();
-      exec.orthogonality = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+// O(1) screen before a try_place on the CURRENT placeable state: the
+// same two necessary conditions try_place itself checks, served from
+// the maintained aggregates. False means try_place would return
+// nullopt; true decides nothing.
+bool GridJobService::Engine::placeable_precheck(const Job& job) const {
+  if (job.procs > placeable_procs_total) return false;
+  const int min_group_procs =
+      (job.procs + options_.max_groups - 1) / options_.max_groups;
+  return min_group_procs <= *placeable_procs_index.rbegin();
+}
+
+// Wait-blame attribution (opt-in via ServiceOptions::wait_blame): one
+// OPEN interval per pending job — "held since when, for which reason"
+// — re-classified after every dispatch pass. An interval flushes into
+// per-category totals (and a kWaitBlame event) when the reason changes
+// or the job starts, so the categories partition each job's wait
+// exactly; requeued runtime flushes as kRequeuedRerun from the outage
+// path, which closes the partition across retries. Pure observation:
+// nothing here feeds back into a scheduling decision.
+void GridJobService::Engine::blame_flush(int job_id, double upto_s) {
+  const auto it = blame_open.find(job_id);
+  if (it == blame_open.end()) return;
+  const double dt = upto_s - it->second.since_s;
+  if (dt > 0.0) {
+    blame_totals[job_id][static_cast<std::size_t>(it->second.category)] +=
+        dt;
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = upto_s;
+      ev.kind = TraceKind::kWaitBlame;
+      ev.job = job_id;
+      ev.value = dt;
+      ev.value2 = static_cast<double>(it->second.category);
+      tracer->record(std::move(ev));
+    }
+  }
+  it->second.since_s = upto_s;
+}
+
+// Completion-class event geometry. finish_s is the ISOLATED replay
+// end; with contention on, the attempt additionally cannot complete
+// before its shared-WAN demand has drained — +inf while it has not,
+// which correctly keeps undrained jobs out of the completion scan
+// (their next state change is a WAN event, already a candidate).
+double GridJobService::Engine::wan_finish(const Running& r) const {
+  if (!wan_on) return r.finish_s;
+  if (!wan->drained(r.flow)) return kInf;
+  return std::max(r.finish_s, wan->drained_at_s(r.flow));
+}
+
+// The earlier of completing and being walltime-killed; ties resolve to
+// "finished" (<=), so a job whose last byte drains exactly on its
+// walltime completes.
+double GridJobService::Engine::event_of(const Running& r) const {
+  const double finish = wan_finish(r);
+  return finish < r.kill_s ? finish : r.kill_s;
+}
+
+bool GridJobService::Engine::completes(const Running& r) const {
+  return wan_finish(r) <= r.kill_s;
+}
+
+// Charge one attempt's WAN bytes pro-rata to the fraction of the FULL
+// replay it actually covered, so a restart-credited job never pays for
+// its banked prefix twice (an uncredited full attempt charges exactly
+// the replay counters). With contention on, the WAN model knows the
+// bytes each flow really moved, so attempts retire their flow instead.
+void GridJobService::Engine::charge_wan(const Running& r, double fraction) {
+  for (std::size_t i = 0; i < r.placement.clusters.size(); ++i) {
+    const auto c = static_cast<std::size_t>(r.placement.clusters[i]);
+    report.wan_egress_bytes[c] += static_cast<long long>(
+        static_cast<double>(r.replay->egress_bytes[i]) * fraction);
+    report.wan_ingress_bytes[c] += static_cast<long long>(
+        static_cast<double>(r.replay->ingress_bytes[i]) * fraction);
+  }
+}
+
+// Real execution of one resolved attempt (msg-runtime backend only; a
+// no-op on the replay backend). `killed` is explicit rather than
+// inferred from the fraction: a WAN-stretched attempt can be killed
+// while waiting on drains with its whole replay timeline covered, and
+// that must still count as a kill, never as a clean verified run.
+// `through_fraction` is where the attempt ended on the FULL
+// factorization timeline — mapped to a virtual-walltime limit so the
+// run genuinely aborts mid-factorization through the communicator.
+ExecutionResult GridJobService::Engine::execute_attempt(
+    const Running& r, bool killed, double through_fraction) {
+  ExecutionResult exec;
+  if (!backend_->executes()) return exec;
+  const double abort_vtime_s =
+      killed ? std::clamp(through_fraction, 0.0, 1.0) * r.replay->seconds
+             : kInf;
+  {
+    PhaseScope scope(profiler, ProfilePhase::kBackendExecute);
+    exec = backend_->execute(r.job, r.placement, abort_vtime_s);
+  }
+  ++report.executed_attempts;
+  if (exec.aborted) ++report.aborted_attempts;
+  if (killed) {
+    report.injected_abort_vtime_s += abort_vtime_s;
+    report.measured_abort_vtime_s += exec.measured_s;
+    // A kill landing at the very end of the timeline can let the real
+    // factorization finish first; the attempt is dead either way, so
+    // its numerics are never reported.
+    exec.residual = std::numeric_limits<double>::quiet_NaN();
+    exec.orthogonality = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    if (std::isfinite(exec.residual)) {
+      report.max_residual = std::max(report.max_residual, exec.residual);
+    }
+    if (std::isfinite(exec.orthogonality)) {
+      report.max_orthogonality =
+          std::max(report.max_orthogonality, exec.orthogonality);
+    }
+  }
+  return exec;
+}
+
+void GridJobService::Engine::record_outcome(Running& r, double end_s,
+                                            JobFate fate,
+                                            const ExecutionResult& exec) {
+  const Progress& p = progress[r.job.id];
+  JobOutcome outcome;
+  outcome.start_s = r.start_s;
+  outcome.finish_s = end_s;
+  outcome.service_s = end_s - r.start_s;
+  const double isolated_s = r.finish_s - r.start_s;
+  outcome.wan_slowdown = wan_on && isolated_s > 0.0
+                             ? outcome.service_s / isolated_s
+                             : 1.0;
+  outcome.gflops = fate == JobFate::kCompleted ? r.replay->gflops : 0.0;
+  outcome.clusters = r.placement.clusters;
+  outcome.nodes_per_cluster = r.placement.nodes;
+  outcome.nodes = r.placement.total_nodes;
+  outcome.backfilled = r.backfilled;
+  outcome.fate = fate;
+  outcome.attempts = p.attempts;
+  outcome.wasted_node_s = p.wasted_node_s;
+  outcome.credited_s = p.credited_fraction * r.replay->seconds;
+  outcome.reserved_start_s = p.reserved_start_s;
+  outcome.executed = exec.executed;
+  outcome.exec_aborted = exec.aborted;
+  outcome.measured_s = exec.measured_s;
+  outcome.residual = exec.residual;
+  outcome.orthogonality = exec.orthogonality;
+  if (blame_on) {
+    const auto bt = blame_totals.find(r.job.id);
+    if (bt != blame_totals.end()) {
+      outcome.blame_s.assign(bt->second.begin(), bt->second.end());
     } else {
-      if (std::isfinite(exec.residual)) {
-        report.max_residual = std::max(report.max_residual, exec.residual);
-      }
-      if (std::isfinite(exec.orthogonality)) {
-        report.max_orthogonality =
-            std::max(report.max_orthogonality, exec.orthogonality);
-      }
+      outcome.blame_s.assign(
+          static_cast<std::size_t>(kBlameCategoryCount), 0.0);
     }
-    return exec;
-  };
-
-  auto record_outcome = [&](Running& r, double end_s, JobFate fate,
-                            const ExecutionResult& exec) {
-    const Progress& p = progress[r.job.id];
-    JobOutcome outcome;
-    outcome.start_s = r.start_s;
-    outcome.finish_s = end_s;
-    outcome.service_s = end_s - r.start_s;
-    const double isolated_s = r.finish_s - r.start_s;
-    outcome.wan_slowdown = wan_on && isolated_s > 0.0
-                               ? outcome.service_s / isolated_s
-                               : 1.0;
-    outcome.gflops = fate == JobFate::kCompleted ? r.replay->gflops : 0.0;
-    outcome.clusters = r.placement.clusters;
-    outcome.nodes_per_cluster = r.placement.nodes;
-    outcome.nodes = r.placement.total_nodes;
-    outcome.backfilled = r.backfilled;
-    outcome.fate = fate;
-    outcome.attempts = p.attempts;
-    outcome.wasted_node_s = p.wasted_node_s;
-    outcome.credited_s = p.credited_fraction * r.replay->seconds;
-    outcome.reserved_start_s = p.reserved_start_s;
-    outcome.executed = exec.executed;
-    outcome.exec_aborted = exec.aborted;
-    outcome.measured_s = exec.measured_s;
-    outcome.residual = exec.residual;
-    outcome.orthogonality = exec.orthogonality;
-    if (blame_on) {
-      const auto bt = blame_totals.find(r.job.id);
-      if (bt != blame_totals.end()) {
-        outcome.blame_s.assign(bt->second.begin(), bt->second.end());
-      } else {
-        outcome.blame_s.assign(
-            static_cast<std::size_t>(kBlameCategoryCount), 0.0);
-      }
-    }
-    outcome.job = std::move(r.job);
-    if (metrics != nullptr) {
-      // Wait and slowdown distributions per user and priority class —
-      // the per-cohort fairness view the aggregate report flattens.
-      const double wait = outcome.wait_s();
-      metrics->observe("wait_s.user." + std::to_string(outcome.job.user),
-                       wait);
+  }
+  outcome.job = std::move(r.job);
+  if (metrics != nullptr) {
+    // Wait and slowdown distributions per user and priority class —
+    // the per-cohort fairness view the aggregate report flattens.
+    const double wait = outcome.wait_s();
+    metrics->observe("wait_s.user." + std::to_string(outcome.job.user),
+                     wait);
+    metrics->observe(
+        "wait_s.prio." + std::to_string(outcome.job.priority), wait);
+    if (fate == JobFate::kCompleted) {
+      static const std::vector<double> kSlowdownBounds = {
+          1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0};
       metrics->observe(
-          "wait_s.prio." + std::to_string(outcome.job.priority), wait);
-      if (fate == JobFate::kCompleted) {
-        static const std::vector<double> kSlowdownBounds = {
-            1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0};
-        metrics->observe(
-            "slowdown.user." + std::to_string(outcome.job.user),
-            outcome.wan_slowdown, kSlowdownBounds);
-      }
+          "slowdown.user." + std::to_string(outcome.job.user),
+          outcome.wan_slowdown, kSlowdownBounds);
     }
-    report.makespan_s = std::max(report.makespan_s, end_s);
-    report.outcomes.push_back(std::move(outcome));
-  };
+  }
+  report.makespan_s = std::max(report.makespan_s, end_s);
+  report.outcomes.push_back(std::move(outcome));
+}
 
-  auto start_job = [&](Job job, const Placement& placement,
-                       bool backfilled) {
-    if (blame_on) {
-      // Close the job's open wait interval BEFORE the start event, so a
-      // validator at the kDispatch/kBackfillStart sees the full
-      // partition of [arrival, start) already blamed.
-      blame_flush(job.id, clock);
-      blame_open.erase(job.id);
+void GridJobService::Engine::start_job(Job job, const Placement& placement,
+                                       bool backfilled) {
+  if (blame_on) {
+    // Close the job's open wait interval BEFORE the start event, so a
+    // validator at the kDispatch/kBackfillStart sees the full
+    // partition of [arrival, start) already blamed.
+    blame_flush(job.id, clock);
+    blame_open.erase(job.id);
+  }
+  if (job.id == reserved_job) {
+    reserved_job = -1;  // promise honored
+  } else if (!backfilled && reserved_job != -1) {
+    // A different job overtook the reservation holder straight from
+    // the head path (a priority claim, a deficit reorder, a requeued
+    // earlier arrival) while the holder is still pending — it may now
+    // be taking the very nodes the promise counted on, so the stale
+    // promise is withdrawn. Backfills are exempt: they are sanctioned
+    // BY the reservation. The next blocked-head pass re-promises.
+    progress[reserved_job].reserved_start_s = kInf;
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = clock;
+      ev.kind = TraceKind::kReservationWithdraw;
+      ev.job = reserved_job;
+      tracer->record(std::move(ev));
     }
-    if (job.id == reserved_job) {
-      reserved_job = -1;  // promise honored
-    } else if (!backfilled && reserved_job != -1) {
-      // A different job overtook the reservation holder straight from
-      // the head path (a priority claim, a deficit reorder, a requeued
-      // earlier arrival) while the holder is still pending — it may now
-      // be taking the very nodes the promise counted on, so the stale
-      // promise is withdrawn. Backfills are exempt: they are sanctioned
-      // BY the reservation. The next blocked-head pass re-promises.
-      progress[reserved_job].reserved_start_s = kInf;
-      if (tracer != nullptr) {
-        ServiceTraceEvent ev;
-        ev.t_s = clock;
-        ev.kind = TraceKind::kReservationWithdraw;
-        ev.job = reserved_job;
-        tracer->record(std::move(ev));
+    reserved_job = -1;
+  }
+  const ExecutionProfile& replay = replay_for(job, placement);
+  Progress& p = progress[job.id];
+  ++p.attempts;
+  // Restart credit: only the unfinished tail of the factorization
+  // re-runs (at THIS placement's rate — the fraction is what carries),
+  // plus checkpoint I/O for the panels this attempt will protect.
+  const double attempt_s = attempt_seconds(replay, p.credited_fraction);
+  QRGRID_CHECK(attempt_s > 0.0);
+  // Deficit accounting (fair-share): the attempt is expected to hold
+  // its grant for attempt_s — charged at start so the very next head
+  // decision already sees this user served.
+  policy_->on_attempt_start(
+      job, attempt_s * static_cast<double>(placement.total_nodes));
+  grant_nodes(placement);
+  Running r;
+  r.finish_s = clock + attempt_s;
+  r.kill_s = job.walltime_s > 0.0 ? clock + job.walltime_s : kInf;
+  // The scheduler's belief: walltimes are per-attempt and enforced, so
+  // the attempt is over by start + walltime no matter what.
+  r.est_finish_s =
+      clock + (job.walltime_s > 0.0 ? job.walltime_s : attempt_s);
+  r.seq = seq++;
+  r.job = std::move(job);
+  r.placement = placement;
+  r.start_s = clock;
+  r.start_fraction = p.credited_fraction;
+  r.replay = &replay;
+  r.backfilled = backfilled;
+  if (wan_on) {
+    // Register the attempt's WAN demand: per granted cluster one
+    // uplink and one downlink pool (bytes pro-rated to the uncovered
+    // [start_fraction, 1] tail, assuming the link's demand spreads
+    // over its [first_fraction, 1] activity window), plus one backbone
+    // pool carrying every byte once. Each pool activates where the
+    // replay timeline first touches its link, mapped onto the
+    // attempt's wall-clock span.
+    const double f0 = p.credited_fraction;
+    std::vector<GridWanModel::Pool> pools;
+    double backbone_bytes = 0.0;
+    double backbone_activation = kInf;
+    auto add_pool = [&](GridWanModel::Pool::Link link, int cluster,
+                        int peer, double full_bytes,
+                        double first_fraction) {
+      if (full_bytes <= 0.0) return;
+      const double from = std::max(first_fraction, f0);
+      const double window = 1.0 - first_fraction;
+      if (window <= 0.0 || from >= 1.0) return;
+      const double bytes = full_bytes * (1.0 - from) / window;
+      const double activation_s =
+          clock + (from - f0) / (1.0 - f0) * attempt_s;
+      GridWanModel::Pool pool;
+      pool.link = link;
+      pool.cluster = cluster;
+      pool.peer = peer;
+      pool.bytes = bytes;
+      pool.activation_s = activation_s;
+      pools.push_back(pool);
+      if (link == GridWanModel::Pool::Link::kUplink) {
+        backbone_bytes += bytes;
+        backbone_activation = std::min(backbone_activation, activation_s);
       }
-      reserved_job = -1;
-    }
-    const ExecutionProfile& replay = replay_for(job, placement);
-    Progress& p = progress[job.id];
-    ++p.attempts;
-    // Restart credit: only the unfinished tail of the factorization
-    // re-runs (at THIS placement's rate — the fraction is what carries),
-    // plus checkpoint I/O for the panels this attempt will protect.
-    const double attempt_s = attempt_seconds(replay, p.credited_fraction);
-    QRGRID_CHECK(attempt_s > 0.0);
-    // Deficit accounting (fair-share): the attempt is expected to hold
-    // its grant for attempt_s — charged at start so the very next head
-    // decision already sees this user served.
-    policy_->on_attempt_start(
-        job, attempt_s * static_cast<double>(placement.total_nodes));
-    grant_nodes(placement);
-    Running r;
-    r.finish_s = clock + attempt_s;
-    r.kill_s = job.walltime_s > 0.0 ? clock + job.walltime_s : kInf;
-    // The scheduler's belief: walltimes are per-attempt and enforced, so
-    // the attempt is over by start + walltime no matter what.
-    r.est_finish_s =
-        clock + (job.walltime_s > 0.0 ? job.walltime_s : attempt_s);
-    r.seq = seq++;
-    r.job = std::move(job);
-    r.placement = placement;
-    r.start_s = clock;
-    r.start_fraction = p.credited_fraction;
-    r.replay = &replay;
-    r.backfilled = backfilled;
-    if (wan_on) {
-      // Register the attempt's WAN demand: per granted cluster one
-      // uplink and one downlink pool (bytes pro-rated to the uncovered
-      // [start_fraction, 1] tail, assuming the link's demand spreads
-      // over its [first_fraction, 1] activity window), plus one backbone
-      // pool carrying every byte once. Each pool activates where the
-      // replay timeline first touches its link, mapped onto the
-      // attempt's wall-clock span.
-      const double f0 = p.credited_fraction;
-      std::vector<GridWanModel::Pool> pools;
-      double backbone_bytes = 0.0;
-      double backbone_activation = kInf;
-      auto add_pool = [&](GridWanModel::Pool::Link link, int cluster,
-                          int peer, double full_bytes,
-                          double first_fraction) {
-        if (full_bytes <= 0.0) return;
-        const double from = std::max(first_fraction, f0);
-        const double window = 1.0 - first_fraction;
-        if (window <= 0.0 || from >= 1.0) return;
-        const double bytes = full_bytes * (1.0 - from) / window;
-        const double activation_s =
-            clock + (from - f0) / (1.0 - f0) * attempt_s;
-        GridWanModel::Pool pool;
-        pool.link = link;
-        pool.cluster = cluster;
-        pool.peer = peer;
-        pool.bytes = bytes;
-        pool.activation_s = activation_s;
-        pools.push_back(pool);
-        if (link == GridWanModel::Pool::Link::kUplink) {
-          backbone_bytes += bytes;
-          backbone_activation = std::min(backbone_activation, activation_s);
-        }
-      };
-      for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
-        const double egress =
-            static_cast<double>(replay.egress_bytes[i]);
-        // With per-pair horizons configured, uplink demand is split per
-        // destination (pro-rated to the peers' ingress shares — the
-        // replay records per-cluster totals, not a src x dst matrix), so
-        // an asymmetric pair link can bind exactly the bytes crossing it.
-        double peer_total = 0.0;
-        if (wan->pair_aware() && egress > 0.0) {
-          for (std::size_t j = 0; j < placement.clusters.size(); ++j) {
-            if (j != i) {
-              peer_total +=
-                  static_cast<double>(replay.ingress_bytes[j]);
-            }
+    };
+    for (std::size_t i = 0; i < placement.clusters.size(); ++i) {
+      const double egress =
+          static_cast<double>(replay.egress_bytes[i]);
+      // With per-pair horizons configured, uplink demand is split per
+      // destination (pro-rated to the peers' ingress shares — the
+      // replay records per-cluster totals, not a src x dst matrix), so
+      // an asymmetric pair link can bind exactly the bytes crossing it.
+      double peer_total = 0.0;
+      if (wan->pair_aware() && egress > 0.0) {
+        for (std::size_t j = 0; j < placement.clusters.size(); ++j) {
+          if (j != i) {
+            peer_total +=
+                static_cast<double>(replay.ingress_bytes[j]);
           }
         }
-        if (peer_total > 0.0) {
-          for (std::size_t j = 0; j < placement.clusters.size(); ++j) {
-            if (j == i || replay.ingress_bytes[j] <= 0) continue;
-            add_pool(GridWanModel::Pool::Link::kUplink,
-                     placement.clusters[i], placement.clusters[j],
-                     egress *
-                         static_cast<double>(replay.ingress_bytes[j]) /
-                         peer_total,
-                     replay.egress_first_fraction[i]);
-          }
-        } else {
+      }
+      if (peer_total > 0.0) {
+        for (std::size_t j = 0; j < placement.clusters.size(); ++j) {
+          if (j == i || replay.ingress_bytes[j] <= 0) continue;
           add_pool(GridWanModel::Pool::Link::kUplink,
-                   placement.clusters[i], /*peer=*/-1, egress,
+                   placement.clusters[i], placement.clusters[j],
+                   egress *
+                       static_cast<double>(replay.ingress_bytes[j]) /
+                       peer_total,
                    replay.egress_first_fraction[i]);
         }
-        add_pool(GridWanModel::Pool::Link::kDownlink,
-                 placement.clusters[i], /*peer=*/-1,
-                 static_cast<double>(replay.ingress_bytes[i]),
-                 replay.ingress_first_fraction[i]);
-      }
-      if (backbone_bytes > 0.0) {
-        GridWanModel::Pool trunk;
-        trunk.link = GridWanModel::Pool::Link::kBackbone;
-        trunk.bytes = backbone_bytes;
-        trunk.activation_s = backbone_activation;
-        pools.push_back(trunk);
-      }
-      r.flow = wan->admit(clock, std::move(pools));
-    }
-    if (tracer != nullptr) {
-      ServiceTraceEvent ev;
-      ev.t_s = clock;
-      ev.kind = backfilled ? TraceKind::kBackfillStart : TraceKind::kDispatch;
-      ev.job = r.job.id;
-      ev.flow = r.flow;
-      ev.value = r.finish_s;      // isolated replay end
-      ev.value2 = r.est_finish_s; // what EASY plans with
-      ev.clusters = r.placement.clusters;
-      ev.nodes = r.placement.nodes;
-      tracer->record(std::move(ev));
-    }
-    if (metrics != nullptr) {
-      metrics->add(backfilled ? "dispatch.backfill_admits"
-                              : "dispatch.head_starts");
-    }
-    running.push_back(std::move(r));
-  };
-
-  // Placement preference: only wan_aware dispatch consults the WAN
-  // model; feasibility checks and shadow estimates stay naive so the
-  // two modes agree on WHAT fits, and differ only on WHERE.
-  const GridWanModel* placement_wan = options_.wan_aware ? wan : nullptr;
-
-  auto dispatch = [&]() {
-    last_shadow = kInf;
-    // Policy order: start from the head while it fits the up clusters.
-    // front() re-establishes policy order itself when keys moved
-    // (fair-share deficits after each start) — the incremental sync that
-    // replaced the per-dispatch full resort; static-key policies skip it
-    // entirely.
-    while (!pending.empty()) {
-      if (metrics != nullptr) metrics->add("dispatch.head_place_scans");
-      const Job& head = pending.front();
-      std::optional<Placement> placement;
-      if (placeable_precheck(head)) {
-        placement = try_place(head, placeable, placement_wan);
-      }
-      if (!placement.has_value()) break;
-      start_job(pending.pop_front(), *placement, /*backfilled=*/false);
-    }
-    if (!policy_->backfills() || pending.empty() || running.empty()) {
-      return;
-    }
-    // EASY family: the blocked head holds a reservation at its shadow
-    // time; any later job may start now iff its ESTIMATED completion
-    // (walltime when set, exact replay when not) does not outlast the
-    // reservation. Actual completions only ever come earlier than the
-    // estimates, so the head is provably never delayed past the promise
-    // (under WAN contention only wan_priced_shadow policies keep that
-    // property, by lifting estimates to the drain bounds).
-    // The reservation follows the CURRENT head: a previous holder that
-    // was displaced while still pending (it did not start) had its
-    // reservation claimed — the stale promise is withdrawn with it, so
-    // the no-delay invariant binds exactly the job holding the shadow.
-    if (reserved_job != -1 && reserved_job != pending.front().id) {
-      progress[reserved_job].reserved_start_s = kInf;
-      if (tracer != nullptr) {
-        ServiceTraceEvent ev;
-        ev.t_s = clock;
-        ev.kind = TraceKind::kReservationWithdraw;
-        ev.job = reserved_job;
-        tracer->record(std::move(ev));
-      }
-    }
-    reserved_job = pending.front().id;
-    if (metrics != nullptr) metrics->add("dispatch.shadow_computations");
-    double shadow;
-    {
-      PhaseScope scope(profiler, ProfilePhase::kShadow);
-      shadow = shadow_time(pending.front(), running, placeable, wan, clock);
-    }
-    last_shadow = shadow;
-    // No computable reservation (the head waits on an outage recovery,
-    // not on nodes): backfilling would have no bound and could starve
-    // the head indefinitely, so don't.
-    if (shadow == kInf) return;
-    Progress& head_progress = progress[pending.front().id];
-    head_progress.reserved_start_s =
-        std::min(head_progress.reserved_start_s, shadow);
-    if (tracer != nullptr) {
-      ServiceTraceEvent ev;
-      ev.t_s = clock;
-      ev.kind = TraceKind::kReservationClaim;
-      ev.job = reserved_job;
-      ev.value = shadow;  // the promised latest start
-      tracer->record(std::move(ev));
-    }
-    const bool priced = wan != nullptr && policy_->wan_priced_shadow();
-    // Ordered scan behind the head. Starts (on_attempt_start) dirty
-    // fair-share keys mid-scan, but iteration and take() never compare
-    // entries, so the frozen scan order is exactly the order the pass
-    // began with — the historical positional-scan semantics.
-    int examined = 0;
-    auto it = pending.begin();
-    ++it;  // the head holds the reservation, not a backfill candidacy
-    while (it != pending.end()) {
-      if (options_.backfill_depth > 0 &&
-          ++examined > options_.backfill_depth) {
-        break;
-      }
-      if (metrics != nullptr) metrics->add("dispatch.backfill_scans");
-      std::optional<Placement> placement;
-      if (placeable_precheck(it->job)) {
-        placement = try_place(it->job, placeable, placement_wan);
-      }
-      if (placement.has_value()) {
-        const ExecutionProfile& replay = replay_for(it->job, *placement);
-        const Job& candidate = it->job;
-        const double remaining = attempt_seconds(
-            replay, progress[candidate.id].credited_fraction);
-        double estimate =
-            candidate.walltime_s > 0.0 ? candidate.walltime_s : remaining;
-        // A priced policy must bound the CANDIDATE's own WAN demand too:
-        // its flow does not exist yet, so neither the shadow nor the
-        // drain estimates above can see it — and without a walltime the
-        // drains, not the replay, decide when its nodes come back. Each
-        // link's demand is priced at the share it would get alongside
-        // the flows currently touching that link (load + itself),
-        // starting where the replay timeline first reaches the link;
-        // egress is additionally capped by the shared trunk, whose
-        // aggregate term covers a backbone thinner than the uplinks.
-        if (priced && candidate.walltime_s <= 0.0) {
-          const double trunk_share =
-              wan->backbone_Bps() / (1.0 + wan->backbone_load());
-          double total_egress = 0.0;
-          double earliest_egress_fraction = 1.0;
-          for (std::size_t c = 0; c < placement->clusters.size(); ++c) {
-            const double share =
-                options_.wan_link_Bps /
-                (1.0 + wan->load_score(placement->clusters[c]));
-            if (replay.egress_bytes[c] > 0) {
-              estimate = std::max(
-                  estimate,
-                  replay.egress_first_fraction[c] * remaining +
-                      static_cast<double>(replay.egress_bytes[c]) /
-                          std::min(share, trunk_share));
-              total_egress += static_cast<double>(replay.egress_bytes[c]);
-              earliest_egress_fraction =
-                  std::min(earliest_egress_fraction,
-                           replay.egress_first_fraction[c]);
-            }
-            if (replay.ingress_bytes[c] > 0) {
-              estimate = std::max(
-                  estimate,
-                  replay.ingress_first_fraction[c] * remaining +
-                      static_cast<double>(replay.ingress_bytes[c]) /
-                          share);
-            }
-          }
-          if (total_egress > 0.0) {
-            estimate = std::max(estimate,
-                                earliest_egress_fraction * remaining +
-                                    total_egress / trunk_share);
-          }
-        }
-        if (clock + estimate <= shadow) {
-          Job admitted;
-          it = pending.take(it, admitted);
-          start_job(std::move(admitted), *placement, /*backfilled=*/true);
-          ++report.backfilled_jobs;
-          continue;  // `it` already points at the next candidate
-        }
-      }
-      ++it;
-    }
-  };
-
-  // Blame classification pass: AFTER a dispatch pass settles, answer
-  // "why is each still-pending job not running RIGHT NOW" with one
-  // category, mirroring the decision the scheduler just made. Probed
-  // placements are never granted and replays come from the same cache
-  // dispatch fills, so a blame-on run makes identical scheduling
-  // decisions to a blame-off run.
-  auto classify_waits = [&]() {
-    if (pending.empty()) return;
-    bool any_down = false;
-    for (int c = 0; c < nclusters; ++c) {
-      if (down_depth[static_cast<std::size_t>(c)] > 0) any_down = true;
-    }
-    const bool backfills = policy_->backfills();
-    const bool priced = wan != nullptr && policy_->wan_priced_shadow();
-    const Job* head = nullptr;
-    int idx = 0;
-    for (auto it = pending.begin(); it != pending.end(); ++it, ++idx) {
-      const Job& job = it->job;
-      if (idx == 0) head = &job;
-      BlameCategory category = BlameCategory::kResourceBusy;
-      if (idx > 0 && backfills && options_.backfill_depth > 0 &&
-          idx > options_.backfill_depth) {
-        // The bounded scan examines positions 1..depth only; beyond it
-        // the scheduler never even looked.
-        category = BlameCategory::kBackfillDepthTruncated;
       } else {
-        std::optional<Placement> placement;
-        if (placeable_precheck(job)) {
-          placement = try_place(job, placeable, placement_wan);
+        add_pool(GridWanModel::Pool::Link::kUplink,
+                 placement.clusters[i], /*peer=*/-1, egress,
+                 replay.egress_first_fraction[i]);
+      }
+      add_pool(GridWanModel::Pool::Link::kDownlink,
+               placement.clusters[i], /*peer=*/-1,
+               static_cast<double>(replay.ingress_bytes[i]),
+               replay.ingress_first_fraction[i]);
+    }
+    if (backbone_bytes > 0.0) {
+      GridWanModel::Pool trunk;
+      trunk.link = GridWanModel::Pool::Link::kBackbone;
+      trunk.bytes = backbone_bytes;
+      trunk.activation_s = backbone_activation;
+      pools.push_back(trunk);
+    }
+    r.flow = wan->admit(clock, std::move(pools));
+  }
+  if (tracer != nullptr) {
+    ServiceTraceEvent ev;
+    ev.t_s = clock;
+    ev.kind = backfilled ? TraceKind::kBackfillStart : TraceKind::kDispatch;
+    ev.job = r.job.id;
+    ev.flow = r.flow;
+    ev.value = r.finish_s;      // isolated replay end
+    ev.value2 = r.est_finish_s; // what EASY plans with
+    ev.clusters = r.placement.clusters;
+    ev.nodes = r.placement.nodes;
+    tracer->record(std::move(ev));
+  }
+  if (metrics != nullptr) {
+    metrics->add(backfilled ? "dispatch.backfill_admits"
+                            : "dispatch.head_starts");
+  }
+  running.push_back(std::move(r));
+}
+
+void GridJobService::Engine::dispatch() {
+  last_shadow = kInf;
+  // Policy order: start from the head while it fits the up clusters.
+  // front() re-establishes policy order itself when keys moved
+  // (fair-share deficits after each start) — the incremental sync that
+  // replaced the per-dispatch full resort; static-key policies skip it
+  // entirely.
+  while (!pending.empty()) {
+    if (metrics != nullptr) metrics->add("dispatch.head_place_scans");
+    const Job& head = pending.front();
+    std::optional<Placement> placement;
+    if (placeable_precheck(head)) {
+      placement = try_place(head, placeable, placement_wan);
+    }
+    if (!placement.has_value()) break;
+    start_job(pending.pop_front(), *placement, /*backfilled=*/false);
+  }
+  if (!policy_->backfills() || pending.empty() || running.empty()) {
+    return;
+  }
+  // EASY family: the blocked head holds a reservation at its shadow
+  // time; any later job may start now iff its ESTIMATED completion
+  // (walltime when set, exact replay when not) does not outlast the
+  // reservation. Actual completions only ever come earlier than the
+  // estimates, so the head is provably never delayed past the promise
+  // (under WAN contention only wan_priced_shadow policies keep that
+  // property, by lifting estimates to the drain bounds).
+  // The reservation follows the CURRENT head: a previous holder that
+  // was displaced while still pending (it did not start) had its
+  // reservation claimed — the stale promise is withdrawn with it, so
+  // the no-delay invariant binds exactly the job holding the shadow.
+  if (reserved_job != -1 && reserved_job != pending.front().id) {
+    progress[reserved_job].reserved_start_s = kInf;
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = clock;
+      ev.kind = TraceKind::kReservationWithdraw;
+      ev.job = reserved_job;
+      tracer->record(std::move(ev));
+    }
+  }
+  reserved_job = pending.front().id;
+  if (metrics != nullptr) metrics->add("dispatch.shadow_computations");
+  double shadow;
+  {
+    PhaseScope scope(profiler, ProfilePhase::kShadow);
+    shadow = shadow_time(pending.front(), running, placeable, wan, clock);
+  }
+  last_shadow = shadow;
+  // No computable reservation (the head waits on an outage recovery,
+  // not on nodes): backfilling would have no bound and could starve
+  // the head indefinitely, so don't.
+  if (shadow == kInf) return;
+  Progress& head_progress = progress[pending.front().id];
+  head_progress.reserved_start_s =
+      std::min(head_progress.reserved_start_s, shadow);
+  if (tracer != nullptr) {
+    ServiceTraceEvent ev;
+    ev.t_s = clock;
+    ev.kind = TraceKind::kReservationClaim;
+    ev.job = reserved_job;
+    ev.value = shadow;  // the promised latest start
+    tracer->record(std::move(ev));
+  }
+  const bool priced = wan != nullptr && policy_->wan_priced_shadow();
+  // Ordered scan behind the head. Starts (on_attempt_start) dirty
+  // fair-share keys mid-scan, but iteration and take() never compare
+  // entries, so the frozen scan order is exactly the order the pass
+  // began with — the historical positional-scan semantics.
+  int examined = 0;
+  auto it = pending.begin();
+  ++it;  // the head holds the reservation, not a backfill candidacy
+  while (it != pending.end()) {
+    if (options_.backfill_depth > 0 &&
+        ++examined > options_.backfill_depth) {
+      break;
+    }
+    if (metrics != nullptr) metrics->add("dispatch.backfill_scans");
+    std::optional<Placement> placement;
+    if (placeable_precheck(it->job)) {
+      placement = try_place(it->job, placeable, placement_wan);
+    }
+    if (placement.has_value()) {
+      const ExecutionProfile& replay = replay_for(it->job, *placement);
+      const Job& candidate = it->job;
+      const double remaining = attempt_seconds(
+          replay, progress[candidate.id].credited_fraction);
+      double estimate =
+          candidate.walltime_s > 0.0 ? candidate.walltime_s : remaining;
+      // A priced policy must bound the CANDIDATE's own WAN demand too:
+      // its flow does not exist yet, so neither the shadow nor the
+      // drain estimates above can see it — and without a walltime the
+      // drains, not the replay, decide when its nodes come back. Each
+      // link's demand is priced at the share it would get alongside
+      // the flows currently touching that link (load + itself),
+      // starting where the replay timeline first reaches the link;
+      // egress is additionally capped by the shared trunk, whose
+      // aggregate term covers a backbone thinner than the uplinks.
+      if (priced && candidate.walltime_s <= 0.0) {
+        const double trunk_share =
+            wan->backbone_Bps() / (1.0 + wan->backbone_load());
+        double total_egress = 0.0;
+        double earliest_egress_fraction = 1.0;
+        for (std::size_t c = 0; c < placement->clusters.size(); ++c) {
+          const double share =
+              options_.wan_link_Bps /
+              (1.0 + wan->load_score(placement->clusters[c]));
+          if (replay.egress_bytes[c] > 0) {
+            estimate = std::max(
+                estimate,
+                replay.egress_first_fraction[c] * remaining +
+                    static_cast<double>(replay.egress_bytes[c]) /
+                        std::min(share, trunk_share));
+            total_egress += static_cast<double>(replay.egress_bytes[c]);
+            earliest_egress_fraction =
+                std::min(earliest_egress_fraction,
+                         replay.egress_first_fraction[c]);
+          }
+          if (replay.ingress_bytes[c] > 0) {
+            estimate = std::max(
+                estimate,
+                replay.ingress_first_fraction[c] * remaining +
+                    static_cast<double>(replay.ingress_bytes[c]) /
+                        share);
+          }
         }
-        if (!placement.has_value()) {
-          // Would the job fit if every cluster were up? free_nodes still
-          // counts down clusters' (outage-released) nodes, so it IS the
-          // fully-up view that placeable masks out.
-          category = any_down && try_place(job, free_nodes).has_value()
-                         ? BlameCategory::kOutageBlocked
-                         : BlameCategory::kResourceBusy;
-        } else if (idx == 0) {
-          // Unreachable — dispatch starts every placeable head — but a
-          // defensive fallback beats asserting inside an observer.
-          category = BlameCategory::kResourceBusy;
-        } else if (!backfills || last_shadow == kInf) {
-          // No reservation bound exists (strict policy, or the head
-          // waits on an outage recovery): queue order alone holds the
-          // job back — split by WHY the head outranks it.
+        if (total_egress > 0.0) {
+          estimate = std::max(estimate,
+                              earliest_egress_fraction * remaining +
+                                  total_egress / trunk_share);
+        }
+      }
+      if (clock + estimate <= shadow) {
+        Job admitted;
+        it = pending.take(it, admitted);
+        start_job(std::move(admitted), *placement, /*backfilled=*/true);
+        ++report.backfilled_jobs;
+        continue;  // `it` already points at the next candidate
+      }
+    }
+    ++it;
+  }
+}
+
+// Blame classification pass: AFTER a dispatch pass settles, answer
+// "why is each still-pending job not running RIGHT NOW" with one
+// category, mirroring the decision the scheduler just made. Probed
+// placements are never granted and replays come from the same cache
+// dispatch fills, so a blame-on run makes identical scheduling
+// decisions to a blame-off run.
+void GridJobService::Engine::classify_waits() {
+  if (pending.empty()) return;
+  bool any_down = false;
+  for (int c = 0; c < nclusters; ++c) {
+    if (down_depth[static_cast<std::size_t>(c)] > 0) any_down = true;
+  }
+  const bool backfills = policy_->backfills();
+  const bool priced = wan != nullptr && policy_->wan_priced_shadow();
+  const Job* head = nullptr;
+  int idx = 0;
+  for (auto it = pending.begin(); it != pending.end(); ++it, ++idx) {
+    const Job& job = it->job;
+    if (idx == 0) head = &job;
+    BlameCategory category = BlameCategory::kResourceBusy;
+    if (idx > 0 && backfills && options_.backfill_depth > 0 &&
+        idx > options_.backfill_depth) {
+      // The bounded scan examines positions 1..depth only; beyond it
+      // the scheduler never even looked.
+      category = BlameCategory::kBackfillDepthTruncated;
+    } else {
+      std::optional<Placement> placement;
+      if (placeable_precheck(job)) {
+        placement = try_place(job, placeable, placement_wan);
+      }
+      if (!placement.has_value()) {
+        // Would the job fit if every cluster were up? free_nodes still
+        // counts down clusters' (outage-released) nodes, so it IS the
+        // fully-up view that placeable masks out.
+        category = any_down && try_place(job, free_nodes).has_value()
+                       ? BlameCategory::kOutageBlocked
+                       : BlameCategory::kResourceBusy;
+      } else if (idx == 0) {
+        // Unreachable — dispatch starts every placeable head — but a
+        // defensive fallback beats asserting inside an observer.
+        category = BlameCategory::kResourceBusy;
+      } else if (!backfills || last_shadow == kInf) {
+        // No reservation bound exists (strict policy, or the head
+        // waits on an outage recovery): queue order alone holds the
+        // job back — split by WHY the head outranks it.
+        category = policy_->displaces(*head, job)
+                       ? BlameCategory::kPriorityDisplaced
+                       : BlameCategory::kHeldBehindReservation;
+      } else {
+        // The scan examined this placeable candidate and rejected it
+        // on the admission test `clock + estimate <= shadow`;
+        // re-derive which bound inside the estimate bit.
+        const ExecutionProfile& replay = replay_for(job, *placement);
+        const double remaining =
+            attempt_seconds(replay, progress[job.id].credited_fraction);
+        if (priced && job.walltime_s <= 0.0 &&
+            clock + remaining <= last_shadow) {
+          // The raw replay remainder fits the promise; only the
+          // WAN-drain pricing pushed the estimate past it.
+          category = BlameCategory::kWanContendedPlacement;
+        } else if (job.walltime_s > 0.0 &&
+                   clock + remaining <= last_shadow) {
+          // The work fits the promise but the user's walltime ask
+          // (what EASY must plan with) does not.
+          category = BlameCategory::kWalltimeEstimateBlocked;
+        } else {
           category = policy_->displaces(*head, job)
                          ? BlameCategory::kPriorityDisplaced
                          : BlameCategory::kHeldBehindReservation;
-        } else {
-          // The scan examined this placeable candidate and rejected it
-          // on the admission test `clock + estimate <= shadow`;
-          // re-derive which bound inside the estimate bit.
-          const ExecutionProfile& replay = replay_for(job, *placement);
-          const double remaining =
-              attempt_seconds(replay, progress[job.id].credited_fraction);
-          if (priced && job.walltime_s <= 0.0 &&
-              clock + remaining <= last_shadow) {
-            // The raw replay remainder fits the promise; only the
-            // WAN-drain pricing pushed the estimate past it.
-            category = BlameCategory::kWanContendedPlacement;
-          } else if (job.walltime_s > 0.0 &&
-                     clock + remaining <= last_shadow) {
-            // The work fits the promise but the user's walltime ask
-            // (what EASY must plan with) does not.
-            category = BlameCategory::kWalltimeEstimateBlocked;
-          } else {
-            category = policy_->displaces(*head, job)
-                           ? BlameCategory::kPriorityDisplaced
-                           : BlameCategory::kHeldBehindReservation;
-          }
         }
       }
-      const int cat = static_cast<int>(category);
-      const auto [state, inserted] =
-          blame_open.emplace(job.id, BlameOpen{cat, clock});
-      if (!inserted && state->second.category != cat) {
-        blame_flush(job.id, clock);
-        state->second.category = cat;
-      }
     }
-  };
+    const int cat = static_cast<int>(category);
+    const auto [state, inserted] =
+        blame_open.emplace(job.id, BlameOpen{cat, clock});
+    if (!inserted && state->second.category != cat) {
+      blame_flush(job.id, clock);
+      state->second.category = cat;
+    }
+  }
+}
 
-  // Outage start: every job holding nodes on the failed cluster dies.
-  // Lost node-seconds are charged as waste (minus any banked panels) and
-  // the job is requeued until its retries run out.
-  auto apply_outage = [&](const OutageEvent& ev) {
+// Outage start: every job holding nodes on the failed cluster dies.
+// Lost node-seconds are charged as waste (minus any banked panels) and
+// the job is requeued until its retries run out.
+void GridJobService::Engine::apply_outage(const OutageEvent& ev) {
+  if (tracer != nullptr) {
+    ServiceTraceEvent te;
+    te.t_s = ev.time_s;
+    te.kind = ev.down ? TraceKind::kOutageDown : TraceKind::kOutageUp;
+    te.cluster = ev.cluster;
+    tracer->record(std::move(te));
+  }
+  if (!ev.down) {
+    QRGRID_CHECK(ev.cluster < nclusters &&
+                 down_depth[static_cast<std::size_t>(ev.cluster)] > 0);
+    --down_depth[static_cast<std::size_t>(ev.cluster)];
+    if (down_depth[static_cast<std::size_t>(ev.cluster)] == 0) {
+      set_placeable(ev.cluster,
+                    free_nodes[static_cast<std::size_t>(ev.cluster)]);
+    }
+    return;
+  }
+  QRGRID_CHECK_MSG(ev.cluster < nclusters,
+                   "outage on unknown cluster " << ev.cluster);
+  ++down_depth[static_cast<std::size_t>(ev.cluster)];
+  if (down_depth[static_cast<std::size_t>(ev.cluster)] == 1) {
+    set_placeable(ev.cluster, 0);
+  }
+  // Extract every hit job first (swap-and-pop keeps the scan linear),
+  // then process victims in start order — `running` itself is no longer
+  // start-ordered, so determinism comes from sorting by seq.
+  std::vector<Running> victims;
+  for (std::size_t i = 0; i < running.size();) {
+    Running& r = running[i];
+    const bool hit =
+        std::find(r.placement.clusters.begin(), r.placement.clusters.end(),
+                  ev.cluster) != r.placement.clusters.end();
+    if (!hit) {
+      ++i;
+      continue;
+    }
+    victims.push_back(std::move(r));
+    if (i != running.size() - 1) running[i] = std::move(running.back());
+    running.pop_back();
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Running& a, const Running& b) { return a.seq < b.seq; });
+  TieOracle* const oracle = svc.oracle_;
+  while (!victims.empty()) {
+    // Kill order among one failure's victims: canonically start order
+    // (seq — index 0 of the sorted vector), or whichever victim the
+    // tie oracle picks. The order is observable: restart credit,
+    // waste, and requeue positions all accrue victim by victim.
+    std::size_t pick = 0;
+    if (oracle != nullptr && victims.size() > 1) {
+      const int chosen =
+          oracle->choose(TieOracle::Kind::kOutageVictim, ev.time_s,
+                         static_cast<int>(victims.size()));
+      QRGRID_CHECK_MSG(
+          chosen >= 0 && chosen < static_cast<int>(victims.size()),
+          "tie oracle returned " << chosen << " of "
+                                 << victims.size() << " victims");
+      pick = static_cast<std::size_t>(chosen);
+    }
+    Running victim = std::move(victims[static_cast<std::size_t>(pick)]);
+    victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(pick));
+    release_nodes(victim.placement);
+    const double elapsed = ev.time_s - victim.start_s;
+    Progress& p = progress[victim.job.id];
+    // Fraction of the FULL factorization this attempt covered before
+    // dying. Checkpoint overhead smears uniformly over the attempt,
+    // and a WAN-stretched attempt can outlive its isolated span while
+    // waiting on drains with all panels done — hence the cap at the
+    // attempt's own share. covered_span_fraction guards the
+    // kill-at-start edge: a span collapsed to zero by floating-point
+    // absorption must not turn the credit arithmetic into NaN.
+    const double attempt_span = victim.finish_s - victim.start_s;
+    const double covered =
+        covered_span_fraction(elapsed, attempt_span) *
+        (1.0 - p.credited_fraction);
+    double banked = 0.0;
+    if (options_.restart_credit && options_.checkpoint_panels > 0) {
+      // Bank whole panels: round the reached point down to a panel
+      // boundary. The last panel is never banked — completing it IS
+      // completing the job.
+      const double panels =
+          static_cast<double>(options_.checkpoint_panels);
+      const double through = p.credited_fraction + covered;
+      const double reached = std::min(std::floor(through * panels) / panels,
+                                      (panels - 1.0) / panels);
+      const double gained =
+          std::clamp(reached - p.credited_fraction, 0.0, covered);
+      banked = gained * victim.replay->seconds;
+      p.credited_fraction += gained;
+    }
+    const double nodes =
+        static_cast<double>(victim.placement.total_nodes);
+    p.wasted_node_s += nodes * (elapsed - banked);
+    report.wasted_node_seconds += nodes * (elapsed - banked);
+    useful_node_seconds += nodes * banked;
+    if (wan_on) {
+      wan->retire(victim.flow, report.wan_egress_bytes,
+                 report.wan_ingress_bytes);
+    } else {
+      // The attempt covered this share of the full replay timeline.
+      charge_wan(victim, covered);
+    }
+    // The outage hits the in-flight attempt for REAL on the msg
+    // backend: the factorization aborts mid-run at the reached point of
+    // the timeline, requeued attempts included.
     if (tracer != nullptr) {
       ServiceTraceEvent te;
       te.t_s = ev.time_s;
-      te.kind = ev.down ? TraceKind::kOutageDown : TraceKind::kOutageUp;
+      te.kind = TraceKind::kOutageKill;
+      te.job = victim.job.id;
       te.cluster = ev.cluster;
+      te.flow = victim.flow;
+      te.value = elapsed;  // node-holding seconds the kill threw away
+      te.value2 = banked;  // of which restart credit banked this much
       tracer->record(std::move(te));
     }
-    if (!ev.down) {
-      QRGRID_CHECK(ev.cluster < nclusters &&
-                   down_depth[static_cast<std::size_t>(ev.cluster)] > 0);
-      --down_depth[static_cast<std::size_t>(ev.cluster)];
-      if (down_depth[static_cast<std::size_t>(ev.cluster)] == 0) {
-        set_placeable(ev.cluster,
-                      free_nodes[static_cast<std::size_t>(ev.cluster)]);
-      }
-      return;
-    }
-    QRGRID_CHECK_MSG(ev.cluster < nclusters,
-                     "outage on unknown cluster " << ev.cluster);
-    ++down_depth[static_cast<std::size_t>(ev.cluster)];
-    if (down_depth[static_cast<std::size_t>(ev.cluster)] == 1) {
-      set_placeable(ev.cluster, 0);
-    }
-    // Extract every hit job first (swap-and-pop keeps the scan linear),
-    // then process victims in start order — `running` itself is no longer
-    // start-ordered, so determinism comes from sorting by seq.
-    std::vector<Running> victims;
-    for (std::size_t i = 0; i < running.size();) {
-      Running& r = running[i];
-      const bool hit =
-          std::find(r.placement.clusters.begin(), r.placement.clusters.end(),
-                    ev.cluster) != r.placement.clusters.end();
-      if (!hit) {
-        ++i;
-        continue;
-      }
-      victims.push_back(std::move(r));
-      if (i != running.size() - 1) running[i] = std::move(running.back());
-      running.pop_back();
-    }
-    std::sort(victims.begin(), victims.end(),
-              [](const Running& a, const Running& b) { return a.seq < b.seq; });
-    for (Running& victim : victims) {
-      release_nodes(victim.placement);
-      const double elapsed = ev.time_s - victim.start_s;
-      Progress& p = progress[victim.job.id];
-      // Fraction of the FULL factorization this attempt covered before
-      // dying. Checkpoint overhead smears uniformly over the attempt,
-      // and a WAN-stretched attempt can outlive its isolated span while
-      // waiting on drains with all panels done — hence the cap at the
-      // attempt's own share.
-      const double attempt_span = victim.finish_s - victim.start_s;
-      const double covered =
-          std::min(elapsed / attempt_span, 1.0) *
-          (1.0 - p.credited_fraction);
-      double banked = 0.0;
-      if (options_.restart_credit && options_.checkpoint_panels > 0) {
-        // Bank whole panels: round the reached point down to a panel
-        // boundary. The last panel is never banked — completing it IS
-        // completing the job.
-        const double panels =
-            static_cast<double>(options_.checkpoint_panels);
-        const double through = p.credited_fraction + covered;
-        const double reached = std::min(std::floor(through * panels) / panels,
-                                        (panels - 1.0) / panels);
-        const double gained =
-            std::clamp(reached - p.credited_fraction, 0.0, covered);
-        banked = gained * victim.replay->seconds;
-        p.credited_fraction += gained;
-      }
-      const double nodes =
-          static_cast<double>(victim.placement.total_nodes);
-      p.wasted_node_s += nodes * (elapsed - banked);
-      report.wasted_node_seconds += nodes * (elapsed - banked);
-      useful_node_seconds += nodes * banked;
-      if (wan_on) {
-        wan->retire(victim.flow, report.wan_egress_bytes,
-                   report.wan_ingress_bytes);
-      } else {
-        // The attempt covered this share of the full replay timeline.
-        charge_wan(victim, covered);
-      }
-      // The outage hits the in-flight attempt for REAL on the msg
-      // backend: the factorization aborts mid-run at the reached point of
-      // the timeline, requeued attempts included.
-      if (tracer != nullptr) {
-        ServiceTraceEvent te;
-        te.t_s = ev.time_s;
-        te.kind = TraceKind::kOutageKill;
-        te.job = victim.job.id;
-        te.cluster = ev.cluster;
-        te.flow = victim.flow;
-        te.value = elapsed;  // node-holding seconds the kill threw away
-        te.value2 = banked;  // of which restart credit banked this much
-        tracer->record(std::move(te));
-      }
-      const ExecutionResult exec = execute_attempt(
-          victim, /*killed=*/true, victim.start_fraction + covered);
-      ++report.killed_jobs;
-      ++report.outage_kills;
-      if (p.attempts <= options_.max_retries) {
-        ++report.requeued_jobs;
-        Job job = std::move(victim.job);
-        if (blame_on) {
-          // The killed attempt's runtime is wait the job must sit out
-          // again — blamed as rerun time, which keeps the categories
-          // summing to (final start - arrival) across retries.
-          blame_totals[job.id][static_cast<std::size_t>(
-              BlameCategory::kRequeuedRerun)] += elapsed;
-          if (tracer != nullptr) {
-            ServiceTraceEvent te;
-            te.t_s = ev.time_s;
-            te.kind = TraceKind::kWaitBlame;
-            te.job = job.id;
-            te.value = elapsed;
-            te.value2 =
-                static_cast<double>(BlameCategory::kRequeuedRerun);
-            tracer->record(std::move(te));
-          }
-        }
+    const ExecutionResult exec = execute_attempt(
+        victim, /*killed=*/true, victim.start_fraction + covered);
+    ++report.killed_jobs;
+    ++report.outage_kills;
+    if (p.attempts <= options_.max_retries) {
+      ++report.requeued_jobs;
+      Job job = std::move(victim.job);
+      if (blame_on) {
+        // The killed attempt's runtime is wait the job must sit out
+        // again — blamed as rerun time, which keeps the categories
+        // summing to (final start - arrival) across retries.
+        blame_totals[job.id][static_cast<std::size_t>(
+            BlameCategory::kRequeuedRerun)] += elapsed;
         if (tracer != nullptr) {
           ServiceTraceEvent te;
           te.t_s = ev.time_s;
-          te.kind = TraceKind::kRequeue;
+          te.kind = TraceKind::kWaitBlame;
           te.job = job.id;
-          te.value = static_cast<double>(p.attempts);
+          te.value = elapsed;
+          te.value2 =
+              static_cast<double>(BlameCategory::kRequeuedRerun);
           tracer->record(std::move(te));
         }
-        // SPJF sort key: only the uncredited remainder still costs time.
-        const double predicted =
-            predicted_seconds(job) * (1.0 - p.credited_fraction);
-        pending.push(std::move(job), predicted);
-      } else {
-        ++report.failed_jobs;
-        record_outcome(victim, ev.time_s, JobFate::kOutageFailed, exec);
       }
-    }
-  };
-
-  while (next_arrival < jobs.size() || !pending.empty() ||
-         !running.empty()) {
-    double t = kInf;
-    if (next_arrival < jobs.size()) t = jobs[next_arrival].arrival_s;
-    for (const Running& r : running) t = std::min(t, event_of(r));
-    t = std::min(t, trace.peek_s());
-    // WAN horizon events (a pool activating or running dry) change the
-    // fair shares — and may BE a job's completion when the last drain
-    // lands past its replay end. Rates are constant up to this bound, so
-    // advancing the model to t is exact.
-    if (wan_on) t = std::min(t, wan->next_event_s(wan_clock));
-    QRGRID_CHECK_MSG(t < kInf, "service deadlock: pending jobs but no "
-                               "running work, WAN drains, outage "
-                               "recoveries, or future arrivals");
-    if (wan_on) {
-      PhaseScope scope(profiler, ProfilePhase::kWanAdvance);
-      wan->advance(wan_clock, t);
-      wan_clock = std::max(wan_clock, t);
-    }
-    clock = std::max(clock, t);
-    // Push the tracer's clock forward so emitters without a timestamp of
-    // their own (WAN retirement, backend profile computes) stamp events
-    // at the current virtual instant.
-    if (tracer != nullptr) tracer->advance_to(clock);
-
-    // Event precedence at one instant: completions (and walltime kills)
-    // first, then outage boundaries, then arrivals — a job that finishes
-    // exactly when its cluster fails has finished.
-    {
-      PhaseScope phase(profiler, ProfilePhase::kCompletionExtract);
-      for (bool found = true; found;) {
-        found = false;
-        std::size_t best = 0;
-        for (std::size_t i = 0; i < running.size(); ++i) {
-          if (event_of(running[i]) > clock) continue;
-          if (!found || event_of(running[i]) < event_of(running[best]) ||
-              (event_of(running[i]) == event_of(running[best]) &&
-               running[i].seq < running[best].seq)) {
-            best = i;
-            found = true;
-          }
-        }
-        if (!found) break;
-        // The scan above selects the (event time, seq) minimum, which no
-        // vector order can change — so the erase is a swap-and-pop, O(1)
-        // instead of shifting the running tail per completion.
-        Running done = std::move(running[best]);
-        if (best != running.size() - 1) {
-          running[best] = std::move(running.back());
-        }
-        running.pop_back();
-        release_nodes(done.placement);
-        const double nodes = static_cast<double>(done.placement.total_nodes);
-        if (completes(done)) {
-          const double finish = wan_finish(done);
-          const double held = finish - done.start_s;
-          useful_node_seconds += nodes * held;
-          useful_flops_total += model::useful_flops(done.job.m, done.job.n);
-          if (wan_on) {
-            wan->retire(done.flow, report.wan_egress_bytes,
-                       report.wan_ingress_bytes);
-          } else {
-            charge_wan(done, 1.0 - done.start_fraction);
-          }
-          const ExecutionResult exec =
-              execute_attempt(done, /*killed=*/false, 1.0);
-          ++report.completed_jobs;
-          if (tracer != nullptr) {
-            ServiceTraceEvent ev;
-            ev.t_s = finish;
-            ev.kind = TraceKind::kCompletion;
-            ev.job = done.job.id;
-            ev.flow = done.flow;
-            ev.value = held;                 // service seconds of the attempt
-            ev.value2 = finish - done.finish_s;  // WAN drain stretch past replay
-            tracer->record(std::move(ev));
-          }
-          record_outcome(done, finish, JobFate::kCompleted, exec);
-        } else {
-          // Ran past its user walltime: killed for good, everything wasted.
-          const double held = done.kill_s - done.start_s;
-          Progress& p = progress[done.job.id];
-          p.wasted_node_s += nodes * held;
-          report.wasted_node_seconds += nodes * held;
-          // Capped coverage as in the outage path: the checkpoint tail
-          // stretches the attempt beyond its replay share, and the share is
-          // all the work (and WAN bytes) it can ever have done.
-          const double covered =
-              std::min(held / (done.finish_s - done.start_s), 1.0) *
-              (1.0 - done.start_fraction);
-          if (wan_on) {
-            wan->retire(done.flow, report.wan_egress_bytes,
-                       report.wan_ingress_bytes);
-          } else {
-            charge_wan(done, covered);
-          }
-          const ExecutionResult exec = execute_attempt(
-              done, /*killed=*/true, done.start_fraction + covered);
-          ++report.killed_jobs;
-          ++report.walltime_kills;
-          ++report.failed_jobs;
-          if (tracer != nullptr) {
-            ServiceTraceEvent ev;
-            ev.t_s = done.kill_s;
-            ev.kind = TraceKind::kWalltimeKill;
-            ev.job = done.job.id;
-            ev.flow = done.flow;
-            ev.value = held;  // node-holding seconds the kill threw away
-            tracer->record(std::move(ev));
-          }
-          record_outcome(done, done.kill_s, JobFate::kWalltimeKilled, exec);
-        }
-      }
-    }
-
-    while (trace.peek_s() <= clock) apply_outage(trace.pop());
-
-    while (next_arrival < jobs.size() &&
-           jobs[next_arrival].arrival_s <= clock) {
-      Job job = jobs[next_arrival++];
       if (tracer != nullptr) {
-        ServiceTraceEvent ev;
-        ev.t_s = job.arrival_s;
-        ev.kind = TraceKind::kArrival;
-        ev.job = job.id;
-        ev.value = static_cast<double>(job.priority);
-        ev.value2 = static_cast<double>(job.user);
-        tracer->record(std::move(ev));
+        ServiceTraceEvent te;
+        te.t_s = ev.time_s;
+        te.kind = TraceKind::kRequeue;
+        te.job = job.id;
+        te.value = static_cast<double>(p.attempts);
+        tracer->record(std::move(te));
       }
-      const double predicted = predicted_seconds(job);
+      // SPJF sort key: only the uncredited remainder still costs time.
+      const double predicted =
+          predicted_seconds(job) * (1.0 - p.credited_fraction);
       pending.push(std::move(job), predicted);
-    }
-
-    {
-      PhaseScope phase(profiler, ProfilePhase::kDispatchScan);
-      dispatch();
-    }
-    if (blame_on) classify_waits();
-
-    if (metrics != nullptr) {
-      // Step curves over virtual time, sampled once per event-loop
-      // iteration (the registry drops unchanged consecutive values).
-      metrics->sample("queue_depth", clock,
-                      static_cast<double>(pending.size()));
-      metrics->sample("running_jobs", clock,
-                      static_cast<double>(running.size()));
-      if (wan_on) {
-        for (int c = 0; c < nclusters; ++c) {
-          metrics->sample("wan.uplink_load.c" + std::to_string(c), clock,
-                          static_cast<double>(wan->load_score(c)));
-        }
-        metrics->sample("wan.backbone_load", clock,
-                        static_cast<double>(wan->backbone_load()));
-        metrics->sample("wan.live_flows", clock,
-                        static_cast<double>(wan->live_flows()));
-      }
+    } else {
+      ++report.failed_jobs;
+      record_outcome(victim, ev.time_s, JobFate::kOutageFailed, exec);
     }
   }
+}
 
+// One event-loop iteration: advance virtual time to the next event, then
+// resolve everything due at that instant in precedence order —
+// completions (and walltime kills) first, then outage boundaries
+// (recoveries before failures), then arrivals — and run a dispatch pass.
+void GridJobService::Engine::step() {
+  double t = kInf;
+  if (next_arrival < jobs.size()) t = jobs[next_arrival].arrival_s;
+  for (const Running& r : running) t = std::min(t, event_of(r));
+  t = std::min(t, trace.peek_s());
+  // WAN horizon events (a pool activating or running dry) change the
+  // fair shares — and may BE a job's completion when the last drain
+  // lands past its replay end. Rates are constant up to this bound, so
+  // advancing the model to t is exact.
+  if (wan_on) t = std::min(t, wan->next_event_s(wan_clock));
+  QRGRID_CHECK_MSG(t < kInf, "service deadlock: pending jobs but no "
+                             "running work, WAN drains, outage "
+                             "recoveries, or future arrivals");
+  if (wan_on) {
+    PhaseScope scope(profiler, ProfilePhase::kWanAdvance);
+    wan->advance(wan_clock, t);
+    wan_clock = std::max(wan_clock, t);
+  }
+  clock = std::max(clock, t);
+  // Push the tracer's clock forward so emitters without a timestamp of
+  // their own (WAN retirement, backend profile computes) stamp events
+  // at the current virtual instant.
+  if (tracer != nullptr) tracer->advance_to(clock);
+
+  // Event precedence at one instant: completions (and walltime kills)
+  // first, then outage boundaries, then arrivals — a job that finishes
+  // exactly when its cluster fails has finished.
+  {
+    PhaseScope phase(profiler, ProfilePhase::kCompletionExtract);
+    resolve_completions();
+  }
+
+  drain_outages();
+
+  admit_arrivals();
+
+  {
+    PhaseScope phase(profiler, ProfilePhase::kDispatchScan);
+    dispatch();
+  }
+  if (blame_on) classify_waits();
+
+  if (metrics != nullptr) {
+    // Step curves over virtual time, sampled once per event-loop
+    // iteration (the registry drops unchanged consecutive values).
+    metrics->sample("queue_depth", clock,
+                    static_cast<double>(pending.size()));
+    metrics->sample("running_jobs", clock,
+                    static_cast<double>(running.size()));
+    if (wan_on) {
+      for (int c = 0; c < nclusters; ++c) {
+        metrics->sample("wan.uplink_load.c" + std::to_string(c), clock,
+                        static_cast<double>(wan->load_score(c)));
+      }
+      metrics->sample("wan.backbone_load", clock,
+                      static_cast<double>(wan->backbone_load()));
+      metrics->sample("wan.live_flows", clock,
+                      static_cast<double>(wan->live_flows()));
+    }
+  }
+}
+
+// Resolves every completion-class event due at the current clock, one at
+// a time in (event time, seq) order — or, under an installed oracle, in
+// whatever order it picks among exact event-time ties.
+void GridJobService::Engine::resolve_completions() {
+  TieOracle* const oracle = svc.oracle_;
+  if (oracle == nullptr) {
+    // Canonical path, verbatim from the monolith: repeatedly select the
+    // (event time, seq) minimum among due events.
+    for (bool found = true; found;) {
+      found = false;
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        if (event_of(running[i]) > clock) continue;
+        if (!found || event_of(running[i]) < event_of(running[best]) ||
+            (event_of(running[i]) == event_of(running[best]) &&
+             running[i].seq < running[best].seq)) {
+          best = i;
+          found = true;
+        }
+      }
+      if (!found) break;
+      complete_one(best);
+    }
+    return;
+  }
+  // Oracle path: resolve the earliest due event time; among attempts
+  // TIED on it (seq-sorted, so index 0 is the canonical pick) the oracle
+  // chooses which resolves first. Candidates are re-collected per pick:
+  // each resolution can retire a WAN flow and move later finish times.
+  for (;;) {
+    double due = kInf;
+    for (const Running& r : running) {
+      const double e = event_of(r);
+      if (e <= clock && e < due) due = e;
+    }
+    if (due == kInf) break;
+    std::vector<std::size_t> tied;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (event_of(running[i]) == due) tied.push_back(i);
+    }
+    std::sort(tied.begin(), tied.end(), [&](std::size_t a, std::size_t b) {
+      return running[a].seq < running[b].seq;
+    });
+    std::size_t pick = 0;
+    if (tied.size() > 1) {
+      const int chosen =
+          oracle->choose(TieOracle::Kind::kCompletion, due,
+                         static_cast<int>(tied.size()));
+      QRGRID_CHECK_MSG(
+          chosen >= 0 && chosen < static_cast<int>(tied.size()),
+          "tie oracle returned " << chosen << " of " << tied.size()
+                                 << " completions");
+      pick = static_cast<std::size_t>(chosen);
+    }
+    complete_one(tied[pick]);
+  }
+}
+
+void GridJobService::Engine::complete_one(std::size_t index) {
+  // The caller's scan selects by (event time, seq), which no vector
+  // order can change — so the erase is a swap-and-pop, O(1) instead of
+  // shifting the running tail per completion.
+  Running done = std::move(running[index]);
+  if (index != running.size() - 1) {
+    running[index] = std::move(running.back());
+  }
+  running.pop_back();
+  release_nodes(done.placement);
+  const double nodes = static_cast<double>(done.placement.total_nodes);
+  if (completes(done)) {
+    const double finish = wan_finish(done);
+    const double held = finish - done.start_s;
+    useful_node_seconds += nodes * held;
+    useful_flops_total += model::useful_flops(done.job.m, done.job.n);
+    if (wan_on) {
+      wan->retire(done.flow, report.wan_egress_bytes,
+                  report.wan_ingress_bytes);
+    } else {
+      charge_wan(done, 1.0 - done.start_fraction);
+    }
+    const ExecutionResult exec = execute_attempt(done, /*killed=*/false, 1.0);
+    ++report.completed_jobs;
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = finish;
+      ev.kind = TraceKind::kCompletion;
+      ev.job = done.job.id;
+      ev.flow = done.flow;
+      ev.value = held;                     // service seconds of the attempt
+      ev.value2 = finish - done.finish_s;  // WAN drain stretch past replay
+      tracer->record(std::move(ev));
+    }
+    record_outcome(done, finish, JobFate::kCompleted, exec);
+  } else {
+    // Ran past its user walltime: killed for good, everything wasted.
+    const double held = done.kill_s - done.start_s;
+    Progress& p = progress[done.job.id];
+    p.wasted_node_s += nodes * held;
+    report.wasted_node_seconds += nodes * held;
+    // Capped coverage as in the outage path: the checkpoint tail
+    // stretches the attempt beyond its replay share, and the share is
+    // all the work (and WAN bytes) it can ever have done.
+    // covered_span_fraction guards the zero-length-span edge exactly as
+    // the outage kill site does.
+    const double covered =
+        covered_span_fraction(held, done.finish_s - done.start_s) *
+        (1.0 - done.start_fraction);
+    if (wan_on) {
+      wan->retire(done.flow, report.wan_egress_bytes,
+                  report.wan_ingress_bytes);
+    } else {
+      charge_wan(done, covered);
+    }
+    const ExecutionResult exec = execute_attempt(
+        done, /*killed=*/true, done.start_fraction + covered);
+    ++report.killed_jobs;
+    ++report.walltime_kills;
+    ++report.failed_jobs;
+    if (tracer != nullptr) {
+      ServiceTraceEvent ev;
+      ev.t_s = done.kill_s;
+      ev.kind = TraceKind::kWalltimeKill;
+      ev.job = done.job.id;
+      ev.flow = done.flow;
+      ev.value = held;  // node-holding seconds the kill threw away
+      tracer->record(std::move(ev));
+    }
+    record_outcome(done, done.kill_s, JobFate::kWalltimeKilled, exec);
+  }
+}
+
+// Applies every outage boundary due at the current clock. Canonically
+// the trace's pop order (time, recoveries before failures, cluster id);
+// an installed oracle permutes WITHIN one (time, direction) group only,
+// so the up-before-down precedence is never reordered.
+void GridJobService::Engine::drain_outages() {
+  TieOracle* const oracle = svc.oracle_;
+  if (oracle == nullptr) {
+    while (trace.peek_s() <= clock) apply_outage(trace.pop());
+    return;
+  }
+  std::vector<OutageEvent> batch;
+  while (trace.peek_s() <= clock) batch.push_back(trace.pop());
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].time_s == batch[i].time_s &&
+           batch[j].down == batch[i].down) {
+      ++j;
+    }
+    std::vector<OutageEvent> group(
+        batch.begin() + static_cast<std::ptrdiff_t>(i),
+        batch.begin() + static_cast<std::ptrdiff_t>(j));
+    while (!group.empty()) {
+      const TieOracle::Kind kind = group.front().down
+                                       ? TieOracle::Kind::kOutageDown
+                                       : TieOracle::Kind::kOutageUp;
+      std::size_t pick = 0;
+      if (group.size() > 1) {
+        const int chosen = oracle->choose(kind, group.front().time_s,
+                                          static_cast<int>(group.size()));
+        QRGRID_CHECK_MSG(
+            chosen >= 0 && chosen < static_cast<int>(group.size()),
+            "tie oracle returned " << chosen << " of " << group.size()
+                                   << " outage boundaries");
+        pick = static_cast<std::size_t>(chosen);
+      }
+      apply_outage(group[pick]);
+      group.erase(group.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    i = j;
+  }
+}
+
+void GridJobService::Engine::admit_one_arrival(Job job) {
+  if (tracer != nullptr) {
+    ServiceTraceEvent ev;
+    ev.t_s = job.arrival_s;
+    ev.kind = TraceKind::kArrival;
+    ev.job = job.id;
+    ev.value = static_cast<double>(job.priority);
+    ev.value2 = static_cast<double>(job.user);
+    tracer->record(std::move(ev));
+  }
+  const double predicted = predicted_seconds(job);
+  pending.push(std::move(job), predicted);
+}
+
+// Admits every arrival due at the current clock. Canonically in
+// (arrival_s, id) order — the pre-sorted jobs vector; an installed
+// oracle permutes jobs sharing one arrival instant (the order is
+// observable through kArrival events and queue tie-breaks).
+void GridJobService::Engine::admit_arrivals() {
+  TieOracle* const oracle = svc.oracle_;
+  if (oracle == nullptr) {
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival_s <= clock) {
+      admit_one_arrival(jobs[next_arrival++]);
+    }
+    return;
+  }
+  while (next_arrival < jobs.size() &&
+         jobs[next_arrival].arrival_s <= clock) {
+    std::size_t j = next_arrival;
+    while (j < jobs.size() &&
+           jobs[j].arrival_s == jobs[next_arrival].arrival_s) {
+      ++j;
+    }
+    std::vector<Job> group(
+        jobs.begin() + static_cast<std::ptrdiff_t>(next_arrival),
+        jobs.begin() + static_cast<std::ptrdiff_t>(j));
+    next_arrival = j;
+    while (!group.empty()) {
+      std::size_t pick = 0;
+      if (group.size() > 1) {
+        const int chosen =
+            oracle->choose(TieOracle::Kind::kArrival,
+                           group.front().arrival_s,
+                           static_cast<int>(group.size()));
+        QRGRID_CHECK_MSG(
+            chosen >= 0 && chosen < static_cast<int>(group.size()),
+            "tie oracle returned " << chosen << " of " << group.size()
+                                   << " arrivals");
+        pick = static_cast<std::size_t>(chosen);
+      }
+      admit_one_arrival(std::move(group[pick]));
+      group.erase(group.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+}
+
+// Final accounting over the finished run — the monolith's post-loop tail.
+ServiceReport GridJobService::Engine::finish() {
   QRGRID_CHECK_MSG(report.completed_jobs + report.failed_jobs ==
                        static_cast<long long>(jobs.size()),
                    "job conservation violated: " << report.completed_jobs
@@ -1440,7 +1804,384 @@ ServiceReport GridJobService::run(std::vector<Job> jobs) {
       }
     }
   }
+  return std::move(report);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot encoding of the full in-flight state. Field sequence is the
+// format: save() and load() must mirror each other exactly, and any
+// change bumps kSnapshotVersion. Unordered containers are written in
+// sorted-id order so equal states always produce equal bytes.
+void GridJobService::Engine::save(SnapshotWriter& w) {
+  // Freeze the queue against CURRENT policy keys first: entry iteration
+  // order is part of the snapshot, and a dynamic policy may have dirtied
+  // keys since the last ordered access.
+  pending.resort();
+  w.u64(jobs.size());
+  for (const Job& job : jobs) save_job(w, job);
+  w.u64(next_arrival);
+  w.f64(clock);
+  w.f64(wan_clock);
+  w.i32(seq);
+  w.i32(reserved_job);
+  w.f64(last_shadow);
+  w.f64(useful_node_seconds);
+  w.f64(useful_flops_total);
+  // Report fields the event loop mutates; everything else is derived in
+  // finish() or fixed by the constructor.
+  w.u64(report.outcomes.size());
+  for (const JobOutcome& o : report.outcomes) save_outcome(w, o);
+  w.f64(report.makespan_s);
+  w.i64(report.backfilled_jobs);
+  w.i64(report.completed_jobs);
+  w.i64(report.failed_jobs);
+  w.i64(report.killed_jobs);
+  w.i64(report.walltime_kills);
+  w.i64(report.outage_kills);
+  w.i64(report.requeued_jobs);
+  w.f64(report.wasted_node_seconds);
+  w.i64_vec(report.wan_egress_bytes);
+  w.i64_vec(report.wan_ingress_bytes);
+  w.i64(report.executed_attempts);
+  w.i64(report.aborted_attempts);
+  w.f64(report.max_residual);
+  w.f64(report.max_orthogonality);
+  w.f64(report.injected_abort_vtime_s);
+  w.f64(report.measured_abort_vtime_s);
+  w.i32_vec(free_nodes);
+  w.i32_vec(down_depth);
+  w.i32_vec(placeable);
+  trace.save_state(w);
+  // Policy state precedes the queue entries: load_state() must restore
+  // the comparator's inputs BEFORE queue pushes compare against them.
+  policy_->save_state(w);
+  w.u64(pending.size());
+  for (auto it = pending.begin(); it != pending.end(); ++it) {
+    save_job(w, it->job);
+    w.f64(it->predicted_s);
+  }
+  w.u64(running.size());
+  for (const Running& run : running) {
+    save_job(w, run.job);
+    w.f64(run.finish_s);
+    w.f64(run.kill_s);
+    w.f64(run.est_finish_s);
+    w.i32(run.seq);
+    save_placement(w, run.placement);
+    w.f64(run.start_s);
+    w.f64(run.start_fraction);
+    w.boolean(run.backfilled);
+    w.i32(run.flow);  // replay ptr re-resolved from the backend on load
+  }
+  {
+    std::vector<int> ids;
+    ids.reserve(progress.size());
+    for (const auto& [id, p] : progress) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (int id : ids) {
+      const Progress& p = progress.at(id);
+      w.i32(id);
+      w.i32(p.attempts);
+      w.f64(p.credited_fraction);
+      w.f64(p.wasted_node_s);
+      w.f64(p.reserved_start_s);
+    }
+  }
+  {
+    std::vector<int> ids;
+    ids.reserve(blame_open.size());
+    for (const auto& [id, b] : blame_open) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (int id : ids) {
+      const BlameOpen& b = blame_open.at(id);
+      w.i32(id);
+      w.i32(b.category);
+      w.f64(b.since_s);
+    }
+  }
+  {
+    std::vector<int> ids;
+    ids.reserve(blame_totals.size());
+    for (const auto& [id, t] : blame_totals) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (int id : ids) {
+      w.i32(id);
+      for (double s : blame_totals.at(id)) w.f64(s);
+    }
+  }
+  w.boolean(wan_on);
+  if (wan_on) wan->save_state(w);
+  // The backend's memo-cache warm set, as (job, placement) exemplars in
+  // computation order: load() replays them through profile() so every
+  // future hit/miss counter and compute event matches the uninterrupted
+  // run's.
+  const std::vector<ProfileExemplar>& exemplars =
+      backend_->profile_exemplars();
+  w.u64(exemplars.size());
+  for (const ProfileExemplar& e : exemplars) {
+    save_job(w, e.job);
+    save_placement(w, e.placement);
+  }
+  w.boolean(tracer != nullptr);
+  if (tracer != nullptr) tracer->save_state(w);
+  w.boolean(metrics != nullptr);
+  if (metrics != nullptr) metrics->save_state(w);
+}
+
+void GridJobService::Engine::load(SnapshotReader& r) {
+  // The caller (GridJobService::restore) has already consumed the header
+  // and the job list — this Engine was constructed from it.
+  next_arrival = r.u64();
+  clock = r.f64();
+  wan_clock = r.f64();
+  seq = r.i32();
+  reserved_job = r.i32();
+  last_shadow = r.f64();
+  useful_node_seconds = r.f64();
+  useful_flops_total = r.f64();
+  const std::uint64_t noutcomes = r.u64();
+  report.outcomes.clear();
+  report.outcomes.reserve(noutcomes);
+  for (std::uint64_t i = 0; i < noutcomes; ++i) {
+    report.outcomes.push_back(load_outcome(r));
+  }
+  report.makespan_s = r.f64();
+  report.backfilled_jobs = r.i64();
+  report.completed_jobs = r.i64();
+  report.failed_jobs = r.i64();
+  report.killed_jobs = r.i64();
+  report.walltime_kills = r.i64();
+  report.outage_kills = r.i64();
+  report.requeued_jobs = r.i64();
+  report.wasted_node_seconds = r.f64();
+  report.wan_egress_bytes = r.i64_vec();
+  report.wan_ingress_bytes = r.i64_vec();
+  report.executed_attempts = r.i64();
+  report.aborted_attempts = r.i64();
+  report.max_residual = r.f64();
+  report.max_orthogonality = r.f64();
+  report.injected_abort_vtime_s = r.f64();
+  report.measured_abort_vtime_s = r.f64();
+  free_nodes = r.i32_vec();
+  down_depth = r.i32_vec();
+  placeable = r.i32_vec();
+  QRGRID_CHECK_MSG(static_cast<int>(free_nodes.size()) == nclusters &&
+                       static_cast<int>(down_depth.size()) == nclusters &&
+                       static_cast<int>(placeable.size()) == nclusters,
+                   "snapshot cluster count mismatch");
+  placeable_procs_index.clear();
+  placeable_procs_total = 0;
+  for (int c = 0; c < nclusters; ++c) {
+    const long long procs =
+        static_cast<long long>(placeable[static_cast<std::size_t>(c)]) *
+        cluster_ppn[static_cast<std::size_t>(c)];
+    placeable_procs_index.insert(procs);
+    placeable_procs_total += procs;
+  }
+  trace.load_state(r);
+  // Policy state BEFORE the queue rebuild: the pushes below compare
+  // through the policy's comparator, which must already see the restored
+  // keys (fair-share deficits).
+  policy_->load_state(r);
+  const std::uint64_t npending = r.u64();
+  for (std::uint64_t i = 0; i < npending; ++i) {
+    Job job = load_job(r);
+    const double predicted = r.f64();
+    pending.push(std::move(job), predicted);
+  }
+  const std::uint64_t nrunning = r.u64();
+  running.clear();
+  running.reserve(nrunning);
+  for (std::uint64_t i = 0; i < nrunning; ++i) {
+    Running run;
+    run.job = load_job(r);
+    run.finish_s = r.f64();
+    run.kill_s = r.f64();
+    run.est_finish_s = r.f64();
+    run.seq = r.i32();
+    run.placement = load_placement(r);
+    run.start_s = r.f64();
+    run.start_fraction = r.f64();
+    run.backfilled = r.boolean();
+    run.flow = r.i32();
+    running.push_back(std::move(run));  // replay resolved below
+  }
+  progress.clear();
+  const std::uint64_t nprogress = r.u64();
+  for (std::uint64_t i = 0; i < nprogress; ++i) {
+    const int id = r.i32();
+    Progress p;
+    p.attempts = r.i32();
+    p.credited_fraction = r.f64();
+    p.wasted_node_s = r.f64();
+    p.reserved_start_s = r.f64();
+    progress.emplace(id, p);
+  }
+  blame_open.clear();
+  const std::uint64_t nopen = r.u64();
+  for (std::uint64_t i = 0; i < nopen; ++i) {
+    const int id = r.i32();
+    BlameOpen b;
+    b.category = r.i32();
+    b.since_s = r.f64();
+    blame_open.emplace(id, b);
+  }
+  blame_totals.clear();
+  const std::uint64_t ntotals = r.u64();
+  for (std::uint64_t i = 0; i < ntotals; ++i) {
+    const int id = r.i32();
+    std::array<double, kBlameCategoryCount> t{};
+    for (double& s : t) s = r.f64();
+    blame_totals.emplace(id, t);
+  }
+  const bool saved_wan = r.boolean();
+  QRGRID_CHECK_MSG(saved_wan == wan_on,
+                   "snapshot WAN-contention flag mismatches the service "
+                   "configuration");
+  if (wan_on) wan->load_state(r);
+  // Re-warm the backend's memo cache with telemetry unbound: the
+  // restored tracer/metrics already contain the original compute events
+  // and counters, so the replays must stay silent — and every future
+  // profile() call then hits or misses exactly as the uninterrupted run
+  // would.
+  const std::uint64_t nexemplars = r.u64();
+  backend_->bind_telemetry(nullptr, nullptr);
+  for (std::uint64_t i = 0; i < nexemplars; ++i) {
+    const Job job = load_job(r);
+    const Placement placement = load_placement(r);
+    backend_->profile(job, placement);
+  }
+  for (Running& run : running) {
+    run.replay = &svc.replay_for(run.job, run.placement);  // silent hit
+  }
+  const bool saved_tracer = r.boolean();
+  QRGRID_CHECK_MSG(saved_tracer == (tracer != nullptr),
+                   "snapshot tracer presence mismatches the service "
+                   "configuration");
+  if (tracer != nullptr) tracer->load_state(r);
+  const bool saved_metrics = r.boolean();
+  QRGRID_CHECK_MSG(saved_metrics == (metrics != nullptr),
+                   "snapshot metrics presence mismatches the service "
+                   "configuration");
+  if (metrics != nullptr) metrics->load_state(r);
+  backend_->bind_telemetry(options_.tracer, options_.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Public surface: run() and the stepping/snapshot API over the Engine.
+
+ServiceReport GridJobService::run(std::vector<Job> jobs) {
+  start(std::move(jobs));
+  while (active()) step();
+  return finish();
+}
+
+void GridJobService::start(std::vector<Job> jobs) {
+  QRGRID_CHECK_MSG(engine_ == nullptr,
+                   "a run is already in flight; finish() it first");
+  engine_ = std::make_unique<Engine>(*this, std::move(jobs),
+                                     /*quiet=*/false);
+}
+
+bool GridJobService::active() const {
+  QRGRID_CHECK_MSG(engine_ != nullptr, "no run in flight: start() first");
+  return engine_->active();
+}
+
+void GridJobService::step() {
+  QRGRID_CHECK_MSG(engine_ != nullptr, "no run in flight: start() first");
+  QRGRID_CHECK_MSG(engine_->active(), "run already drained: finish() it");
+  engine_->step();
+}
+
+ServiceReport GridJobService::finish() {
+  QRGRID_CHECK_MSG(engine_ != nullptr, "no run in flight: start() first");
+  QRGRID_CHECK_MSG(!engine_->active(),
+                   "run still active: step() to completion first");
+  ServiceReport report = engine_->finish();
+  engine_.reset();
   return report;
+}
+
+double GridJobService::now_s() const {
+  QRGRID_CHECK_MSG(engine_ != nullptr, "no run in flight: start() first");
+  return engine_->clock;
+}
+
+std::string GridJobService::config_fingerprint() const {
+  // Everything a snapshot's byte layout or replayed decisions depend on.
+  // Deliberately excludes the profiler (wall clock only, no snapshot
+  // bytes) and the oracle (a harness installs its own per branch).
+  std::ostringstream out;
+  out.precision(17);
+  out << "policy=" << policy_->name() << ";backend=" << backend_->name()
+      << ";grid=";
+  for (int c = 0; c < topology_.num_clusters(); ++c) {
+    if (c > 0) out << ',';
+    out << topology_.cluster(c).nodes << 'x'
+        << topology_.cluster(c).procs_per_node;
+  }
+  out << ";domains=" << options_.domains_per_cluster
+      << ";max_groups=" << options_.max_groups
+      << ";backfill_depth=" << options_.backfill_depth
+      << ";max_retries=" << options_.max_retries
+      << ";restart_credit=" << options_.restart_credit
+      << ";checkpoint_panels=" << options_.checkpoint_panels
+      << ";checkpoint_cost_s=" << options_.checkpoint_cost_s
+      << ";outages=" << options_.outages.config_key()
+      << ";wan_contention=" << options_.wan_contention
+      << ";wan_aware=" << options_.wan_aware
+      << ";wan_link_Bps=" << options_.wan_link_Bps
+      << ";wan_backbone_Bps=" << options_.wan_backbone_Bps
+      << ";wan_fairness=" << static_cast<int>(options_.wan_fairness)
+      << ";wan_pairs=";
+  for (double v : options_.wan_pair_Bps) out << v << ',';
+  out << ";wait_blame=" << options_.wait_blame
+      << ";backend_seed=" << options_.backend_seed
+      << ";backend_max_elements=" << options_.backend_max_elements
+      << ";caqr_width=" << options_.backend_caqr_panel_width
+      << ";tracer=" << (options_.tracer != nullptr)
+      << ";metrics=" << (options_.metrics != nullptr);
+  return out.str();
+}
+
+std::string GridJobService::snapshot() {
+  QRGRID_CHECK_MSG(engine_ != nullptr, "no run in flight: start() first");
+  SnapshotWriter w;
+  w.str(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.str(config_fingerprint());
+  engine_->save(w);
+  return w.bytes();
+}
+
+void GridJobService::restore(const std::string& bytes) {
+  QRGRID_CHECK_MSG(engine_ == nullptr,
+                   "a run is already in flight; finish() it first");
+  SnapshotReader r(bytes);
+  QRGRID_CHECK_MSG(r.str() == kSnapshotMagic,
+                   "not a service snapshot (bad magic)");
+  const std::uint32_t version = r.u32();
+  QRGRID_CHECK_MSG(version == kSnapshotVersion,
+                   "snapshot format version " << version
+                       << " != supported " << kSnapshotVersion);
+  const std::string saved = r.str();
+  const std::string current = config_fingerprint();
+  QRGRID_CHECK_MSG(saved == current,
+                   "snapshot was taken under a different service "
+                   "configuration\n  saved:   "
+                       << saved << "\n  current: " << current);
+  const std::uint64_t njobs = r.u64();
+  std::vector<Job> jobs;
+  jobs.reserve(njobs);
+  for (std::uint64_t i = 0; i < njobs; ++i) jobs.push_back(load_job(r));
+  engine_ = std::make_unique<Engine>(*this, std::move(jobs),
+                                     /*quiet=*/true);
+  engine_->load(r);
+  QRGRID_CHECK_MSG(r.at_end(), "snapshot has trailing bytes");
 }
 
 }  // namespace qrgrid::sched

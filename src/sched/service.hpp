@@ -75,6 +75,35 @@ namespace qrgrid::sched {
 class MetricsRegistry;
 class PhaseProfiler;
 class ServiceTracer;
+class SnapshotReader;
+class SnapshotWriter;
+
+/// Deterministic seam over every same-instant ordering choice the service
+/// makes. The event loop's precedence (completions, then outage
+/// recoveries, then outage failures, then arrivals) is fixed; WITHIN one
+/// precedence class at one virtual instant the canonical order is a pure
+/// tie-break (seq for completions and outage victims, trace order for
+/// outage boundaries, id for arrivals). An installed oracle is consulted
+/// at exactly those ties: `choose` picks which of the k tied candidates
+/// goes next, where the candidates are presented in canonical order —
+/// index 0 always reproduces the un-oracled service exactly. The
+/// interleaving explorer (sched/explore.hpp) drives this seam to
+/// enumerate ALL legal event orderings; a null oracle (the default) costs
+/// nothing and changes nothing.
+class TieOracle {
+ public:
+  enum class Kind : int {
+    kCompletion = 0,   ///< completions/walltime kills tied on event time
+    kOutageUp,         ///< cluster recoveries tied at one instant
+    kOutageDown,       ///< cluster failures tied at one instant
+    kArrival,          ///< submissions tied on arrival_s
+    kOutageVictim,     ///< kill order among one failure's running victims
+  };
+  virtual ~TieOracle() = default;
+  /// Which of the k (>= 2) tied candidates goes next at virtual time
+  /// t_s. Must return a value in [0, k); the canonical choice is 0.
+  virtual int choose(Kind kind, double t_s, int k) = 0;
+};
 
 struct ServiceOptions {
   /// Which built-in SchedulingPolicy make_policy constructs
@@ -262,15 +291,59 @@ double max_wan_busy_fraction(const ServiceReport& report);
 std::vector<std::string> summary_header();
 std::vector<std::string> summary_row(const ServiceReport& report);
 
+/// Fraction of an attempt's span [0, span] that `elapsed` seconds cover,
+/// clamped to [0, 1]. The guarded form of the kill paths' former raw
+/// `elapsed / span`: a zero-length span (floating-point absorption can
+/// collapse start + tiny attempt onto start even though the attempt
+/// seconds are positive) counts as fully covered when any time elapsed
+/// and as nothing otherwise — never NaN, never infinity.
+double covered_span_fraction(double elapsed, double span);
+
 class GridJobService {
  public:
   GridJobService(simgrid::GridTopology topology, model::Roofline roofline,
                  ServiceOptions options = {});
+  ~GridJobService();  // out of line: engine_ deletes an incomplete type
 
   /// Runs the whole workload until every job has completed or been killed
   /// for the last time, and reports. Throws qrgrid::Error if some job
-  /// cannot fit even an empty, fully-up grid.
+  /// cannot fit even an empty, fully-up grid. Exactly
+  /// start(); while (active()) step(); return finish();
   ServiceReport run(std::vector<Job> jobs);
+
+  /// --- Stepping API: run(), one event-loop iteration at a time. ---
+  /// Validates and admits the workload and stands up the run's state
+  /// (outage cursor, WAN model, telemetry preamble) without advancing
+  /// virtual time. One run may be in flight per service.
+  void start(std::vector<Job> jobs);
+  /// True while undispatched arrivals, pending jobs, or running attempts
+  /// remain — run()'s loop condition.
+  bool active() const;
+  /// One iteration of the event loop: advance to the next event time,
+  /// resolve completions/kills, outage boundaries, arrivals, then a
+  /// dispatch pass. Requires active().
+  void step();
+  /// Final accounting over the finished run; clears the in-flight state
+  /// so the service can start() again. Requires !active().
+  ServiceReport finish();
+  /// Virtual clock of the in-flight run (0 before the first step).
+  double now_s() const;
+
+  /// --- Snapshot / restore (sched/snapshot.hpp) ---
+  /// Byte-faithful capture of the FULL mid-run state between steps:
+  /// pending queue (policy-private state included), running attempts,
+  /// free-node accounting, WAN flows and horizons, outage cursors and RNG
+  /// streams, restart-credit progress, and telemetry high-water marks.
+  /// Restoring into a service built with the SAME configuration (guarded
+  /// by an embedded fingerprint) and stepping to completion reproduces
+  /// the uninterrupted run's trace, metrics, and report byte-for-byte.
+  std::string snapshot();
+  void restore(const std::string& bytes);
+
+  /// Installs (or clears, with nullptr) the same-instant tie oracle.
+  /// Borrowed, not owned; consulted only when two or more candidates of
+  /// one precedence class tie at one virtual instant.
+  void set_tie_oracle(TieOracle* oracle) { oracle_ = oracle; }
 
   /// Section-IV Equation (1) estimate used by SPJF ordering (and reported
   /// alongside the exact replay times).
@@ -348,6 +421,17 @@ class GridJobService {
                      const std::vector<int>& free_nodes,
                      const GridWanModel* wan, double now_s) const;
 
+  /// One in-flight workload: every former run() local hoisted into a
+  /// struct (defined in service.cpp) so the loop can pause between steps
+  /// and serialize itself. Null when no run is in flight.
+  struct Engine;
+
+  /// Everything that must match for a snapshot to be restorable here:
+  /// policy, backend, per-cluster topology, and every ServiceOptions
+  /// field that shapes decisions or telemetry. Embedded in snapshots and
+  /// compared on restore().
+  std::string config_fingerprint() const;
+
   simgrid::GridTopology topology_;
   model::Roofline roofline_;
   ServiceOptions options_;
@@ -358,6 +442,8 @@ class GridJobService {
   /// Owned after topology_ (it holds a pointer into it); profiles it
   /// caches stay valid for the service's lifetime.
   std::unique_ptr<ExecutionBackend> backend_;
+  std::unique_ptr<Engine> engine_;
+  TieOracle* oracle_ = nullptr;
 };
 
 }  // namespace qrgrid::sched

@@ -51,6 +51,9 @@
 
 namespace qrgrid::sched {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// What happened. The four kinds the event-precedence invariant orders
 /// at one instant are kCompletion/kWalltimeKill (finishes), kOutageUp,
 /// kOutageDown, and kArrival; every other kind is free to interleave.
@@ -178,6 +181,15 @@ class ServiceTracer {
     now_s_ = 0.0;
   }
 
+  /// Snapshot seam: serializes the recorded events and the advanced
+  /// clock. load_state() REPLACES events_ without consulting sinks —
+  /// restored events were already consumed when first recorded, so a
+  /// streaming sink attached across a restore must be prepared to see
+  /// only post-restore events (the service validates restored runs
+  /// post-hoc via validate_trace() for exactly this reason).
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
  private:
   std::vector<ServiceTraceEvent> events_;
   std::vector<TraceSink*> sinks_;
@@ -231,6 +243,12 @@ class MetricsRegistry {
   /// {"counters": {...}, "gauges": {...}, "histograms": {...},
   ///  "series": {...}} with round-trip double formatting.
   void write_json(std::ostream& out) const;
+
+  /// Snapshot seam: all four stores, keys in map order, values as raw
+  /// double bits — a restored registry's write_json is byte-identical
+  /// to the uninterrupted run's at the same virtual instant.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::map<std::string, long long> counters_;

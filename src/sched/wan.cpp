@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "sched/snapshot.hpp"
 #include "sched/telemetry.hpp"
 
 namespace qrgrid::sched {
@@ -12,16 +13,27 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Residual below this fraction of the pool's ADMISSION size is FP dust
+/// from progressive filling, not demand: repeated partial drains of a
+/// huge pool can leave a remainder bigger than any fixed byte slack yet
+/// meaningless relative to the bytes already moved, and such a pool used
+/// to stay "live" through extra near-zero-length advance steps.
+constexpr double kRetireRelEps = 1e-12;
+
 /// Does an interval that moves `moved` bytes empty a pool holding
-/// `bytes`? Slack is half a BYTE, deliberately byte- not time-scale:
+/// `bytes` (of `initial` bytes at admission)? Slack is half a BYTE,
+/// deliberately byte- not time-scale:
 /// (a) when the caller's advance target is this pool's own drain event
 /// the two sides differ only by rounding of the same bytes/rate
 /// division; (b) an unrelated event landing a hair earlier over-credits
 /// at most half a byte rather than rate x clock-epsilon; and (c) no
 /// sub-half-byte remainder can survive and stall the event loop with a
-/// drain step too small to advance a large virtual clock.
-bool covers(double moved, double bytes) {
-  return moved >= bytes - 0.5;
+/// drain step too small to advance a large virtual clock. For pools
+/// above 5e11 bytes the relative term takes over, retiring residuals
+/// below 1e-12 of the original pool that the absolute slack would keep
+/// alive.
+bool covers(double moved, double bytes, double initial) {
+  return moved >= bytes - std::max(0.5, kRetireRelEps * initial);
 }
 
 /// Min-heap order over pending pool activations; ties break by (flow,
@@ -233,6 +245,11 @@ void GridWanModel::demand_view(double now_s, bool include_pending,
       int links[3];
       const int nlinks = links_of(pool, links);
       for (int k = 0; k < nlinks; ++k) {
+        // Exact-zero here is a MEMBERSHIP marker, not drain arithmetic:
+        // the touched list resets entries to literal 0.0 below, so the
+        // comparison is exact by construction. Near-empty pools are
+        // retired by the relative epsilon in covers(), never by this
+        // check.
         if (flow_link_bytes[static_cast<std::size_t>(links[k])] == 0.0) {
           touched.push_back(links[k]);
         }
@@ -283,6 +300,8 @@ int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
     flow.pools.push_back(pool);
   }
   flow.moved_bytes.assign(flow.pools.size(), 0.0);
+  flow.initial_bytes.reserve(flow.pools.size());
+  for (const Pool& pool : flow.pools) flow.initial_bytes.push_back(pool.bytes);
   flow.drained_at_s = now_s;  // stands until a pool actually drains later
   const int id = next_flow_id_++;
   flow.id = id;
@@ -362,7 +381,7 @@ void GridWanModel::advance(double from_s, double to_s) {
     Pool& pool = flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
     const auto j = static_cast<std::size_t>(refs_scratch_[k].pool);
     const double moved = rates_scratch_[k] * dt;
-    if (covers(moved, pool.bytes)) {
+    if (covers(moved, pool.bytes, flow.initial_bytes[j])) {
       flow.moved_bytes[j] += pool.bytes;
       pool.bytes = 0.0;
       if (--flow.undrained == 0) flow.drained_at_s = to_s;
@@ -513,6 +532,7 @@ void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
   f.alive = false;
   f.pools.clear();
   f.moved_bytes.clear();
+  f.initial_bytes.clear();
   // Reclaim: drop the slot from the live order (binary search — live_ is
   // id-sorted) and recycle it. Calendar entries die lazily via slot_of_.
   const auto live_it = std::lower_bound(
@@ -558,6 +578,88 @@ int GridWanModel::load_score(int cluster) const {
     if (touches) ++score;
   }
   return score;
+}
+
+void GridWanModel::save_state(SnapshotWriter& w) const {
+  // Construction-time configuration travels as a sanity tag only; the
+  // restored model must already be built from the same config.
+  w.i32(num_clusters_);
+  w.u8(static_cast<std::uint8_t>(fairness_));
+  w.u64(flows_.size());
+  for (const Flow& f : flows_) {
+    w.boolean(f.alive);
+    w.i32(f.id);
+    w.u64(f.pools.size());
+    for (const Pool& pool : f.pools) {
+      w.u8(static_cast<std::uint8_t>(pool.link));
+      w.i32(pool.cluster);
+      w.i32(pool.peer);
+      w.f64(pool.bytes);
+      w.f64(pool.activation_s);
+    }
+    w.f64_vec(f.moved_bytes);
+    w.f64_vec(f.initial_bytes);
+    w.i32(f.undrained);
+    w.f64(f.drained_at_s);
+  }
+  w.i32_vec(free_slots_);
+  w.i32_vec(live_);
+  w.i32(next_flow_id_);
+  w.i32(peak_live_);
+  // The activation heap array verbatim: lazy pruning makes its exact
+  // contents depend on when next_event_s was called, and later heap
+  // mutations (push/pop order) depend on the array layout — rebuilding
+  // a pruned heap would fork the byte stream of future mutations.
+  w.u64(activations_.size());
+  for (const Activation& a : activations_) {
+    w.f64(a.t_s);
+    w.i32(a.flow);
+    w.i32(a.pool);
+  }
+  w.f64_vec(up_busy_s_);
+  w.f64_vec(down_busy_s_);
+  w.f64(backbone_busy_s_);
+}
+
+void GridWanModel::load_state(SnapshotReader& r) {
+  QRGRID_CHECK_MSG(r.i32() == num_clusters_,
+                   "WAN snapshot cluster count mismatch");
+  QRGRID_CHECK_MSG(static_cast<WanFairness>(r.u8()) == fairness_,
+                   "WAN snapshot fairness mismatch");
+  flows_.assign(static_cast<std::size_t>(r.u64()), Flow{});
+  for (Flow& f : flows_) {
+    f.alive = r.boolean();
+    f.id = r.i32();
+    f.pools.resize(static_cast<std::size_t>(r.u64()));
+    for (Pool& pool : f.pools) {
+      pool.link = static_cast<Pool::Link>(r.u8());
+      pool.cluster = r.i32();
+      pool.peer = r.i32();
+      pool.bytes = r.f64();
+      pool.activation_s = r.f64();
+    }
+    f.moved_bytes = r.f64_vec();
+    f.initial_bytes = r.f64_vec();
+    f.undrained = r.i32();
+    f.drained_at_s = r.f64();
+  }
+  free_slots_ = r.i32_vec();
+  live_ = r.i32_vec();
+  next_flow_id_ = r.i32();
+  peak_live_ = r.i32();
+  activations_.resize(static_cast<std::size_t>(r.u64()));
+  for (Activation& a : activations_) {
+    a.t_s = r.f64();
+    a.flow = r.i32();
+    a.pool = r.i32();
+  }
+  up_busy_s_ = r.f64_vec();
+  down_busy_s_ = r.f64_vec();
+  backbone_busy_s_ = r.f64();
+  slot_of_.clear();
+  for (const int slot : live_) {
+    slot_of_.emplace(flows_[static_cast<std::size_t>(slot)].id, slot);
+  }
 }
 
 }  // namespace qrgrid::sched

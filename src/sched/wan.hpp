@@ -59,6 +59,8 @@
 namespace qrgrid::sched {
 
 class ServiceTracer;
+class SnapshotWriter;
+class SnapshotReader;
 
 /// Which WanAllocator a GridWanModel (or ServiceOptions) asks for.
 enum class WanFairness {
@@ -228,12 +230,27 @@ class GridWanModel {
   int live_flows() const { return static_cast<int>(live_.size()); }
   int peak_live_flows() const { return peak_live_; }
 
+  /// Snapshot seam: serializes the full mutable drain state — flows with
+  /// their pools/moved/initial bytes, slot free-list, live order, id
+  /// counter, the pending-activation heap array VERBATIM (its pruning is
+  /// call-timing-dependent, so rebuilding it would change later heap
+  /// mutations), and the busy-second accumulators. load_state() must be
+  /// applied to a model freshly constructed with the same topology/
+  /// capacity configuration; scratch buffers are rebuilt lazily.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
  private:
   struct Flow {
     bool alive = false;
     int id = -1;  ///< public flow id; slots are reused, ids never are
     std::vector<Pool> pools;
     std::vector<double> moved_bytes;  ///< parallel to pools
+    /// Admission-time pool sizes (parallel to pools): the denominator of
+    /// the relative drain-retirement epsilon — FP dust left by
+    /// progressive filling below 1e-12 of the original pool retires
+    /// instead of keeping the flow live through degenerate steps.
+    std::vector<double> initial_bytes;
     int undrained = 0;
     double drained_at_s = 0.0;
   };

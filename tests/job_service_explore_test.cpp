@@ -1,0 +1,368 @@
+// Snapshot/restore and the exhaustive interleaving explorer: a mid-run
+// checkpoint restored into a fresh identically-configured service must
+// reproduce the uninterrupted run's trace, metrics, and report byte for
+// byte (across the policy x allocator x backend matrix); the explorer
+// must enumerate EVERY legal same-instant tie ordering of a bounded
+// instance exactly once, validating the full TraceValidator invariant
+// set plus report-level conservation on every leaf; and the pinned
+// event-precedence contract (kills before recoveries before failures
+// before arrivals) must survive a same-instant pileup of all four
+// classes under every policy.
+#include "sched/explore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/des_algos.hpp"
+#include "model/roofline.hpp"
+#include "sched/backend.hpp"
+#include "sched/outage.hpp"
+#include "sched/service.hpp"
+#include "sched/snapshot.hpp"
+#include "sched/telemetry.hpp"
+#include "sched/workload.hpp"
+#include "simgrid/topology.hpp"
+
+namespace qrgrid::sched {
+namespace {
+
+simgrid::GridTopology small_grid() {
+  // 2 sites x 2 nodes x 2 procs = 8 processes, 4 nodes.
+  return simgrid::GridTopology::grid5000(2, 2, 2);
+}
+
+Job make_job(int id, double arrival_s, double m, int n, int procs) {
+  Job job;
+  job.id = id;
+  job.arrival_s = arrival_s;
+  job.m = m;
+  job.n = n;
+  job.procs = procs;
+  return job;
+}
+
+/// Seeded workload small enough for exhaustive enumeration.
+std::vector<Job> small_workload(int jobs, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.jobs = jobs;
+  spec.mean_interarrival_s = 0.05;
+  spec.seed = seed;
+  spec.users = 2;
+  spec.priority_levels = 2;
+  spec.procs_choices = {2, 4, 8};
+  spec.m_choices = {4096, 8192};
+  spec.n_choices = {8, 16};
+  return generate_workload(spec);
+}
+
+/// Floors arrivals onto a q-second grid: distinct Poisson arrivals
+/// collapse onto shared instants, manufacturing the same-instant ties
+/// the explorer branches on.
+std::vector<Job> quantized_workload(int jobs, std::uint64_t seed, double q) {
+  std::vector<Job> out = small_workload(jobs, seed);
+  for (Job& job : out) job.arrival_s = std::floor(job.arrival_s / q) * q;
+  return out;
+}
+
+/// Explorer factory over a fixed topology/options pair: one fresh,
+/// identically-configured service per leaf, tracer and metrics bound.
+ServiceFactory factory_for(const simgrid::GridTopology& topo,
+                           const ServiceOptions& options) {
+  return [topo, options](ServiceTracer* tracer, MetricsRegistry* metrics) {
+    ServiceOptions opts = options;
+    opts.tracer = tracer;
+    opts.metrics = metrics;
+    return std::make_unique<GridJobService>(topo, model::paper_calibration(),
+                                            opts);
+  };
+}
+
+std::string trace_json(const ServiceTracer& tracer) {
+  std::ostringstream out;
+  write_chrome_trace(tracer.events(), out);
+  return out.str();
+}
+
+std::string metrics_json(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  metrics.write_json(out);
+  return out.str();
+}
+
+/// Failure-message rendering of every violation with its reproduction
+/// prescription — paste the choice list into a PrescribedOracle to
+/// replay the offending interleaving.
+std::string violation_digest(const ExploreResult& result) {
+  std::ostringstream out;
+  for (const ExploreViolation& v : result.violations) {
+    out << v.what << " via choices [";
+    for (std::size_t i = 0; i < v.prescription.size(); ++i) {
+      out << (i > 0 ? " " : "") << v.prescription[i];
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+// --------------------------------------------------- snapshot/restore
+
+TEST(SnapshotRestore, RoundTripByteIdentityAcrossMatrix) {
+  // For every matrix configuration: run uninterrupted; run again but
+  // checkpoint after a few steps and finish the run in a FRESH service
+  // restored from the checkpoint. Trace JSON, metrics JSON, and the
+  // summary row must be byte-identical — and re-snapshotting the
+  // restored state must reproduce the checkpoint bit for bit.
+  struct Config {
+    Policy policy;
+    WanFairness fairness;
+    BackendKind backend;
+  };
+  const std::vector<Config> matrix = {
+      {Policy::kFcfs, WanFairness::kEqualSplit, BackendKind::kDesReplay},
+      {Policy::kSpjf, WanFairness::kEqualSplit, BackendKind::kDesReplay},
+      {Policy::kEasyBackfill, WanFairness::kEqualSplit,
+       BackendKind::kDesReplay},
+      {Policy::kPriorityEasy, WanFairness::kMaxMin, BackendKind::kDesReplay},
+      {Policy::kFairShare, WanFairness::kMaxMin, BackendKind::kDesReplay},
+      {Policy::kEasyBackfill, WanFairness::kEqualSplit,
+       BackendKind::kMsgRuntime},
+      {Policy::kFairShare, WanFairness::kMaxMin, BackendKind::kMsgRuntime},
+  };
+  const simgrid::GridTopology topo = small_grid();
+  const std::vector<Job> jobs = small_workload(12, 23);
+  const model::Roofline roof = model::paper_calibration();
+  for (const Config& config : matrix) {
+    ServiceOptions base;
+    base.policy = config.policy;
+    base.wan_contention = true;
+    base.wan_fairness = config.fairness;
+    base.backend = config.backend;
+    if (config.backend == BackendKind::kMsgRuntime) {
+      base.domains_per_cluster = core::kOneDomainPerProcess;
+    }
+    const std::string label = std::string(policy_name(config.policy)) + "/" +
+                              wan_fairness_name(config.fairness) + "/" +
+                              backend_name(config.backend);
+
+    ServiceTracer t0;
+    MetricsRegistry m0;
+    ServiceOptions o0 = base;
+    o0.tracer = &t0;
+    o0.metrics = &m0;
+    GridJobService uninterrupted(topo, roof, o0);
+    const ServiceReport r0 = uninterrupted.run(jobs);
+
+    ServiceTracer t1;
+    MetricsRegistry m1;
+    ServiceOptions o1 = base;
+    o1.tracer = &t1;
+    o1.metrics = &m1;
+    GridJobService first(topo, roof, o1);
+    first.start(jobs);
+    for (int i = 0; i < 6 && first.active(); ++i) first.step();
+    const std::string checkpoint = first.snapshot();
+
+    ServiceTracer t2;
+    MetricsRegistry m2;
+    ServiceOptions o2 = base;
+    o2.tracer = &t2;
+    o2.metrics = &m2;
+    GridJobService second(topo, roof, o2);
+    second.restore(checkpoint);
+    EXPECT_EQ(second.snapshot(), checkpoint) << label;
+    while (second.active()) second.step();
+    const ServiceReport r2 = second.finish();
+
+    EXPECT_EQ(summary_row(r0), summary_row(r2)) << label;
+    EXPECT_EQ(trace_json(t0), trace_json(t2)) << label;
+    EXPECT_EQ(metrics_json(m0), metrics_json(m2)) << label;
+  }
+}
+
+TEST(SnapshotRestore, RefusesMismatchedConfigurationAndGarbage) {
+  // The embedded fingerprint pins every decision-shaping option: a
+  // checkpoint from an fcfs service must not restore into an spjf one.
+  const simgrid::GridTopology topo = small_grid();
+  const model::Roofline roof = model::paper_calibration();
+  const std::vector<Job> jobs = small_workload(6, 3);
+  ServiceOptions fcfs;
+  fcfs.policy = Policy::kFcfs;
+  GridJobService source(topo, roof, fcfs);
+  source.start(jobs);
+  source.step();
+  const std::string checkpoint = source.snapshot();
+
+  ServiceOptions spjf;
+  spjf.policy = Policy::kSpjf;
+  GridJobService wrong_policy(topo, roof, spjf);
+  EXPECT_THROW(wrong_policy.restore(checkpoint), Error);
+
+  GridJobService garbage_target(topo, roof, fcfs);
+  EXPECT_THROW(garbage_target.restore("not a snapshot"), Error);
+  // Truncated checkpoints are refused, not misread.
+  EXPECT_THROW(
+      garbage_target.restore(checkpoint.substr(0, checkpoint.size() / 2)),
+      Error);
+}
+
+// --------------------------------------------------------- explorer
+
+TEST(ExploreService, AllTiedArrivalBatchEnumeratesTheFullFactorial) {
+  // Four jobs at one instant with pairwise-distinct sizes: the ONLY tie
+  // in the run is the 4-way arrival batch, resolved as a 4-then-3-then-2
+  // way pick. First-deviation enumeration must visit exactly 4! = 24
+  // admission orders — no duplicates, no misses.
+  const std::vector<Job> jobs = {make_job(0, 0.0, 1 << 18, 64, 2),
+                                 make_job(1, 0.0, 1 << 19, 64, 2),
+                                 make_job(2, 0.0, 1 << 20, 64, 2),
+                                 make_job(3, 0.0, 1 << 21, 64, 2)};
+  ServiceOptions options;
+  options.policy = Policy::kFcfs;
+  const ExploreResult result =
+      explore_interleavings(factory_for(small_grid(), options), jobs);
+  EXPECT_TRUE(result.ok()) << violation_digest(result);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.leaves, 24);
+  EXPECT_EQ(result.max_fanout, 4);
+}
+
+TEST(ExploreService, QuantizedArrivalsEnumerateCleanAcrossPolicies) {
+  // A seeded workload with arrivals floored onto a coarse grid: every
+  // legal admission interleaving of every tied batch, under static,
+  // backfilling, and dynamic-order policies. Zero violations — and the
+  // canonical (all-zeros) leaf must be byte-identical to an oracle-free
+  // plain run of the same factory.
+  const simgrid::GridTopology topo = small_grid();
+  const std::vector<Job> jobs = quantized_workload(5, 7, 0.25);
+  for (const Policy policy :
+       {Policy::kFcfs, Policy::kEasyBackfill, Policy::kFairShare}) {
+    ServiceOptions options;
+    options.policy = policy;
+    options.wan_contention = true;
+    const ServiceFactory factory = factory_for(topo, options);
+    const ExploreResult result = explore_interleavings(factory, jobs);
+    EXPECT_TRUE(result.ok())
+        << policy_name(policy) << "\n" << violation_digest(result);
+    EXPECT_FALSE(result.truncated) << policy_name(policy);
+    EXPECT_GT(result.leaves, 1) << policy_name(policy);
+    EXPECT_GT(result.decision_points, 0) << policy_name(policy);
+
+    ServiceTracer tracer;
+    MetricsRegistry metrics;
+    std::unique_ptr<GridJobService> plain = factory(&tracer, &metrics);
+    const ServiceReport report = plain->run(jobs);
+    SnapshotWriter w;
+    tracer.save_state(w);
+    EXPECT_EQ(result.canonical_trace_bytes, w.bytes()) << policy_name(policy);
+    EXPECT_EQ(summary_row(result.canonical_report), summary_row(report))
+        << policy_name(policy);
+  }
+}
+
+TEST(ExploreService, TripleTieSameInstantPileupAcrossAllPolicies) {
+  // Engineer a walltime kill, an outage recovery, an outage failure, and
+  // two arrivals onto ONE virtual instant, then assert the precedence
+  // contract (kills, then recoveries, then failures, then arrivals) in
+  // the recorded trace under every policy — and that every alternative
+  // ordering of the tied arrivals is violation-free.
+  const simgrid::GridTopology topo = small_grid();
+  const model::Roofline roof = model::paper_calibration();
+  std::vector<Job> probe = {make_job(0, 0.0, 1 << 20, 64, 4)};
+  const ServiceReport clean = GridJobService(topo, roof).run(probe);
+  ASSERT_EQ(clean.outcomes[0].clusters.size(), 1u);
+  const int mine = clean.outcomes[0].clusters[0];
+  const int other = 1 - mine;
+  const double T = 0.5 * clean.outcomes[0].service_s;
+
+  std::vector<Job> jobs = {make_job(0, 0.0, 1 << 20, 64, 4),
+                           make_job(1, T, 1 << 18, 64, 2),
+                           make_job(2, T, 1 << 18, 64, 2)};
+  jobs[0].walltime_s = T;  // starts at 0 on an empty grid: killed at T
+  // The bystander cluster recovers from one outage and fails into the
+  // next at exactly the kill instant.
+  const std::vector<Outage> outages = {{other, 0.5 * T, T},
+                                       {other, T, 1.25 * T}};
+
+  for (const Policy policy :
+       {Policy::kFcfs, Policy::kSpjf, Policy::kEasyBackfill,
+        Policy::kPriorityEasy, Policy::kFairShare}) {
+    ServiceOptions options;
+    options.policy = policy;
+    options.outages = OutageTrace(outages);
+    ServiceTracer tracer;
+    MetricsRegistry metrics;
+    ServiceOptions traced = options;
+    traced.tracer = &tracer;
+    traced.metrics = &metrics;
+    GridJobService service(topo, roof, traced);
+    const ServiceReport report = service.run(jobs);
+    EXPECT_TRUE(validate_trace(tracer.events()).empty())
+        << policy_name(policy);
+    EXPECT_EQ(report.walltime_kills, 1) << policy_name(policy);
+    EXPECT_EQ(report.completed_jobs, 2) << policy_name(policy);
+
+    std::vector<TraceKind> at_t;
+    for (const ServiceTraceEvent& ev : tracer.events()) {
+      if (ev.t_s != T) continue;
+      if (ev.kind == TraceKind::kWalltimeKill ||
+          ev.kind == TraceKind::kOutageUp ||
+          ev.kind == TraceKind::kOutageDown ||
+          ev.kind == TraceKind::kArrival) {
+        at_t.push_back(ev.kind);
+      }
+    }
+    const std::vector<TraceKind> expected = {
+        TraceKind::kWalltimeKill, TraceKind::kOutageUp,
+        TraceKind::kOutageDown, TraceKind::kArrival, TraceKind::kArrival};
+    EXPECT_EQ(at_t, expected) << policy_name(policy);
+
+    const ExploreResult result =
+        explore_interleavings(factory_for(topo, options), jobs);
+    EXPECT_TRUE(result.ok())
+        << policy_name(policy) << "\n" << violation_digest(result);
+    EXPECT_GE(result.leaves, 2) << policy_name(policy);  // arrival tie
+    EXPECT_GE(result.max_fanout, 2) << policy_name(policy);
+  }
+}
+
+TEST(ExploreService, OutageKillTimingSweepHoldsInvariants) {
+  // Aim short outages exactly AT the canonical run's attempt start and
+  // completion instants — the collision-richest timings, where a kill
+  // boundary ties with dispatches and finishes — and exhaustively
+  // explore each faulty instance with restart credit on.
+  const simgrid::GridTopology topo = small_grid();
+  const std::vector<Job> jobs = quantized_workload(4, 11, 0.25);
+  ServiceOptions base;
+  base.policy = Policy::kEasyBackfill;
+  const std::vector<double> instants =
+      harvest_attempt_instants(factory_for(topo, base), jobs);
+  ASSERT_FALSE(instants.empty());
+
+  int sweeps = 0;
+  const std::size_t stride =
+      instants.size() < 3 ? 1 : instants.size() / 3;
+  for (std::size_t i = 0; i < instants.size() && sweeps < 3; i += stride) {
+    if (instants[i] <= 0.0) continue;
+    ++sweeps;
+    ServiceOptions options = base;
+    options.outages =
+        OutageTrace(std::vector<Outage>{{0, instants[i], instants[i] + 0.3}});
+    options.restart_credit = true;
+    options.checkpoint_panels = 4;
+    const ExploreResult result =
+        explore_interleavings(factory_for(topo, options), jobs);
+    EXPECT_TRUE(result.ok())
+        << "outage at t=" << instants[i] << "\n" << violation_digest(result);
+    EXPECT_FALSE(result.truncated) << "outage at t=" << instants[i];
+    EXPECT_GT(result.leaves, 0) << "outage at t=" << instants[i];
+  }
+  EXPECT_GT(sweeps, 0);
+}
+
+}  // namespace
+}  // namespace qrgrid::sched

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "sched/outage.hpp"
@@ -400,6 +401,68 @@ TEST(FaultService, RequeuedJobsEventuallyCompleteUnderChurn) {
     }
     EXPECT_TRUE(requeued_completed) << policy_name(policy);
   }
+}
+
+TEST(FaultService, CoveredSpanFractionNeverProducesNanOrInf) {
+  // The guarded form of the kill paths' former raw elapsed / span.
+  EXPECT_DOUBLE_EQ(covered_span_fraction(2.5, 10.0), 0.25);
+  EXPECT_DOUBLE_EQ(covered_span_fraction(20.0, 10.0), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(covered_span_fraction(0.0, 10.0), 0.0);
+  // The degenerate spans that used to divide by zero: floating-point
+  // absorption can collapse start + tiny attempt back onto start, so a
+  // zero-length span with positive elapsed is FULLY covered — and with
+  // nothing elapsed, nothing is.
+  EXPECT_DOUBLE_EQ(covered_span_fraction(1e-300, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(covered_span_fraction(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(covered_span_fraction(-1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(covered_span_fraction(1.0, -5.0), 1.0);
+  EXPECT_TRUE(std::isfinite(
+      covered_span_fraction(std::numeric_limits<double>::min(), 0.0)));
+}
+
+TEST(FaultService, KillLandingAHairAfterStartKeepsCreditFinite) {
+  // An outage landing almost exactly ON the start instant: the covered
+  // span is denormal-scale relative to the attempt. No panel banks, the
+  // credit fractions stay finite and non-negative, and the retry
+  // completes from scratch.
+  std::vector<Job> jobs = {make_job(0, 0.0, 1 << 21, 64, 4)};
+  const model::Roofline roof = model::paper_calibration();
+  ServiceOptions options;
+  options.outages = OutageTrace(std::vector<Outage>{{0, 1e-12, 0.5}});
+  options.restart_credit = true;
+  options.checkpoint_panels = 10;
+  const ServiceReport report =
+      GridJobService(one_site(), roof, options).run(jobs);
+  expect_conserved(report, 1, one_site());
+  ASSERT_EQ(report.outcomes[0].attempts, 2);
+  EXPECT_TRUE(report.outcomes[0].completed());
+  EXPECT_DOUBLE_EQ(report.outcomes[0].credited_s, 0.0);
+  EXPECT_TRUE(std::isfinite(report.outcomes[0].wasted_node_s));
+  EXPECT_GE(report.outcomes[0].wasted_node_s, 0.0);
+  EXPECT_TRUE(std::isfinite(report.wasted_node_seconds));
+}
+
+TEST(FaultService, ZeroCostCheckpointStillBanksCredit) {
+  // Crediting is gated on restart_credit + checkpoint_panels alone: an
+  // explicitly zero checkpoint_cost_s adds no I/O time but must NOT
+  // disable banking — the cost knob is a tax, not a feature switch.
+  std::vector<Job> jobs = {make_job(0, 0.0, 1 << 21, 64, 4)};
+  const model::Roofline roof = model::paper_calibration();
+  const ServiceReport clean = GridJobService(one_site(), roof).run(jobs);
+  const double full_s = clean.outcomes[0].service_s;
+
+  ServiceOptions credit;
+  credit.outages = OutageTrace(
+      std::vector<Outage>{{0, 0.7 * full_s, 0.7 * full_s + 1.0}});
+  credit.restart_credit = true;
+  credit.checkpoint_panels = 10;
+  credit.checkpoint_cost_s = 0.0;  // explicit: free checkpoints
+  const ServiceReport resumed =
+      GridJobService(one_site(), roof, credit).run(jobs);
+  expect_conserved(resumed, 1, one_site());
+  ASSERT_EQ(resumed.outcomes[0].attempts, 2);
+  EXPECT_NEAR(resumed.outcomes[0].credited_s, 0.7 * full_s, 1e-9 * full_s);
+  EXPECT_NEAR(resumed.outcomes[0].service_s, 0.3 * full_s, 1e-9 * full_s);
 }
 
 }  // namespace

@@ -123,6 +123,35 @@ TEST(WanModel, LoadScoreCountsPendingAndActiveFlows) {
   EXPECT_EQ(wan.load_score(0), 0);
 }
 
+TEST(WanModel, SubEpsilonResidualRetiresAtRelativeTolerance) {
+  // A 1e15-byte transfer at 100 B/s, advanced to 1 s short of its
+  // nominal drain instant: the 100-byte residual is 1e-13 of the
+  // transfer — floating-point noise at this scale, below the drain
+  // kernel's relative tolerance (1e-12 of the initial demand). The pool
+  // must retire HERE, not schedule another share change for the noise,
+  // and retire() must credit the full demand, not demand minus noise.
+  GridWanModel wan(2, 100.0, 200.0);
+  const int flow = wan.admit(0.0, {make_pool(Link::kUplink, 0, 1e15, 0.0)});
+  wan.advance(0.0, 1.0e13 - 1.0);
+  EXPECT_TRUE(wan.drained(flow));
+  EXPECT_DOUBLE_EQ(wan.drained_at_s(flow), 1.0e13 - 1.0);
+  std::vector<long long> egress(2, 0), ingress(2, 0);
+  wan.retire(flow, egress, ingress);
+  EXPECT_EQ(egress[0], 1000000000000000LL);
+
+  // A residual WELL above the tolerance (1e4 bytes, 1e-11 of the
+  // transfer) is real remaining demand: it keeps draining and the flow
+  // retires exactly at the true drain instant.
+  GridWanModel wan2(2, 100.0, 200.0);
+  const int flow2 = wan2.admit(0.0, {make_pool(Link::kUplink, 0, 1e15, 0.0)});
+  wan2.advance(0.0, 1.0e13 - 100.0);
+  EXPECT_FALSE(wan2.drained(flow2));
+  EXPECT_DOUBLE_EQ(wan2.next_event_s(1.0e13 - 100.0), 1.0e13);
+  wan2.advance(1.0e13 - 100.0, 1.0e13);
+  EXPECT_TRUE(wan2.drained(flow2));
+  EXPECT_DOUBLE_EQ(wan2.drained_at_s(flow2), 1.0e13);
+}
+
 // --- Service level ------------------------------------------------------
 
 /// Mixed wide/filler workload on the 4-site grid: 68- and 132-proc jobs

@@ -93,11 +93,38 @@
 //       by the streaming invariant validator (non-zero exit on
 //       violation). When --policy all runs several policies, output
 //       filenames get a .<policy> suffix.
+//       Checkpoint/restart (sched/snapshot.hpp): --checkpoint-out FILE
+//       [--checkpoint-at T] snapshots the FULL mid-run service state the
+//       first time the virtual clock reaches T (default 0) and keeps
+//       running to completion; --resume FILE restores such a snapshot
+//       into an identically-configured service (an embedded fingerprint
+//       refuses mismatches) and runs it to completion — the resumed
+//       run's trace, metrics, and summary are byte-identical to the
+//       uninterrupted one's. Both require a single --policy.
+//
+//   qrgrid_cli explore   [--jobs J] [--policy ...|all] [--sites S]
+//                        [--nodes N] [--procs-per-node P] [--seed X]
+//                        [--arrival-s T] [--quantize-s Q] [--mtbf S]
+//                        [--repair S] [--walltime-factor F]
+//                        [--wan-contention] [--wan-fair equal|maxmin]
+//                        [--backend des|msg] [--max-leaves L]
+//       Exhaustively enumerate every legal same-instant tie ordering of
+//       a BOUNDED workload (sched/explore.hpp): snapshot before every
+//       event-loop step, branch each k-way completion / outage / arrival
+//       tie through the tie oracle, and validate the full TraceValidator
+//       invariant set plus report-level conservation on every leaf.
+//       --quantize-s rounds arrivals onto a Q-second grid to manufacture
+//       same-instant ties; --max-leaves (default 20000) bounds the
+//       enumeration. The canonical leaf is byte-compared against a plain
+//       oracle-free run. Non-zero exit on any violation, with the
+//       choice-sequence reproduction recipe printed per finding.
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -110,8 +137,10 @@
 #include "model/costs.hpp"
 #include "model/roofline.hpp"
 #include "sched/critpath.hpp"
+#include "sched/explore.hpp"
 #include "sched/profiler.hpp"
 #include "sched/service.hpp"
+#include "sched/snapshot.hpp"
 #include "sched/telemetry.hpp"
 #include "sched/workload.hpp"
 #include "simgrid/cost.hpp"
@@ -433,6 +462,17 @@ int cmd_serve(const Args& args) {
   const std::string critpath_out = args.get("critpath-out", "");
   const bool want_blame = args.flag("blame");
   const bool want_profile = args.flag("profile");
+  // Checkpoint/restart: a snapshot embeds ONE service configuration, so
+  // the multi-policy sweep cannot carry either flag.
+  const std::string checkpoint_out = args.get("checkpoint-out", "");
+  const double checkpoint_at = args.num("checkpoint-at", 0.0);
+  const std::string resume_path = args.get("resume", "");
+  if ((!checkpoint_out.empty() || !resume_path.empty()) &&
+      policies.size() > 1) {
+    throw Error(
+        "--checkpoint-out/--resume require a single --policy (a snapshot "
+        "embeds one service configuration)");
+  }
   const bool want_trace = !trace_out.empty() || want_gantt ||
                           !critpath_out.empty() || want_blame;
   const bool want_metrics = !metrics_out.empty();
@@ -540,7 +580,46 @@ int cmd_serve(const Args& args) {
     options.domains_per_cluster = static_cast<int>(args.num(
         "domains", msg_backend ? core::kOneDomainPerProcess : 0));
     sched::GridJobService service(topo, roof, options);
-    const sched::ServiceReport report = service.run(jobs);
+    sched::ServiceReport report;
+    if (!resume_path.empty()) {
+      std::ifstream in(resume_path, std::ios::binary);
+      QRGRID_CHECK_MSG(in.is_open(), "cannot open --resume " << resume_path);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      service.restore(buf.str());
+      std::cout << "resumed from " << resume_path << " at t="
+                << format_number(service.now_s(), 5) << " s\n";
+      while (service.active()) service.step();
+      report = service.finish();
+    } else if (!checkpoint_out.empty()) {
+      service.start(jobs);
+      bool written = false;
+      const auto write_checkpoint = [&] {
+        const std::string bytes = service.snapshot();
+        std::ofstream out(checkpoint_out, std::ios::binary);
+        QRGRID_CHECK_MSG(out.is_open(),
+                         "cannot open --checkpoint-out " << checkpoint_out);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        std::cout << "checkpoint written to " << checkpoint_out << " ("
+                  << bytes.size() << " bytes, t="
+                  << format_number(service.now_s(), 5) << " s)\n";
+        written = true;
+      };
+      while (service.active()) {
+        if (!written && service.now_s() >= checkpoint_at) {
+          write_checkpoint();
+        }
+        service.step();
+      }
+      // The run drained before the clock reached the mark: snapshot the
+      // drained state anyway, so the artifact always exists (resuming it
+      // just finishes immediately).
+      if (!written) write_checkpoint();
+      report = service.finish();
+    } else {
+      report = service.run(jobs);
+    }
     table.add_row(sched::summary_row(report));
     if (want_trace) {
       // Every traced run must satisfy the pinned event invariants.
@@ -640,6 +719,151 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_explore(const Args& args) {
+  simgrid::GridTopology topo = topo_of(args);
+  const model::Roofline roof = model::paper_calibration();
+  const sched::BackendKind backend =
+      sched::backend_of(args.get("backend", "des"));
+  const bool msg_backend = backend == sched::BackendKind::kMsgRuntime;
+
+  sched::WorkloadSpec spec;
+  spec.jobs = static_cast<int>(args.num("jobs", 6));
+  QRGRID_CHECK_MSG(
+      spec.jobs >= 1 && spec.jobs <= 16,
+      "explore enumerates EVERY tie ordering (exponential): --jobs must "
+      "be in [1, 16], got " << spec.jobs);
+  spec.mean_interarrival_s = args.num("arrival-s", 0.05);
+  spec.seed = static_cast<std::uint64_t>(args.num("seed", 2026));
+  spec.users = static_cast<int>(args.num("users", 1));
+  spec.priority_levels = static_cast<int>(args.num("priorities", 1));
+  const int total = topo.total_procs();
+  spec.procs_choices.clear();
+  for (int p = std::min(total, std::max(2, total / 16)); p <= total;
+       p *= 2) {
+    spec.procs_choices.push_back(p);
+  }
+  if (msg_backend) {
+    const int max_n = 32;
+    const int ppn = static_cast<int>(args.num("procs-per-node", 2));
+    const double min_m =
+        static_cast<double>(max_n) * (total + 8 * std::max(1, ppn - 1));
+    double m = 512;
+    while (m < min_m) m *= 2;
+    spec.m_choices = {m, 2 * m, 4 * m};
+    spec.n_choices = {16, max_n};
+  }
+  spec.tree_choices = {tree_of(args.get("tree", "grid"))};
+  std::vector<sched::Job> jobs = sched::generate_workload(spec);
+  // Poisson arrivals almost never tie; snapping them onto a coarse grid
+  // manufactures the same-instant arrival groups worth exploring.
+  const double quantize = args.num("quantize-s", 0.0);
+  if (quantize > 0.0) {
+    for (sched::Job& job : jobs) {
+      job.arrival_s = std::floor(job.arrival_s / quantize) * quantize;
+    }
+  }
+
+  const double mtbf_s = args.num("mtbf", 0.0);
+  sched::OutageSpec outage_spec;
+  outage_spec.mtbf_s = mtbf_s;
+  outage_spec.mean_outage_s = args.num("repair", mtbf_s / 10.0);
+  outage_spec.seed =
+      static_cast<std::uint64_t>(args.num("outage-seed", 1 + spec.seed));
+  const double walltime_factor = args.num("walltime-factor", 0.0);
+  if (walltime_factor > 0.0) {
+    const sched::GridJobService predictor(topo, roof);
+    sched::assign_walltimes(jobs, walltime_factor, spec.seed,
+                            [&](const sched::Job& job) {
+                              return predictor.predicted_seconds(job);
+                            });
+  }
+  const sched::WanFairness wan_fairness =
+      sched::wan_fairness_of(args.get("wan-fair", "equal"));
+
+  std::vector<sched::Policy> policies;
+  const std::string which = args.get("policy", "all");
+  if (which == "all") {
+    policies = {sched::Policy::kFcfs, sched::Policy::kSpjf,
+                sched::Policy::kEasyBackfill, sched::Policy::kPriorityEasy,
+                sched::Policy::kFairShare};
+  } else {
+    policies = {sched::policy_of(which)};
+  }
+
+  sched::ExploreLimits limits;
+  limits.max_leaves = static_cast<long long>(args.num("max-leaves", 20000));
+
+  std::cout << "Exploring " << spec.jobs << " jobs on "
+            << topo.num_clusters() << " site(s) (seed " << spec.seed
+            << (quantize > 0.0
+                    ? ", arrivals quantized to " +
+                          format_number(quantize, 3) + " s"
+                    : std::string())
+            << ")\n";
+  bool failed = false;
+  for (sched::Policy policy : policies) {
+    const sched::ServiceFactory factory =
+        [&, policy](sched::ServiceTracer* tracer,
+                    sched::MetricsRegistry* metrics) {
+          sched::ServiceOptions options;
+          options.policy = policy;
+          options.tracer = tracer;
+          options.metrics = metrics;
+          if (mtbf_s > 0.0) {
+            options.outages =
+                sched::OutageTrace(outage_spec, topo.num_clusters());
+          }
+          options.max_retries = static_cast<int>(args.num("retries", 3));
+          options.restart_credit = args.flag("restart-credit");
+          options.checkpoint_panels =
+              static_cast<int>(args.num("panels", 8));
+          options.checkpoint_cost_s = args.num("checkpoint-cost", 0.0);
+          options.wan_contention = args.flag("wan-contention");
+          options.wan_fairness = wan_fairness;
+          options.wan_link_Bps = args.num("wan-gbps", 10.0) * 1e9 / 8.0;
+          options.backend = backend;
+          options.domains_per_cluster = static_cast<int>(args.num(
+              "domains", msg_backend ? core::kOneDomainPerProcess : 0));
+          return std::make_unique<sched::GridJobService>(topo, roof,
+                                                         options);
+        };
+    const sched::ExploreResult result =
+        sched::explore_interleavings(factory, jobs, limits);
+
+    // The canonical (all-zeros) leaf must be byte-identical to a plain
+    // oracle-free run: the explorer harness itself may not perturb the
+    // service.
+    sched::ServiceTracer plain_tracer;
+    sched::MetricsRegistry plain_metrics;
+    const std::unique_ptr<sched::GridJobService> plain =
+        factory(&plain_tracer, &plain_metrics);
+    plain->run(jobs);
+    sched::SnapshotWriter plain_bytes;
+    plain_tracer.save_state(plain_bytes);
+    QRGRID_CHECK_MSG(plain_bytes.bytes() == result.canonical_trace_bytes,
+                     "canonical leaf trace diverges from the plain run "
+                     "under " << policy_name(policy));
+
+    std::cout << policy_name(policy) << ": " << result.leaves
+              << " interleaving(s), " << result.decision_points
+              << " decision point(s), max fanout " << result.max_fanout
+              << (result.truncated ? " (TRUNCATED at --max-leaves)" : "")
+              << " — ";
+    if (result.ok()) {
+      std::cout << "all invariants hold\n";
+    } else {
+      failed = true;
+      std::cout << result.violations.size() << " violation(s)\n";
+      for (const sched::ExploreViolation& v : result.violations) {
+        std::cout << "  " << v.what << "\n    reproduce with choices:";
+        for (int c : v.prescription) std::cout << ' ' << c;
+        std::cout << '\n';
+      }
+    }
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -650,7 +874,9 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "factor") return cmd_factor(args);
     if (args.command == "serve") return cmd_serve(args);
-    std::cerr << "usage: qrgrid_cli topology|simulate|sweep|factor|serve "
+    if (args.command == "explore") return cmd_explore(args);
+    std::cerr << "usage: qrgrid_cli topology|simulate|sweep|factor|serve"
+                 "|explore "
                  "[--option value ...]\n"
                  "see the header of tools/qrgrid_cli.cpp for details\n";
     return args.command.empty() ? 0 : 1;

@@ -7,7 +7,7 @@
 // phase (dispatch suddenly rescanning the queue, the WAN walk going
 // quadratic) shows up even when absolute walls jitter across machines.
 //
-// Five phases, chosen to cover the loop's real hot spots:
+// Six phases, chosen to cover the loop's real hot spots:
 //
 //   dispatch-scan        one dispatch() pass: head placements + the
 //                        bounded backfill scan (includes shadow below)
@@ -16,6 +16,11 @@
 //                        dispatch-scan — totals overlap by design)
 //   wan-advance          GridWanModel::advance: draining every activated
 //                        pool to the next horizon event
+//   wan-rebalance        the incremental max-min engine's component
+//                        recompute: one progressive-filling pass over
+//                        the links whose flow set changed (nested inside
+//                        whichever phase consulted the WAN model —
+//                        usually wan-advance; totals overlap by design)
 //   completion-extract   the completion/walltime-kill extraction scan
 //                        plus per-completion accounting
 //   backend-execute      ExecutionBackend::execute (msg runtime only;
@@ -41,10 +46,11 @@ enum class ProfilePhase : int {
   kDispatchScan = 0,
   kShadow,
   kWanAdvance,
+  kWanRebalance,
   kCompletionExtract,
   kBackendExecute,
 };
-inline constexpr int kProfilePhaseCount = 5;
+inline constexpr int kProfilePhaseCount = 6;
 
 inline const char* profile_phase_name(ProfilePhase phase) {
   switch (phase) {
@@ -54,6 +60,8 @@ inline const char* profile_phase_name(ProfilePhase phase) {
       return "shadow";
     case ProfilePhase::kWanAdvance:
       return "wan-advance";
+    case ProfilePhase::kWanRebalance:
+      return "wan-rebalance";
     case ProfilePhase::kCompletionExtract:
       return "completion-extract";
     case ProfilePhase::kBackendExecute:

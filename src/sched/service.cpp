@@ -34,7 +34,7 @@ constexpr double kGroupMinBandwidthBps = 100e6 / 8.0;
 /// Snapshot framing (see GridJobService::snapshot). The version bumps on
 /// ANY layout change — restore refuses mismatches instead of misreading.
 const char kSnapshotMagic[] = "QRGS";
-constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 void save_placement(SnapshotWriter& w, const Placement& placement) {
   w.i32_vec(placement.clusters);
@@ -583,7 +583,10 @@ GridJobService::Engine::Engine(GridJobService& service,
   profiler = options_.profiler;
   blame_on = options_.wait_blame;
   has_outages = trace.enabled();
-  if (wan != nullptr) wan->set_tracer(tracer);
+  if (wan != nullptr) {
+    wan->set_tracer(tracer);
+    wan->set_profiler(profiler);
+  }
   if (!quiet && tracer != nullptr) {
     ServiceTraceEvent ev;
     ev.kind = TraceKind::kRunConfig;
@@ -1750,6 +1753,16 @@ ServiceReport GridJobService::Engine::finish() {
       metrics->set("wan.backbone_busy_frac", report.wan_backbone_busy);
       metrics->set("wan.live_flows.peak",
                    static_cast<double>(wan->peak_live_flows()));
+      // Incremental max-min engine counters (zero under equal-split):
+      // full_refills << events is the contended-scaling claim.
+      metrics->set("wan.rebalance.events",
+                   static_cast<double>(wan->rebalance_events()));
+      metrics->set("wan.rebalance.recomputes",
+                   static_cast<double>(wan->rebalance_recomputes()));
+      metrics->set("wan.rebalance.links_touched",
+                   static_cast<double>(wan->rebalance_links_touched()));
+      metrics->set("wan.rebalance.full_refills",
+                   static_cast<double>(wan->rebalance_full_refills()));
     }
     if (blame_on) {
       // Wait-blame rollups over the sorted outcomes: grid-wide totals

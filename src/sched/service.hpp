@@ -163,7 +163,10 @@ struct ServiceOptions {
   /// (set_wan_aggregate_Bps), so one knob governs both the intra-replay
   /// horizon and the cross-job contention model.
   double wan_link_Bps = 10e9 / 8.0;
-  /// Shared backbone capacity; 0 = auto, wan_link_Bps x max(1, sites/2)
+  /// Shared backbone capacity; 0 = auto, wan_link_Bps x max(1, sites/2).
+  /// +infinity = unconstrained core: the site access links bind and the
+  /// trunk imposes no rate constraint (Grid'5000's overprovisioned
+  /// RENATER core), so max-min components stay per-site islands.
   /// — a trunk that can carry about half the sites at full tilt.
   double wan_backbone_Bps = 0.0;
   /// How concurrent flows share the WAN links (the WanAllocator

@@ -1,9 +1,11 @@
 #include "sched/wan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.hpp"
+#include "sched/profiler.hpp"
 #include "sched/snapshot.hpp"
 #include "sched/telemetry.hpp"
 
@@ -162,6 +164,7 @@ GridWanModel::GridWanModel(int num_clusters, double link_Bps,
     : num_clusters_(num_clusters),
       link_Bps_(link_Bps),
       backbone_Bps_(backbone_Bps),
+      trunk_constrained_(std::isfinite(backbone_Bps)),
       fairness_(fairness),
       pair_Bps_(std::move(pair_Bps)),
       allocator_(make_wan_allocator(fairness)),
@@ -182,6 +185,10 @@ GridWanModel::GridWanModel(int num_clusters, double link_Bps,
   for (std::size_t p = 0; p < pair_Bps_.size(); ++p) {
     capacity_[2 * nc + 1 + p] = pair_Bps_[p];
   }
+  link_users_.assign(capacity_.size(), 0);
+  dirty_mark_.assign(capacity_.size(), 0);
+  comp_mark_.assign(capacity_.size(), 0);
+  cluster_load_.assign(nc, 0);
 }
 
 int GridWanModel::link_id(const Pool& pool) const {
@@ -207,10 +214,262 @@ int GridWanModel::links_of(const Pool& pool, int out[3]) const {
     }
     // Under max-min the trunk is a link the uplink demand crosses, not a
     // parallel pool: a flow bottlenecked at its site link stops charging
-    // the backbone for capacity it cannot use.
-    if (fairness_ == WanFairness::kMaxMin) out[n++] = 2 * num_clusters_;
+    // the backbone for capacity it cannot use. An infinite backbone is
+    // never that bottleneck, so it drops out of the constraint graph
+    // entirely (allocation-equivalent, and it keeps rebalance components
+    // from chaining every flow through one shared link).
+    if (fairness_ == WanFairness::kMaxMin && trunk_constrained_) {
+      out[n++] = 2 * num_clusters_;
+    }
   }
   return n;
+}
+
+void GridWanModel::mark_dirty(int link) {
+  const auto l = static_cast<std::size_t>(link);
+  if (dirty_mark_[l] == 0) {
+    dirty_mark_[l] = 1;
+    dirty_links_.push_back(link);
+  }
+}
+
+void GridWanModel::activate_pool(Flow& flow, int pool) {
+  flow.active[static_cast<std::size_t>(pool)] = 1;
+  ++active_pools_;
+  int links[3];
+  const int nlinks = links_of(flow.pools[static_cast<std::size_t>(pool)], links);
+  for (int k = 0; k < nlinks; ++k) {
+    if (link_users_[static_cast<std::size_t>(links[k])]++ == 0) ++busy_links_;
+    mark_dirty(links[k]);
+  }
+}
+
+void GridWanModel::deactivate_pool(Flow& flow, int pool) {
+  flow.active[static_cast<std::size_t>(pool)] = 0;
+  --active_pools_;
+  int links[3];
+  const int nlinks = links_of(flow.pools[static_cast<std::size_t>(pool)], links);
+  for (int k = 0; k < nlinks; ++k) {
+    if (--link_users_[static_cast<std::size_t>(links[k])] == 0) --busy_links_;
+    mark_dirty(links[k]);
+  }
+}
+
+bool GridWanModel::compute_frac_sensitive(const Flow& flow) const {
+  int links_a[3];
+  int links_b[3];
+  for (std::size_t a = 0; a < flow.pools.size(); ++a) {
+    if (flow.pools[a].bytes <= 0.0) continue;
+    const int na = links_of(flow.pools[a], links_a);
+    for (std::size_t b = a + 1; b < flow.pools.size(); ++b) {
+      if (flow.pools[b].bytes <= 0.0) continue;
+      const int nb = links_of(flow.pools[b], links_b);
+      for (int i = 0; i < na; ++i) {
+        for (int k = 0; k < nb; ++k) {
+          if (links_a[i] == links_b[k]) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void GridWanModel::count_load(Flow& flow) {
+  flow.counted_clusters.clear();
+  flow.counted_trunk = false;
+  for (const Pool& pool : flow.pools) {
+    if (pool.bytes <= 0.0) continue;
+    if (pool.link != Pool::Link::kBackbone) {
+      bool seen = false;
+      for (const int c : flow.counted_clusters) {
+        if (c == pool.cluster) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        flow.counted_clusters.push_back(pool.cluster);
+        ++cluster_load_[static_cast<std::size_t>(pool.cluster)];
+      }
+    }
+    if (pool.link != Pool::Link::kDownlink && !flow.counted_trunk) {
+      flow.counted_trunk = true;  // uplink bytes cross the trunk once
+      ++trunk_load_;
+    }
+  }
+}
+
+void GridWanModel::uncount_load(Flow& flow) {
+  for (const int c : flow.counted_clusters) {
+    --cluster_load_[static_cast<std::size_t>(c)];
+  }
+  flow.counted_clusters.clear();
+  if (flow.counted_trunk) {
+    --trunk_load_;
+    flow.counted_trunk = false;
+  }
+}
+
+void GridWanModel::refresh(double now_s) {
+  // Pop every activation due by now_s into the active set. The calendar
+  // is a min-heap on t_s, so once the top is in the future, every entry
+  // is — popping dead future entries later can never uncover a due one.
+  while (!activations_.empty() && activations_.front().t_s <= now_s) {
+    const Activation top = activations_.front();
+    std::pop_heap(activations_.begin(), activations_.end(),
+                  ActivationAfter{});
+    activations_.pop_back();
+    const auto it = slot_of_.find(top.flow);
+    if (it == slot_of_.end()) continue;  // retired before activating
+    Flow& flow = flows_[static_cast<std::size_t>(it->second)];
+    const auto j = static_cast<std::size_t>(top.pool);
+    if (flow.pools[j].bytes <= 0.0 || flow.active[j] != 0) continue;
+    activate_pool(flow, top.pool);
+    ++rebalance_events_;
+  }
+  if (!dirty_links_.empty()) rebalance(now_s);
+}
+
+void GridWanModel::rebalance(double now_s) {
+  // Seed the component from the dirty links; the marks move to
+  // comp_mark_ so the dirty list can restart empty.
+  comp_links_.clear();
+  for (const int l : dirty_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    dirty_mark_[li] = 0;
+    if (comp_mark_[li] == 0) {
+      comp_mark_[li] = 1;
+      comp_links_.push_back(l);
+    }
+  }
+  dirty_links_.clear();
+  if (active_pools_ == 0) {
+    // Nothing left to rate: the last active pool drained or retired.
+    for (const int l : comp_links_) comp_mark_[static_cast<std::size_t>(l)] = 0;
+    comp_links_.clear();
+    return;
+  }
+  PhaseScope prof(profiler_, ProfilePhase::kWanRebalance);
+  // Close over flows transitively sharing links: a pool with ANY link in
+  // the component drags all its links in (under max-min every uplink
+  // pool crosses the trunk, so uplink-side events close over the
+  // backbone component quickly; downlink pools stay their own islands).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const int slot : live_) {
+      const Flow& flow = flows_[static_cast<std::size_t>(slot)];
+      if (flow.undrained == 0) continue;
+      for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+        if (flow.active[j] == 0) continue;
+        int links[3];
+        const int nlinks = links_of(flow.pools[j], links);
+        bool any = false;
+        bool all = true;
+        for (int k = 0; k < nlinks; ++k) {
+          if (comp_mark_[static_cast<std::size_t>(links[k])] != 0) {
+            any = true;
+          } else {
+            all = false;
+          }
+        }
+        if (any && !all) {
+          for (int k = 0; k < nlinks; ++k) {
+            const auto li = static_cast<std::size_t>(links[k]);
+            if (comp_mark_[li] == 0) {
+              comp_mark_[li] = 1;
+              comp_links_.push_back(links[k]);
+            }
+          }
+          grew = true;
+        }
+      }
+    }
+  }
+  // Collect the component's demands in live (admission) order — the
+  // identical subsequence, frac arithmetic, and accumulation order the
+  // global demand view would hand the allocator, so the restricted fill
+  // below reproduces the global fill's rates bit-for-bit on them.
+  comp_refs_.clear();
+  comp_demands_.clear();
+  if (flow_link_scratch_.size() != capacity_.size()) {
+    flow_link_scratch_.assign(capacity_.size(), 0.0);
+  }
+  std::vector<double>& flow_link_bytes = flow_link_scratch_;
+  std::vector<int>& touched = touched_scratch_;
+  for (const int slot : live_) {
+    const Flow& flow = flows_[static_cast<std::size_t>(slot)];
+    if (flow.undrained == 0) continue;
+    touched.clear();
+    bool flow_in = false;
+    for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+      if (flow.active[j] == 0) continue;
+      int links[3];
+      const int nlinks = links_of(flow.pools[j], links);
+      // Closure invariant: any marked link on a pool means all marked.
+      if (comp_mark_[static_cast<std::size_t>(links[0])] == 0) continue;
+      flow_in = true;
+      for (int k = 0; k < nlinks; ++k) {
+        const auto li = static_cast<std::size_t>(links[k]);
+        if (flow_link_bytes[li] == 0.0) touched.push_back(links[k]);
+        flow_link_bytes[li] += flow.pools[j].bytes;
+      }
+    }
+    if (!flow_in) continue;
+    for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+      if (flow.active[j] == 0) continue;
+      const Pool& pool = flow.pools[j];
+      WanDemand d;
+      d.nlinks = links_of(pool, d.links);
+      if (comp_mark_[static_cast<std::size_t>(d.links[0])] == 0) continue;
+      d.bytes = pool.bytes;
+      d.flow = flow.id;
+      for (int k = 0; k < d.nlinks; ++k) {
+        d.frac[k] =
+            pool.bytes / flow_link_bytes[static_cast<std::size_t>(d.links[k])];
+      }
+      comp_refs_.push_back({slot, static_cast<int>(j)});
+      comp_demands_.push_back(d);
+    }
+    for (const int l : touched) {
+      flow_link_bytes[static_cast<std::size_t>(l)] = 0.0;
+    }
+  }
+  ++rebalance_recomputes_;
+  rebalance_links_touched_ += static_cast<std::uint64_t>(comp_links_.size());
+  if (!comp_refs_.empty()) {
+    comp_rates_.assign(comp_demands_.size(), 0.0);
+    allocator_->assign_rates(comp_demands_, capacity_, comp_rates_);
+    for (std::size_t k = 0; k < comp_refs_.size(); ++k) {
+      Flow& flow = flows_[static_cast<std::size_t>(comp_refs_[k].flow)];
+      flow.rate_Bps[static_cast<std::size_t>(comp_refs_[k].pool)] =
+          comp_rates_[k];
+    }
+    int comp_busy = 0;
+    for (const int l : comp_links_) {
+      if (link_users_[static_cast<std::size_t>(l)] > 0) ++comp_busy;
+    }
+    if (busy_links_ > 0 && comp_busy == busy_links_) ++rebalance_full_refills_;
+  }
+  if (oracle_check_) {
+    // Differential oracle: the historical global fill over the full
+    // activated view must agree with every cached rate — the component
+    // argument says exactly, not approximately.
+    demand_view(now_s, /*include_pending=*/false, refs_scratch_,
+                demands_scratch_, rates_scratch_);
+    QRGRID_CHECK_MSG(
+        refs_scratch_.size() == static_cast<std::size_t>(active_pools_),
+        "incremental active set diverged from the time-based view");
+    for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
+      const Flow& flow = flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
+      const double cached =
+          flow.rate_Bps[static_cast<std::size_t>(refs_scratch_[k].pool)];
+      max_oracle_error_ = std::max(
+          max_oracle_error_, std::abs(cached - rates_scratch_[k]));
+    }
+  }
+  for (const int l : comp_links_) comp_mark_[static_cast<std::size_t>(l)] = 0;
+  comp_links_.clear();
 }
 
 void GridWanModel::demand_view(double now_s, bool include_pending,
@@ -319,7 +578,7 @@ int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
   // demand_view depends on for byte-identical allocator arithmetic.
   live_.push_back(slot);
   peak_live_ = std::max(peak_live_, static_cast<int>(live_.size()));
-  const Flow& admitted = flows_[static_cast<std::size_t>(slot)];
+  Flow& admitted = flows_[static_cast<std::size_t>(slot)];
   for (std::size_t j = 0; j < admitted.pools.size(); ++j) {
     if (admitted.pools[j].bytes > 0.0 &&
         admitted.pools[j].activation_s > now_s) {
@@ -329,6 +588,20 @@ int GridWanModel::admit(double now_s, std::vector<Pool> pools) {
                      ActivationAfter{});
     }
   }
+  admitted.frac_sensitive = compute_frac_sensitive(admitted);
+  count_load(admitted);
+  if (fairness_ == WanFairness::kMaxMin) {
+    admitted.rate_Bps.assign(admitted.pools.size(), 0.0);
+    admitted.active.assign(admitted.pools.size(), 0);
+    for (std::size_t j = 0; j < admitted.pools.size(); ++j) {
+      if (admitted.pools[j].bytes > 0.0 &&
+          admitted.pools[j].activation_s <= now_s) {
+        activate_pool(admitted, static_cast<int>(j));
+      }
+    }
+    if (admitted.undrained > 0) ++rebalance_events_;
+  }
+  if (admitted.undrained > 0) bump_generation();
   if (tracer_ != nullptr) {
     ServiceTraceEvent ev;
     ev.t_s = now_s;
@@ -345,52 +618,127 @@ void GridWanModel::advance(double from_s, double to_s) {
   const double dt = to_s - from_s;
   if (dt <= 0.0) return;
 
-  demand_view(from_s, /*include_pending=*/false, refs_scratch_,
-              demands_scratch_, rates_scratch_);
+  int pools_drained = 0;
+  bool fracs_moved = false;
+  if (fairness_ == WanFairness::kMaxMin) {
+    // Incremental path: pull due activations in, repair rates if any
+    // link is dirty, then drain against the CACHED per-pool rates —
+    // bit-identical to the historical recompute-at-every-step values.
+    refresh(from_s);
+    const auto nc = static_cast<std::size_t>(num_clusters_);
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (link_users_[c] > 0) up_busy_s_[c] += dt;
+      if (link_users_[nc + c] > 0) down_busy_s_[c] += dt;
+    }
+    // With an unconstrained trunk no demand maps onto the backbone link,
+    // so fall back to the trunk-load counter for the busy statistic.
+    if (link_users_[2 * nc] > 0 ||
+        (!trunk_constrained_ && trunk_load_ > 0)) {
+      backbone_busy_s_ += dt;
+    }
 
-  // A link is busy while at least one activated, undrained demand
-  // crosses it (under max-min, uplink demands keep the trunk busy).
-  std::vector<char> up_busy(static_cast<std::size_t>(num_clusters_), 0);
-  std::vector<char> down_busy(static_cast<std::size_t>(num_clusters_), 0);
-  bool backbone_busy = false;
-  for (const WanDemand& d : demands_scratch_) {
-    for (int k = 0; k < d.nlinks; ++k) {
-      const int l = d.links[k];
-      if (l < num_clusters_) {
-        up_busy[static_cast<std::size_t>(l)] = 1;
-      } else if (l < 2 * num_clusters_) {
-        down_busy[static_cast<std::size_t>(l - num_clusters_)] = 1;
-      } else if (l == 2 * num_clusters_) {
-        backbone_busy = true;
+    for (const int slot : live_) {
+      Flow& flow = flows_[static_cast<std::size_t>(slot)];
+      if (flow.undrained == 0) continue;
+      bool flow_active = false;
+      int flow_drained = 0;
+      for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+        if (flow.active[j] == 0) continue;
+        flow_active = true;
+        Pool& pool = flow.pools[j];
+        const double moved = flow.rate_Bps[j] * dt;
+        if (covers(moved, pool.bytes, flow.initial_bytes[j])) {
+          flow.moved_bytes[j] += pool.bytes;
+          pool.bytes = 0.0;
+          if (--flow.undrained == 0) flow.drained_at_s = to_s;
+          deactivate_pool(flow, static_cast<int>(j));
+          ++rebalance_events_;
+          ++flow_drained;
+        } else {
+          flow.moved_bytes[j] += moved;
+          pool.bytes -= moved;
+        }
+      }
+      if (flow_drained > 0) {
+        uncount_load(flow);
+        count_load(flow);
+        pools_drained += flow_drained;
+      }
+      if (flow.frac_sensitive) {
+        if (flow_active) {
+          // Link-sharing pools: this flow's byte movement shifted its
+          // per-link fracs, so its remaining active links must re-fill
+          // even though no pool drained or activated.
+          fracs_moved = true;
+          for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+            if (flow.active[j] == 0) continue;
+            int links[3];
+            const int nlinks = links_of(flow.pools[j], links);
+            for (int k = 0; k < nlinks; ++k) mark_dirty(links[k]);
+          }
+        }
+        if (flow_drained > 0) {
+          flow.frac_sensitive = compute_frac_sensitive(flow);
+        }
+      }
+    }
+  } else {
+    demand_view(from_s, /*include_pending=*/false, refs_scratch_,
+                demands_scratch_, rates_scratch_);
+
+    // A link is busy while at least one activated, undrained demand
+    // crosses it.
+    std::vector<char> up_busy(static_cast<std::size_t>(num_clusters_), 0);
+    std::vector<char> down_busy(static_cast<std::size_t>(num_clusters_), 0);
+    bool backbone_busy = false;
+    for (const WanDemand& d : demands_scratch_) {
+      for (int k = 0; k < d.nlinks; ++k) {
+        const int l = d.links[k];
+        if (l < num_clusters_) {
+          up_busy[static_cast<std::size_t>(l)] = 1;
+        } else if (l < 2 * num_clusters_) {
+          down_busy[static_cast<std::size_t>(l - num_clusters_)] = 1;
+        } else if (l == 2 * num_clusters_) {
+          backbone_busy = true;
+        }
+      }
+    }
+    for (int c = 0; c < num_clusters_; ++c) {
+      if (up_busy[static_cast<std::size_t>(c)]) {
+        up_busy_s_[static_cast<std::size_t>(c)] += dt;
+      }
+      if (down_busy[static_cast<std::size_t>(c)]) {
+        down_busy_s_[static_cast<std::size_t>(c)] += dt;
+      }
+    }
+    if (backbone_busy) backbone_busy_s_ += dt;
+
+    for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
+      Flow& flow = flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
+      Pool& pool = flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+      const auto j = static_cast<std::size_t>(refs_scratch_[k].pool);
+      const double moved = rates_scratch_[k] * dt;
+      if (flow.frac_sensitive) fracs_moved = true;
+      if (covers(moved, pool.bytes, flow.initial_bytes[j])) {
+        flow.moved_bytes[j] += pool.bytes;
+        pool.bytes = 0.0;
+        if (--flow.undrained == 0) flow.drained_at_s = to_s;
+        uncount_load(flow);
+        count_load(flow);
+        if (flow.frac_sensitive) {
+          flow.frac_sensitive = compute_frac_sensitive(flow);
+        }
+        ++pools_drained;
+      } else {
+        flow.moved_bytes[j] += moved;
+        pool.bytes -= moved;
       }
     }
   }
-  for (int c = 0; c < num_clusters_; ++c) {
-    if (up_busy[static_cast<std::size_t>(c)]) {
-      up_busy_s_[static_cast<std::size_t>(c)] += dt;
-    }
-    if (down_busy[static_cast<std::size_t>(c)]) {
-      down_busy_s_[static_cast<std::size_t>(c)] += dt;
-    }
-  }
-  if (backbone_busy) backbone_busy_s_ += dt;
-
-  int pools_drained = 0;
-  for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
-    Flow& flow = flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
-    Pool& pool = flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
-    const auto j = static_cast<std::size_t>(refs_scratch_[k].pool);
-    const double moved = rates_scratch_[k] * dt;
-    if (covers(moved, pool.bytes, flow.initial_bytes[j])) {
-      flow.moved_bytes[j] += pool.bytes;
-      pool.bytes = 0.0;
-      if (--flow.undrained == 0) flow.drained_at_s = to_s;
-      ++pools_drained;
-    } else {
-      flow.moved_bytes[j] += moved;
-      pool.bytes -= moved;
-    }
-  }
+  // Structural changes (and sensitive byte movement) invalidate the
+  // drain-estimate basis; plain byte drains of frac-insensitive flows
+  // leave it exact.
+  if (pools_drained > 0 || fracs_moved) bump_generation();
   if (tracer_ != nullptr) {
     // The share structure changes when a pool runs dry or a pending pool
     // activates inside the step — the allocator re-splits either way.
@@ -416,16 +764,34 @@ void GridWanModel::advance(double from_s, double to_s) {
 }
 
 double GridWanModel::next_event_s(double now_s) const {
-  demand_view(now_s, /*include_pending=*/false, refs_scratch_,
-              demands_scratch_, rates_scratch_);
   double next = kInf;
-  for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
-    const Flow& flow =
-        flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
-    const Pool& pool =
-        flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
-    if (rates_scratch_[k] > 0.0) {
-      next = std::min(next, now_s + pool.bytes / rates_scratch_[k]);
+  if (fairness_ == WanFairness::kMaxMin) {
+    // Lazy maintenance from a const query: activations due by now_s and
+    // any pending rebalance are absorbed here, which is also what
+    // coalesces a same-instant burst of opens/retires/drains into ONE
+    // recompute — the service consults the horizon once per step.
+    const_cast<GridWanModel*>(this)->refresh(now_s);
+    for (const int slot : live_) {
+      const Flow& flow = flows_[static_cast<std::size_t>(slot)];
+      if (flow.undrained == 0) continue;
+      for (std::size_t j = 0; j < flow.pools.size(); ++j) {
+        if (flow.active[j] == 0) continue;
+        if (flow.rate_Bps[j] > 0.0) {
+          next = std::min(next, now_s + flow.pools[j].bytes / flow.rate_Bps[j]);
+        }
+      }
+    }
+  } else {
+    demand_view(now_s, /*include_pending=*/false, refs_scratch_,
+                demands_scratch_, rates_scratch_);
+    for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
+      const Flow& flow =
+          flows_[static_cast<std::size_t>(refs_scratch_[k].flow)];
+      const Pool& pool =
+          flow.pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+      if (rates_scratch_[k] > 0.0) {
+        next = std::min(next, now_s + pool.bytes / rates_scratch_[k]);
+      }
     }
   }
   // Pending activations change the share structure too: the calendar's
@@ -471,19 +837,29 @@ void GridWanModel::drain_estimates_s(double now_s,
     estimates_scratch_[static_cast<std::size_t>(slot)] =
         f.undrained == 0 ? f.drained_at_s : now_s;
   }
-  demand_view(now_s, /*include_pending=*/true, refs_scratch_,
-              demands_scratch_, rates_scratch_);
-  for (std::size_t k = 0; k < refs_scratch_.size(); ++k) {
-    const auto slot = static_cast<std::size_t>(refs_scratch_[k].flow);
+  // The pessimistic view's membership (bytes > 0, activation ignored)
+  // and rates (fracs x capacities, never bytes) depend only on the
+  // structural generation: between structural changes the basis is
+  // reused verbatim — shadow pricing stops re-deriving shares per call.
+  // Only each pool's CURRENT bytes and max(now, activation) enter per
+  // call below, which is exactly what a fresh view would use.
+  if (!est_basis_valid_ || est_basis_generation_ != generation_) {
+    demand_view(now_s, /*include_pending=*/true, est_refs_, est_demands_,
+                est_rates_);
+    est_basis_valid_ = true;
+    est_basis_generation_ = generation_;
+  }
+  for (std::size_t k = 0; k < est_refs_.size(); ++k) {
+    const auto slot = static_cast<std::size_t>(est_refs_[k].flow);
     const Pool& pool =
-        flows_[slot].pools[static_cast<std::size_t>(refs_scratch_[k].pool)];
+        flows_[slot].pools[static_cast<std::size_t>(est_refs_[k].pool)];
     double& est = estimates_scratch_[slot];
-    if (rates_scratch_[k] <= 0.0) {
+    if (est_rates_[k] <= 0.0) {
       est = kInf;
       continue;
     }
     est = std::max(est, std::max(now_s, pool.activation_s) +
-                            pool.bytes / rates_scratch_[k]);
+                            pool.bytes / est_rates_[k]);
   }
   out.assign(flows.size(), 0.0);
   for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -529,10 +905,21 @@ void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
         break;  // the trunk is shared accounting, not a byte sink
     }
   }
+  uncount_load(f);
+  if (fairness_ == WanFairness::kMaxMin) {
+    if (f.undrained > 0) ++rebalance_events_;
+    for (std::size_t j = 0; j < f.active.size(); ++j) {
+      if (f.active[j] != 0) deactivate_pool(f, static_cast<int>(j));
+    }
+  }
+  if (f.undrained > 0) bump_generation();
   f.alive = false;
   f.pools.clear();
   f.moved_bytes.clear();
   f.initial_bytes.clear();
+  f.rate_Bps.clear();
+  f.active.clear();
+  f.frac_sensitive = false;
   // Reclaim: drop the slot from the live order (binary search — live_ is
   // id-sorted) and recycle it. Calendar entries die lazily via slot_of_.
   const auto live_it = std::lower_bound(
@@ -545,39 +932,13 @@ void GridWanModel::retire(int flow, std::vector<long long>& egress_bytes,
   free_slots_.push_back(slot);
 }
 
-int GridWanModel::backbone_load() const {
-  int score = 0;
-  for (const int slot : live_) {
-    const Flow& flow = flows_[static_cast<std::size_t>(slot)];
-    if (flow.undrained == 0) continue;
-    bool crosses = false;
-    for (const Pool& pool : flow.pools) {
-      if (pool.bytes > 0.0 && pool.link != Pool::Link::kDownlink) {
-        crosses = true;  // uplink bytes cross the trunk once
-        break;
-      }
-    }
-    if (crosses) ++score;
-  }
-  return score;
-}
+// Both load signals are now O(1) reads of counters maintained at
+// admit / pool-drain / retire (count_load / uncount_load) — the per-step
+// metrics sampling used to pay an O(live x pools) scan per cluster.
+int GridWanModel::backbone_load() const { return trunk_load_; }
 
 int GridWanModel::load_score(int cluster) const {
-  int score = 0;
-  for (const int slot : live_) {
-    const Flow& flow = flows_[static_cast<std::size_t>(slot)];
-    if (flow.undrained == 0) continue;
-    bool touches = false;
-    for (const Pool& pool : flow.pools) {
-      if (pool.bytes > 0.0 && pool.link != Pool::Link::kBackbone &&
-          pool.cluster == cluster) {
-        touches = true;
-        break;
-      }
-    }
-    if (touches) ++score;
-  }
-  return score;
+  return cluster_load_[static_cast<std::size_t>(cluster)];
 }
 
 void GridWanModel::save_state(SnapshotWriter& w) const {
@@ -601,6 +962,12 @@ void GridWanModel::save_state(SnapshotWriter& w) const {
     w.f64_vec(f.initial_bytes);
     w.i32(f.undrained);
     w.f64(f.drained_at_s);
+    w.f64_vec(f.rate_Bps);
+    w.u64(f.active.size());
+    for (const char a : f.active) w.u8(static_cast<std::uint8_t>(a));
+    w.boolean(f.frac_sensitive);
+    w.i32_vec(f.counted_clusters);
+    w.boolean(f.counted_trunk);
   }
   w.i32_vec(free_slots_);
   w.i32_vec(live_);
@@ -619,6 +986,17 @@ void GridWanModel::save_state(SnapshotWriter& w) const {
   w.f64_vec(up_busy_s_);
   w.f64_vec(down_busy_s_);
   w.f64(backbone_busy_s_);
+  // Incremental engine: the dirty list travels verbatim (a pending
+  // rebalance must fire on resume exactly as it would have), the
+  // generation and counters so resumed gauges match an unbroken run.
+  // Link user counts, load counters, and the estimate basis are derived
+  // from the flows on load.
+  w.i32_vec(dirty_links_);
+  w.u64(generation_);
+  w.u64(rebalance_events_);
+  w.u64(rebalance_recomputes_);
+  w.u64(rebalance_links_touched_);
+  w.u64(rebalance_full_refills_);
 }
 
 void GridWanModel::load_state(SnapshotReader& r) {
@@ -642,6 +1020,12 @@ void GridWanModel::load_state(SnapshotReader& r) {
     f.initial_bytes = r.f64_vec();
     f.undrained = r.i32();
     f.drained_at_s = r.f64();
+    f.rate_Bps = r.f64_vec();
+    f.active.resize(static_cast<std::size_t>(r.u64()));
+    for (char& a : f.active) a = static_cast<char>(r.u8());
+    f.frac_sensitive = r.boolean();
+    f.counted_clusters = r.i32_vec();
+    f.counted_trunk = r.boolean();
   }
   free_slots_ = r.i32_vec();
   live_ = r.i32_vec();
@@ -656,10 +1040,45 @@ void GridWanModel::load_state(SnapshotReader& r) {
   up_busy_s_ = r.f64_vec();
   down_busy_s_ = r.f64_vec();
   backbone_busy_s_ = r.f64();
+  dirty_links_ = r.i32_vec();
+  generation_ = r.u64();
+  rebalance_events_ = r.u64();
+  rebalance_recomputes_ = r.u64();
+  rebalance_links_touched_ = r.u64();
+  rebalance_full_refills_ = r.u64();
   slot_of_.clear();
   for (const int slot : live_) {
     slot_of_.emplace(flows_[static_cast<std::size_t>(slot)].id, slot);
   }
+  // Derive the per-link user counts and load counters from the restored
+  // flows; the estimate basis is rebuilt (bit-identically) on the next
+  // drain_estimates_s call.
+  link_users_.assign(capacity_.size(), 0);
+  busy_links_ = 0;
+  active_pools_ = 0;
+  cluster_load_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  trunk_load_ = 0;
+  for (const int slot : live_) {
+    Flow& f = flows_[static_cast<std::size_t>(slot)];
+    for (const int c : f.counted_clusters) {
+      ++cluster_load_[static_cast<std::size_t>(c)];
+    }
+    if (f.counted_trunk) ++trunk_load_;
+    for (std::size_t j = 0; j < f.active.size(); ++j) {
+      if (f.active[j] == 0) continue;
+      ++active_pools_;
+      int links[3];
+      const int nlinks = links_of(f.pools[j], links);
+      for (int k = 0; k < nlinks; ++k) {
+        if (link_users_[static_cast<std::size_t>(links[k])]++ == 0) {
+          ++busy_links_;
+        }
+      }
+    }
+  }
+  dirty_mark_.assign(capacity_.size(), 0);
+  for (const int l : dirty_links_) dirty_mark_[static_cast<std::size_t>(l)] = 1;
+  est_basis_valid_ = false;
 }
 
 }  // namespace qrgrid::sched

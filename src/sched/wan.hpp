@@ -49,8 +49,32 @@
 // booked those bytes on a full-capacity horizon), so an uncontended run
 // reproduces the cached replay times byte-for-byte; under contention
 // finish times stretch, monotonically in the load.
+//
+// INCREMENTAL MAX-MIN MAINTENANCE. Under max-min the model no longer
+// runs a progressive-filling pass over every live flow at every
+// consultation. Instead it keeps the allocation cached per pool and
+// repairs it lazily: admissions, retirements, drains, and activations
+// mark the links whose flow set changed dirty; the next consultation
+// (advance / next_event_s) closes the dirty set over flows that share
+// links with it — the *bottleneck component* — and re-runs the SAME
+// progressive filling restricted to that component's demands. Because a
+// component link's users and residuals receive exactly the terms they
+// receive in the global fill (all demands crossing a component link are
+// component demands, in the same live-order), the component-local fill
+// is bit-identical to the global one, so fixed-seed max-min runs
+// reproduce the historical full-recompute traces byte-for-byte. Rates
+// read only fracs and capacities — never pool bytes — so cached rates
+// stay exact across byte drains; flows whose pools can share a link
+// (frac_sensitive) are the one exception and re-dirty their links as
+// their bytes move. Deferring the repair to the next consultation also
+// coalesces same-instant open/retire/drain bursts into ONE rebalance.
+// The wan.rebalance.{events,recomputes,links_touched,full_refills}
+// counters and the wan-rebalance profiler phase expose the machinery;
+// set_rate_oracle_check() keeps the global fill as a differential
+// oracle the cached rates are checked against after every recompute.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -61,6 +85,7 @@ namespace qrgrid::sched {
 class ServiceTracer;
 class SnapshotWriter;
 class SnapshotReader;
+class PhaseProfiler;
 
 /// Which WanAllocator a GridWanModel (or ServiceOptions) asks for.
 enum class WanFairness {
@@ -214,6 +239,36 @@ class GridWanModel {
   /// flows are admitted, retired, and as the share structure changes.
   /// Null (the default) records nothing and costs nothing.
   void set_tracer(ServiceTracer* tracer) { tracer_ = tracer; }
+  /// When set, component recomputes of the incremental max-min engine
+  /// are timed under ProfilePhase::kWanRebalance. Null costs nothing.
+  void set_profiler(PhaseProfiler* profiler) { profiler_ = profiler; }
+
+  /// Incremental max-min engine telemetry (equal-split runs report 0):
+  /// structural events absorbed (admissions/retirements with undrained
+  /// demand, pool activations, pool drains), component recomputes those
+  /// events coalesced into, links touched summed over recomputes, and
+  /// recomputes whose component spanned every busy link (the global-
+  /// fill fallback). full_refills << events is the scaling claim.
+  std::uint64_t rebalance_events() const { return rebalance_events_; }
+  std::uint64_t rebalance_recomputes() const { return rebalance_recomputes_; }
+  std::uint64_t rebalance_links_touched() const {
+    return rebalance_links_touched_;
+  }
+  std::uint64_t rebalance_full_refills() const {
+    return rebalance_full_refills_;
+  }
+  /// Monotone counter bumped on every structural change (admission /
+  /// retirement with undrained demand, pool drain, frac-sensitive byte
+  /// movement) — the key the drain-estimate basis cache is valid under.
+  std::uint64_t rebalance_generation() const { return generation_; }
+
+  /// Differential-oracle mode (tests): after every component recompute,
+  /// re-run the GLOBAL progressive fill over the full demand view and
+  /// accumulate the worst |cached - oracle| rate divergence. The
+  /// component argument says the divergence is exactly 0.0; the suite
+  /// gates at 1e-12.
+  void set_rate_oracle_check(bool on) { oracle_check_ = on; }
+  double max_oracle_rate_error() const { return max_oracle_error_; }
 
   /// Seconds the link carried at least one activated, undrained pool.
   double uplink_busy_s(int cluster) const {
@@ -234,9 +289,13 @@ class GridWanModel {
   /// their pools/moved/initial bytes, slot free-list, live order, id
   /// counter, the pending-activation heap array VERBATIM (its pruning is
   /// call-timing-dependent, so rebuilding it would change later heap
-  /// mutations), and the busy-second accumulators. load_state() must be
-  /// applied to a model freshly constructed with the same topology/
-  /// capacity configuration; scratch buffers are rebuilt lazily.
+  /// mutations), the busy-second accumulators, and the incremental
+  /// engine's per-pool rates/active flags, dirty-link list, generation,
+  /// and counters (so resumed runs reproduce the wan.rebalance.* gauges
+  /// byte-identically). Per-link user counts, load counters, and the
+  /// estimate basis are derived on load. load_state() must be applied
+  /// to a model freshly constructed with the same topology/capacity
+  /// configuration; scratch buffers are rebuilt lazily.
   void save_state(SnapshotWriter& w) const;
   void load_state(SnapshotReader& r);
 
@@ -253,6 +312,22 @@ class GridWanModel {
     std::vector<double> initial_bytes;
     int undrained = 0;
     double drained_at_s = 0.0;
+    /// Incremental max-min engine state, parallel to pools (empty under
+    /// equal-split): the cached drain rate from the last component
+    /// recompute, and whether the pool is in the activated-undrained set
+    /// those rates cover.
+    std::vector<double> rate_Bps;
+    std::vector<char> active;
+    /// True when two undrained pools of this flow can share a link, so
+    /// byte drains move the flow's per-link fracs: cached rates and the
+    /// estimate basis must be refreshed as its bytes move, not only on
+    /// structural changes. (A plain 2-site TSQR flow — one uplink, one
+    /// downlink pool — is NOT sensitive; its fracs are exactly 1.0.)
+    bool frac_sensitive = false;
+    /// Load-counter membership: the clusters this flow currently counts
+    /// toward in cluster_load_, and whether it counts in trunk_load_.
+    std::vector<int> counted_clusters;
+    bool counted_trunk = false;
   };
   /// One entry of the demand view handed to the allocator: which SLOT's
   /// which pool each rate belongs to.
@@ -283,9 +358,33 @@ class GridWanModel {
                    std::vector<WanDemand>& demands,
                    std::vector<double>& rates) const;
 
+  /// --- incremental max-min engine (no-ops under equal-split) ---
+  /// Pops every pending activation at or before `now_s` into the active
+  /// set, then repairs the cached rates if any link is dirty. Invoked
+  /// from const queries via const_cast: lazy maintenance, logically
+  /// const.
+  void refresh(double now_s);
+  /// Closes the dirty links over flows sharing links with them (the
+  /// bottleneck component) and re-runs progressive filling restricted
+  /// to that component's demands — bit-identical to the global fill.
+  void rebalance(double now_s);
+  void activate_pool(Flow& flow, int pool);
+  void deactivate_pool(Flow& flow, int pool);
+  void mark_dirty(int link);
+  bool compute_frac_sensitive(const Flow& flow) const;
+  /// Incremental load_score/backbone_load maintenance (both modes).
+  void count_load(Flow& flow);
+  void uncount_load(Flow& flow);
+  void bump_generation() { ++generation_; }
+
   int num_clusters_;
   double link_Bps_;
   double backbone_Bps_;
+  /// False when backbone_Bps_ is infinite: an unconstrained core can
+  /// never bind, so the trunk drops out of the constraint graph and
+  /// max-min components stay per-site islands instead of chaining
+  /// through the shared link (same idiom as a 0-capacity pair entry).
+  bool trunk_constrained_ = true;
   WanFairness fairness_;
   std::vector<double> pair_Bps_;   ///< row-major src x dst; empty = off
   std::vector<double> capacity_;   ///< per link id
@@ -322,6 +421,47 @@ class GridWanModel {
   /// touched list, so its sites^2-with-pairs size is paid once.
   mutable std::vector<double> flow_link_scratch_;
   mutable std::vector<int> touched_scratch_;
+
+  /// --- incremental max-min engine state (idle under equal-split) ---
+  PhaseProfiler* profiler_ = nullptr;
+  /// Activated-undrained demands per link; busy_links_ counts links with
+  /// a nonzero entry (what the full-refill classification compares
+  /// against), active_pools_ the total activated-undrained pool count.
+  std::vector<int> link_users_;
+  int busy_links_ = 0;
+  int active_pools_ = 0;
+  /// Links whose activated flow set (or a sensitive flow's fracs)
+  /// changed since the last recompute; dirty_mark_ dedupes the list.
+  std::vector<int> dirty_links_;
+  std::vector<char> dirty_mark_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t rebalance_events_ = 0;
+  std::uint64_t rebalance_recomputes_ = 0;
+  std::uint64_t rebalance_links_touched_ = 0;
+  std::uint64_t rebalance_full_refills_ = 0;
+  bool oracle_check_ = false;
+  mutable double max_oracle_error_ = 0.0;
+  /// Component-closure scratch: marked links and the list to unmark.
+  mutable std::vector<char> comp_mark_;
+  mutable std::vector<int> comp_links_;
+  mutable std::vector<PoolRef> comp_refs_;
+  mutable std::vector<WanDemand> comp_demands_;
+  mutable std::vector<double> comp_rates_;
+
+  /// Drain-estimate basis cache: the pessimistic demand view's refs and
+  /// rates depend only on the structural generation (never on now_s or
+  /// the bytes of frac-insensitive flows), so shadow pricing between
+  /// structural changes reuses them instead of re-filling.
+  mutable bool est_basis_valid_ = false;
+  mutable std::uint64_t est_basis_generation_ = 0;
+  mutable std::vector<PoolRef> est_refs_;
+  mutable std::vector<WanDemand> est_demands_;
+  mutable std::vector<double> est_rates_;
+
+  /// Incremental load_score/backbone_load counters (both modes),
+  /// mirrored by each flow's counted_clusters/counted_trunk membership.
+  std::vector<int> cluster_load_;
+  int trunk_load_ = 0;
 };
 
 }  // namespace qrgrid::sched

@@ -10,11 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
 #include <vector>
 
 #include "sched/policy.hpp"
 #include "sched/service.hpp"
 #include "sched/telemetry.hpp"
+#include "sched/wan.hpp"
 #include "sched/workload.hpp"
 #include "simgrid/topology.hpp"
 
@@ -123,6 +127,124 @@ TEST(ScaleWan, LiveFlowTableReclaimsRetiredFlows) {
   ASSERT_FALSE(series->empty());
   // Drained at the end: the free-list reclaimed every retired slot.
   EXPECT_DOUBLE_EQ(series->back().second, 0.0);
+}
+
+// ------------------------------------------- incremental max-min at scale
+// The scale lane's stake in the WAN rewrite: thousands of structural
+// events through the incremental engine with the global fill shadowing
+// every component rebalance (the `ctest -L scale` oracle-equality gate),
+// and the service-level counter surface staying coherent under a real
+// contended stream.
+
+TEST(ScaleWan, IncrementalMaintenanceMatchesOracleUnderHeavyChurn) {
+  // High-volume model-level churn: ~4000 structural ops per config, with
+  // mixed immediate/deferred activations, mid-interval advances, and
+  // mid-flight retirements. The armed oracle recomputes the global fill
+  // at EVERY component rebalance and records the worst rate divergence;
+  // the incremental path is the same arithmetic over the same demand
+  // order, so the divergence must be exactly zero (1e-12 is the
+  // acceptance bound, zero is what construction promises).
+  using Pool = GridWanModel::Pool;
+  using Link = GridWanModel::Pool::Link;
+  std::vector<double> pair_Bps(4 * 4, 0.0);
+  pair_Bps[0 * 4 + 1] = 40.0;
+  pair_Bps[1 * 4 + 2] = 60.0;
+  pair_Bps[2 * 4 + 3] = 25.0;
+  pair_Bps[3 * 4 + 0] = 35.0;
+  for (const bool pairs : {false, true}) {
+    GridWanModel wan(4, 100.0, 250.0, WanFairness::kMaxMin,
+                     pairs ? pair_Bps : std::vector<double>{});
+    wan.set_rate_oracle_check(true);
+    std::mt19937 rng(pairs ? 1301u : 807u);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<int> live;
+    std::vector<long long> egress(4, 0), ingress(4, 0);
+    std::vector<double> estimates;
+    double now = 0.0;
+    for (int op = 0; op < 4000; ++op) {
+      const double roll = unit(rng);
+      if (roll < 0.4 || live.empty()) {
+        std::vector<Pool> pools;
+        const int count = 1 + static_cast<int>(unit(rng) * 3.0);
+        for (int p = 0; p < count; ++p) {
+          Pool pool;
+          if (unit(rng) < 0.55) {
+            pool.link = Link::kUplink;
+            pool.cluster = static_cast<int>(unit(rng) * 4.0);
+            if (pairs) pool.peer = static_cast<int>(unit(rng) * 4.0);
+          } else {
+            pool.link = Link::kDownlink;
+            pool.cluster = static_cast<int>(unit(rng) * 4.0);
+          }
+          pool.bytes = 1.0 + std::floor(unit(rng) * 1e6);
+          pool.activation_s =
+              now + (unit(rng) < 0.5 ? 0.0 : unit(rng) * 3.0);
+          pools.push_back(pool);
+        }
+        live.push_back(wan.admit(now, std::move(pools)));
+      } else if (roll < 0.55) {
+        const auto pick = static_cast<std::size_t>(unit(rng) * live.size());
+        wan.retire(live[pick], egress, ingress);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (roll < 0.65) {
+        wan.drain_estimates_s(now, live, estimates);
+      } else {
+        const double next = wan.next_event_s(now);
+        const double to =
+            std::isfinite(next)
+                ? (unit(rng) < 0.5 ? next : now + (next - now) * unit(rng))
+                : now + 1.0;
+        wan.advance(now, to);
+        now = to;
+      }
+    }
+    EXPECT_GT(wan.rebalance_events(), 1000u) << "pairs=" << pairs;
+    EXPECT_GT(wan.rebalance_recomputes(), 0u) << "pairs=" << pairs;
+    EXPECT_LE(wan.rebalance_recomputes(), wan.rebalance_events())
+        << "pairs=" << pairs;
+    EXPECT_LE(wan.rebalance_full_refills(), wan.rebalance_recomputes())
+        << "pairs=" << pairs;
+    EXPECT_EQ(wan.max_oracle_rate_error(), 0.0) << "pairs=" << pairs;
+  }
+}
+
+TEST(ScaleWan, RebalanceCountersStayCoherentUnderContendedStream) {
+  // Service-level counter surface: a compressed contended max-min stream
+  // (wide flat-tree jobs straddling 64-proc cluster boundaries on thin
+  // uplinks) must record structural events, coalesce them (recomputes
+  // strictly below events), and export the same numbers through the
+  // metrics gauges the bench gates on.
+  WorkloadSpec spec;
+  spec.jobs = 300;
+  spec.users = 20;
+  spec.mean_interarrival_s = 0.33;
+  spec.m_choices = {1 << 17, 1 << 18};
+  spec.n_choices = {256, 512};
+  spec.procs_choices = {24, 48, 68, 132};
+  spec.tree_choices = {core::TreeKind::kFlat};
+  spec.seed = 404;
+  const std::vector<Job> jobs = generate_workload(spec);
+  ServiceOptions options;
+  options.policy = Policy::kEasyBackfill;
+  options.backfill_depth = 64;
+  options.wan_contention = true;
+  options.wan_fairness = WanFairness::kMaxMin;
+  options.wan_link_Bps = 0.05e9 / 8.0;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  GridJobService service(paper_grid(), model::paper_calibration(), options);
+  const ServiceReport report = service.run(jobs);
+  EXPECT_EQ(report.completed_jobs + report.failed_jobs, 300);
+  EXPECT_GT(report.max_wan_slowdown, 1.0);  // the stream really contends
+  const double events = metrics.gauge("wan.rebalance.events");
+  const double recomputes = metrics.gauge("wan.rebalance.recomputes");
+  const double links = metrics.gauge("wan.rebalance.links_touched");
+  const double full = metrics.gauge("wan.rebalance.full_refills");
+  EXPECT_GT(events, 0.0);
+  EXPECT_GT(recomputes, 0.0);
+  EXPECT_LT(recomputes, events);  // same-instant events coalesce
+  EXPECT_GE(links, recomputes);   // every recompute touches >= 1 link
+  EXPECT_LE(full, recomputes);    // a full refill is one kind of recompute
 }
 
 // ---------------------------------------------------------- regression

@@ -8,7 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
+#include <random>
 #include <vector>
 
 #include "sched/service.hpp"
@@ -152,6 +156,256 @@ TEST(WanModel, SubEpsilonResidualRetiresAtRelativeTolerance) {
   EXPECT_DOUBLE_EQ(wan2.drained_at_s(flow2), 1.0e13);
 }
 
+// --- Incremental max-min maintenance ------------------------------------
+
+/// Scripted random churn against a model: admissions with mixed
+/// immediate/deferred activations, event-aligned and mid-interval
+/// advances, mid-flight retirements, and planning-estimate queries — the
+/// full structural-event vocabulary the incremental engine must absorb.
+/// Drives `models` in lockstep (identical op stream) so a test can
+/// compare a model that is consulted constantly against a twin that is
+/// consulted once. Returns the surviving flow ids.
+std::vector<int> churn_models(std::vector<GridWanModel*> models,
+                              std::mt19937& rng, int ops, int num_clusters,
+                              bool pair_peers, bool query_first_each_op) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<int> live;
+  std::vector<long long> egress(num_clusters, 0), ingress(num_clusters, 0);
+  std::vector<double> estimates;
+  double now = 0.0;
+  for (int op = 0; op < ops; ++op) {
+    const double roll = unit(rng);
+    if (roll < 0.4 || live.empty()) {
+      std::vector<Pool> pools;
+      const int count = 1 + static_cast<int>(unit(rng) * 3.0);
+      for (int p = 0; p < count; ++p) {
+        Pool pool;
+        const double kind = unit(rng);
+        if (kind < 0.5) {
+          pool.link = Link::kUplink;
+          pool.cluster = static_cast<int>(unit(rng) * num_clusters);
+          if (pair_peers) {
+            pool.peer = static_cast<int>(unit(rng) * num_clusters);
+          }
+        } else if (kind < 0.85) {
+          pool.link = Link::kDownlink;
+          pool.cluster = static_cast<int>(unit(rng) * num_clusters);
+        } else {
+          pool.link = Link::kBackbone;  // dropped under max-min: that
+          pool.cluster = -1;            // code path must stay exact too
+        }
+        pool.bytes = 1.0 + std::floor(unit(rng) * 1e6);
+        pool.activation_s =
+            now + (unit(rng) < 0.5 ? 0.0 : unit(rng) * 3.0);
+        pools.push_back(pool);
+      }
+      int id = -1;
+      for (GridWanModel* wan : models) id = wan->admit(now, pools);
+      live.push_back(id);  // lockstep models assign identical slot ids
+    } else if (roll < 0.55) {
+      const auto pick = static_cast<std::size_t>(unit(rng) * live.size());
+      for (GridWanModel* wan : models) {
+        wan->retire(live[pick], egress, ingress);
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 0.7) {
+      for (GridWanModel* wan : models) {
+        wan->drain_estimates_s(now, live, estimates);
+      }
+    } else {
+      const double next = models.front()->next_event_s(now);
+      const double to = std::isfinite(next)
+                            ? (unit(rng) < 0.5
+                                   ? next
+                                   : now + (next - now) * unit(rng))
+                            : now + 1.0;
+      for (GridWanModel* wan : models) wan->advance(now, to);
+      now = to;
+    }
+    if (query_first_each_op) {
+      models.front()->drain_estimates_s(now, live, estimates);
+    }
+    // Shed drained flows occasionally so slot recycling gets exercised.
+    if (!live.empty() && unit(rng) < 0.2) {
+      const int flow = live.back();
+      if (models.front()->drained(flow)) {
+        for (GridWanModel* wan : models) wan->retire(flow, egress, ingress);
+        live.pop_back();
+      }
+    }
+  }
+  return live;
+}
+
+TEST(WanModelIncremental, RandomChurnMatchesGlobalOracle) {
+  // The differential acceptance gate: with the oracle armed, EVERY
+  // component rebalance is shadowed by a global fill over the time-based
+  // demand view and compared rate-by-rate. The incremental path is
+  // bit-identical by construction (same allocator, same demand order,
+  // same arithmetic), so the recorded divergence must be exactly zero —
+  // the 1e-12 bound is the acceptance threshold, the zero is what
+  // construction promises.
+  for (const unsigned seed : {11u, 23u, 57u}) {
+    GridWanModel wan(4, 100.0, 250.0, WanFairness::kMaxMin);
+    wan.set_rate_oracle_check(true);
+    std::mt19937 rng(seed);
+    churn_models({&wan}, rng, 400, 4, /*pair_peers=*/false,
+                 /*query_first_each_op=*/false);
+    EXPECT_GT(wan.rebalance_recomputes(), 0u) << "seed " << seed;
+    EXPECT_LE(wan.max_oracle_rate_error(), 1e-12) << "seed " << seed;
+    EXPECT_EQ(wan.max_oracle_rate_error(), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(WanModelIncremental, RandomChurnMatchesOracleWithPairHorizons) {
+  // Same gate on the pair-horizon configuration: per-(src,dst) links
+  // multiply the graph (uplinks split per peer), so components are
+  // richer and the closure has more ways to go wrong.
+  std::vector<double> pair_Bps(3 * 3, 0.0);
+  pair_Bps[0 * 3 + 1] = 40.0;  // tight horizon
+  pair_Bps[1 * 3 + 2] = 60.0;
+  pair_Bps[2 * 3 + 0] = 25.0;  // tighter than any uplink share
+  for (const unsigned seed : {5u, 71u}) {
+    GridWanModel wan(3, 100.0, 250.0, WanFairness::kMaxMin, pair_Bps);
+    ASSERT_TRUE(wan.pair_aware());
+    wan.set_rate_oracle_check(true);
+    std::mt19937 rng(seed);
+    churn_models({&wan}, rng, 400, 3, /*pair_peers=*/true,
+                 /*query_first_each_op=*/false);
+    EXPECT_GT(wan.rebalance_recomputes(), 0u) << "seed " << seed;
+    EXPECT_EQ(wan.max_oracle_rate_error(), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(WanModelIncremental, UnconstrainedBackboneMatchesHugeFiniteTrunk) {
+  // An infinite backbone drops out of the constraint graph entirely
+  // (links_of never emits it), which must be allocation-equivalent to a
+  // finite trunk too wide to ever bind: the progressive filling never
+  // selects a non-binding link as bottleneck, so every rate is computed
+  // through the identical freeze sequence. Twin models under lockstep
+  // churn must agree bitwise — while the infinite-trunk twin touches
+  // strictly fewer links (no shared trunk chaining every uplink flow
+  // into one graph-wide component).
+  GridWanModel finite(4, 100.0, 1e18, WanFairness::kMaxMin);
+  GridWanModel infinite(4, 100.0,
+                        std::numeric_limits<double>::infinity(),
+                        WanFairness::kMaxMin);
+  infinite.set_rate_oracle_check(true);
+  std::mt19937 rng(37);
+  const std::vector<int> live =
+      churn_models({&finite, &infinite}, rng, 400, 4, /*pair_peers=*/false,
+                   /*query_first_each_op=*/true);
+  EXPECT_EQ(infinite.max_oracle_rate_error(), 0.0);
+  std::vector<double> from_finite, from_infinite;
+  const double now = 1e7;  // past every activation in the script
+  finite.drain_estimates_s(now, live, from_finite);
+  infinite.drain_estimates_s(now, live, from_infinite);
+  ASSERT_EQ(from_finite.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(from_finite[i], from_infinite[i]) << "flow " << live[i];
+  }
+  EXPECT_GT(infinite.rebalance_recomputes(), 0u);
+  EXPECT_LT(infinite.rebalance_links_touched(),
+            finite.rebalance_links_touched());
+  EXPECT_LE(infinite.rebalance_full_refills(),
+            finite.rebalance_full_refills());
+}
+
+TEST(WanModelIncremental, UnconstrainedBackboneKeepsComponentsLocal) {
+  // With the trunk out of the graph, flows on distinct site links are
+  // distinct components: an event on one must not drag the other into
+  // its repair, and a repair of one island is NOT a full refill.
+  GridWanModel wan(2, 100.0, std::numeric_limits<double>::infinity(),
+                   WanFairness::kMaxMin);
+  const int a = wan.admit(0.0, {make_pool(Link::kUplink, 0, 1000.0, 0.0)});
+  wan.admit(0.0, {make_pool(Link::kUplink, 1, 800.0, 0.0)});
+  // First consultation repairs both freshly-dirtied islands in one pass:
+  // two links (no trunk), and since that pass covers every busy link it
+  // IS a full refill. Each flow fills to its full site rate.
+  EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 8.0);
+  EXPECT_EQ(wan.rebalance_recomputes(), 1u);
+  EXPECT_EQ(wan.rebalance_links_touched(), 2u);
+  EXPECT_EQ(wan.rebalance_full_refills(), 1u);
+  // The trunk still carries the busy statistic via the load counter
+  // even though no demand maps onto the backbone link.
+  wan.advance(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(wan.backbone_busy_s(), 2.0);
+  // Retiring island 0 mid-flight dirties only its own link: the repair
+  // touches one link and leaves island 1 alone — not a full refill.
+  std::vector<long long> egress(2, 0), ingress(2, 0);
+  wan.retire(a, egress, ingress);
+  wan.next_event_s(2.0);
+  EXPECT_EQ(wan.rebalance_recomputes(), 2u);
+  EXPECT_EQ(wan.rebalance_links_touched(), 3u);
+  EXPECT_EQ(wan.rebalance_full_refills(), 1u);
+}
+
+TEST(WanModelIncremental, EstimateBasisCacheIsTransparent) {
+  // Twin models run the identical op script; one is asked for planning
+  // estimates after EVERY op (hot cache, reused basis), the twin only at
+  // the very end (cold, basis computed fresh). The answers must match
+  // bitwise in both fairness modes — the cache is an optimization, never
+  // a semantic.
+  for (const WanFairness fairness :
+       {WanFairness::kEqualSplit, WanFairness::kMaxMin}) {
+    GridWanModel hot(4, 100.0, 250.0, fairness);
+    GridWanModel cold(4, 100.0, 250.0, fairness);
+    std::mt19937 rng(2026);
+    const std::vector<int> live =
+        churn_models({&hot, &cold}, rng, 300, 4, /*pair_peers=*/false,
+                     /*query_first_each_op=*/true);
+    std::vector<double> from_hot, from_cold;
+    const double now = 1e7;  // past every activation in the script
+    hot.drain_estimates_s(now, live, from_hot);
+    cold.drain_estimates_s(now, live, from_cold);
+    ASSERT_EQ(from_hot.size(), live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      EXPECT_EQ(from_hot[i], from_cold[i])
+          << "flow " << live[i] << " under "
+          << wan_fairness_name(fairness);
+    }
+  }
+}
+
+TEST(WanModelIncremental, SameInstantEventsCoalesceIntoOneRebalance) {
+  // Two admissions and one mid-flight retirement land at the same
+  // instant with no consultation in between: three structural events,
+  // ONE repair when the model is next asked a question.
+  GridWanModel wan(2, 100.0, 200.0, WanFairness::kMaxMin);
+  wan.admit(0.0, {make_pool(Link::kUplink, 0, 1000.0, 0.0)});
+  const int b = wan.admit(0.0, {make_pool(Link::kUplink, 0, 900.0, 0.0)});
+  const int c = wan.admit(0.0, {make_pool(Link::kUplink, 0, 600.0, 0.0)});
+  EXPECT_EQ(wan.rebalance_events(), 3u);
+  EXPECT_EQ(wan.rebalance_recomputes(), 0u);  // lazy: nothing consulted yet
+  std::vector<long long> egress(2, 0), ingress(2, 0);
+  wan.retire(c, egress, ingress);
+  EXPECT_EQ(wan.rebalance_events(), 4u);  // undrained retirement counts
+  EXPECT_EQ(wan.rebalance_recomputes(), 0u);
+  // First consultation repairs once for all four events: two survivors
+  // share 100 B/s, so the 900-byte flow dries at t=18.
+  EXPECT_DOUBLE_EQ(wan.next_event_s(0.0), 18.0);
+  EXPECT_EQ(wan.rebalance_recomputes(), 1u);
+  EXPECT_LE(wan.rebalance_full_refills(), wan.rebalance_recomputes());
+  wan.advance(0.0, 18.0);
+  EXPECT_TRUE(wan.drained(b));
+}
+
+TEST(WanModelIncremental, EqualSplitReportsNoRebalanceCounters) {
+  // The counters are the incremental engine's telemetry; the equal-split
+  // baseline keeps its legacy time-based path and must stay silent.
+  GridWanModel wan(2, 100.0, 200.0, WanFairness::kEqualSplit);
+  const int flow = wan.admit(0.0, {make_pool(Link::kUplink, 0, 500.0, 0.0)});
+  wan.advance(0.0, wan.next_event_s(0.0));
+  EXPECT_TRUE(wan.drained(flow));
+  EXPECT_EQ(wan.rebalance_events(), 0u);
+  EXPECT_EQ(wan.rebalance_recomputes(), 0u);
+  EXPECT_EQ(wan.rebalance_links_touched(), 0u);
+  EXPECT_EQ(wan.rebalance_full_refills(), 0u);
+  // The estimate-basis generation still advances (both modes share the
+  // cached planning basis), so estimates stay fresh across drains.
+  EXPECT_GT(wan.rebalance_generation(), 0u);
+}
+
 // --- Service level ------------------------------------------------------
 
 /// Mixed wide/filler workload on the 4-site grid: 68- and 132-proc jobs
@@ -181,6 +435,12 @@ ServiceOptions thin_wan_options(bool contention) {
   ServiceOptions options;
   options.wan_contention = contention;
   options.wan_link_Bps = 0.02e9 / 8.0;  // 20 Mb/s: the WAN phase matters
+  return options;
+}
+
+ServiceOptions thin_maxmin_options(bool contention) {
+  ServiceOptions options = thin_wan_options(contention);
+  options.wan_fairness = WanFairness::kMaxMin;
   return options;
 }
 
@@ -286,6 +546,83 @@ TEST(WanService, DeterministicUnderContention) {
   EXPECT_EQ(a, b);
   // And the same service replaying the workload must not drift (the WAN
   // model is rebuilt per run, like the outage trace).
+  const std::vector<std::string> c =
+      summary_row(first.run(generate_workload(spec)));
+  EXPECT_EQ(a, c);
+}
+
+// The PR-old acceptance gates re-run against the incremental max-min
+// path: same physics, new maintenance. Conservation, monotonicity,
+// zero-contention identity, and determinism must survive the rewrite.
+
+TEST(WanServiceMaxMin, ConservationUnderConcurrency) {
+  GridJobService service(wide_grid(), model::paper_calibration(),
+                         thin_maxmin_options(true));
+  const ServiceReport report = service.run(overlapping_wide_jobs());
+  ASSERT_EQ(report.completed_jobs, 24);
+  EXPECT_GT(sum(report.wan_egress_bytes), 0);
+  EXPECT_EQ(sum(report.wan_egress_bytes), sum(report.wan_ingress_bytes));
+}
+
+TEST(WanServiceMaxMin, ContendedRuntimesAreMonotoneAndStretchUnderLoad) {
+  GridJobService service(wide_grid(), model::paper_calibration(),
+                         thin_maxmin_options(true));
+  const ServiceReport contended = service.run(overlapping_wide_jobs());
+  GridJobService isolated(wide_grid(), model::paper_calibration(),
+                          thin_maxmin_options(false));
+  const ServiceReport alone = isolated.run(overlapping_wide_jobs());
+  for (const JobOutcome& o : contended.outcomes) {
+    ASSERT_TRUE(o.completed());
+    EXPECT_GE(o.wan_slowdown, 1.0 - 1e-9) << "job " << o.job.id;
+  }
+  EXPECT_GT(contended.max_wan_slowdown, 1.0);  // overlap really happened
+  EXPECT_GE(contended.makespan_s, alone.makespan_s * (1.0 - 1e-12));
+  EXPECT_GT(max_wan_busy_fraction(contended), 0.0);
+}
+
+TEST(WanServiceMaxMin, ZeroContentionReproducesCachedReplayTimes) {
+  // Serial workload: with nothing overlapping, progressive filling gives
+  // every lone flow its full link rate, so the incremental max-min
+  // service must reproduce the contention-free times exactly.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(i, 1e5 * i, 1 << 18, 128, 8));
+  }
+  ServiceOptions on;
+  on.wan_contention = true;
+  on.wan_fairness = WanFairness::kMaxMin;
+  ServiceOptions off;
+  off.wan_contention = false;
+  const ServiceReport a =
+      GridJobService(small_grid(), model::paper_calibration(), on).run(jobs);
+  const ServiceReport b =
+      GridJobService(small_grid(), model::paper_calibration(), off)
+          .run(jobs);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].start_s, b.outcomes[i].start_s);
+    EXPECT_EQ(a.outcomes[i].finish_s, b.outcomes[i].finish_s);
+    EXPECT_EQ(a.outcomes[i].wan_slowdown, 1.0);
+  }
+  EXPECT_EQ(a.wan_egress_bytes, b.wan_egress_bytes);
+}
+
+TEST(WanServiceMaxMin, DeterministicUnderContention) {
+  WorkloadSpec spec;
+  spec.jobs = 40;
+  spec.procs_choices = {4, 8};
+  spec.mean_interarrival_s = 0.1;
+  spec.seed = 47;
+  ServiceOptions options = thin_maxmin_options(true);
+  options.policy = Policy::kEasyBackfill;
+  options.wan_aware = true;
+  GridJobService first(small_grid(), model::paper_calibration(), options);
+  GridJobService second(small_grid(), model::paper_calibration(), options);
+  const std::vector<std::string> a =
+      summary_row(first.run(generate_workload(spec)));
+  const std::vector<std::string> b =
+      summary_row(second.run(generate_workload(spec)));
+  EXPECT_EQ(a, b);
   const std::vector<std::string> c =
       summary_row(first.run(generate_workload(spec)));
   EXPECT_EQ(a, c);

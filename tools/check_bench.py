@@ -136,6 +136,13 @@ def main():
     if b_prof and c_prof:
         for name in sorted(set(b_prof) - set(c_prof)):
             failures.append(f"phase missing from run profile: {name}")
+        # A phase the baseline has never seen (a freshly instrumented
+        # subsystem, e.g. wan-rebalance) is reported, not failed: the
+        # exact call-count and share gates pick it up once the baseline
+        # is regenerated with the new phase in place.
+        for name in sorted(set(c_prof) - set(b_prof)):
+            lines.append(f"- note: new phase not in baseline profile: "
+                         f"`{name}` ({c_prof[name]['calls']} calls)")
         b_share, c_share = phase_shares(b_prof), phase_shares(c_prof)
         for name in sorted(b_prof):
             if name not in c_prof:
